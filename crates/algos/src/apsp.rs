@@ -1,0 +1,402 @@
+//! All-pairs shortest path: blocked parallel Floyd (paper Section 4.4).
+//!
+//! The `N x N` distance matrix is split into `P` blocks of `M x M`
+//! (`M = N/sqrt(P)`) on a `sqrt(P) x sqrt(P)` processor grid. Iteration `k`
+//! broadcasts the active column `D[*,k]` along the rows and the active row
+//! `D[k,*]` along the columns, then every processor relaxes its block:
+//! `D[i,j] = min(D[i,j], X[i] + Y[j])`.
+//!
+//! Two broadcast realizations, following the paper:
+//!
+//! * **pipelined machines** (GCel, CM-5): a two-superstep scatter +
+//!   all-gather, costing `2·(g·M + L)` per broadcast. The scatter
+//!   superstep has only `sqrt(P)` senders — the unbalanced pattern behind
+//!   the `g_mscat` refinement of Fig. 13;
+//! * **MP-BSP machines** (MasPar): the scatter runs as staggered
+//!   1-relations; when `M < sqrt(P)` a doubling phase replicates each
+//!   element to `sqrt(P)/M` processors (`log(sqrt(P)/M)` supersteps — the
+//!   `sum_i T_unb(2^i N)` term of the E-BSP analysis), and the gather is a
+//!   ring rotation over the piece holders (`M` communication steps — the
+//!   `M·T_unb(P)` term of Fig. 12).
+
+use pcm_core::units::{log2_exact, sqrt_exact};
+use pcm_machines::Platform;
+use pcm_sim::topology::Grid;
+
+use crate::primitives::embed::Embedding;
+use crate::primitives::plan::{chunk, staggered};
+use crate::run::RunResult;
+use crate::verify::{check_distances, floyd_reference};
+
+/// Word or block transfers for the broadcast traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApspVariant {
+    /// Word messages (BSP / MP-BSP / E-BSP evaluation).
+    Words,
+    /// Block transfers (MP-BPRAM).
+    Blocks,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ApspState {
+    /// My `M x M` block, row-major.
+    d: Vec<f64>,
+    /// Assembled active column segment (length M).
+    x: Vec<f64>,
+    /// Assembled active row segment (length M).
+    y: Vec<f64>,
+    /// The piece currently travelling the row ring (index, values).
+    x_piece: Option<(usize, Vec<f64>)>,
+    /// The piece currently travelling the column ring.
+    y_piece: Option<(usize, Vec<f64>)>,
+}
+
+const TAG_COL: u32 = 0;
+
+fn send(
+    ctx: &mut pcm_sim::Ctx<'_, ApspState>,
+    variant: ApspVariant,
+    dst: usize,
+    tag: u32,
+    vals: &[f64],
+) {
+    match variant {
+        ApspVariant::Blocks => ctx.send_block_f64_tagged(dst, tag, vals),
+        ApspVariant::Words => ctx.send_words_f64_tagged(dst, tag, vals),
+    }
+}
+
+/// Runs blocked Floyd on a deterministic random digraph and verifies the
+/// full result against the sequential reference.
+///
+/// # Panics
+/// Panics unless the platform's processor count is a perfect square and
+/// `n` is a multiple of `sqrt(P)`.
+pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> RunResult {
+    let p = platform.p();
+    let side = sqrt_exact(p).expect("APSP needs a square processor grid");
+    assert!(
+        n.is_multiple_of(side),
+        "graph size {n} must be a multiple of sqrt(P) = {side}"
+    );
+    let grid = Grid { side };
+    let m = n / side;
+    let pipelining = platform.model_params().memory_pipelining;
+    // Blocked grid layouts do not align with the MasPar's router clusters
+    // (see `primitives::embed`); pipelined machines keep the natural
+    // embedding, which also preserves mesh locality on the GCel.
+    let embed = if pipelining {
+        Embedding::identity(p)
+    } else {
+        Embedding::scrambled(p, seed ^ 0xA9_5D)
+    };
+    let embed = &embed;
+
+    let mut rng = pcm_core::rng::seeded(seed);
+    let d0 = pcm_core::rng::random_digraph(n, 0.25, 100.0, &mut rng);
+
+    let states: Vec<ApspState> = (0..p)
+        .map(|pid| {
+            let (r, c) = grid.coords(embed.to_logical(pid));
+            let mut block = Vec::with_capacity(m * m);
+            for i in 0..m {
+                let gr = r * m + i;
+                block.extend_from_slice(&d0[gr * n + c * m..gr * n + c * m + m]);
+            }
+            ApspState {
+                d: block,
+                ..Default::default()
+            }
+        })
+        .collect();
+
+    let mut machine = platform.machine(states, seed);
+
+    for k in 0..n {
+        let owner = k / m; // processor column (resp. row) holding k
+        let local_k = k % m;
+
+        // Superstep 1: scatter. The column owners split the active column
+        // into pieces across their row; the row owners likewise down their
+        // column. Only 2·sqrt(P) processors send.
+        machine.superstep(|ctx| {
+            let pid = ctx.pid();
+            let (r, c) = grid.coords(embed.to_logical(pid));
+            ctx.state.x_piece = None;
+            ctx.state.y_piece = None;
+            if c == owner {
+                let seg: Vec<f64> = (0..m).map(|i| ctx.state.d[i * m + local_k]).collect();
+                for t in staggered(r, side) {
+                    let piece = &seg[chunk(m, side, t)];
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    let dst = embed.to_machine(grid.id(r, t));
+                    if dst == pid {
+                        ctx.state.x_piece = Some((t, piece.to_vec()));
+                    } else {
+                        send(ctx, variant, dst, 2 * t as u32, piece);
+                    }
+                }
+            }
+            if r == owner {
+                let seg: Vec<f64> = ctx.state.d[local_k * m..(local_k + 1) * m].to_vec();
+                for t in staggered(c, side) {
+                    let piece = &seg[chunk(m, side, t)];
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    let dst = embed.to_machine(grid.id(t, c));
+                    if dst == pid {
+                        ctx.state.y_piece = Some((t, piece.to_vec()));
+                    } else {
+                        send(ctx, variant, dst, 2 * t as u32 + 1, piece);
+                    }
+                }
+            }
+        });
+
+        // Superstep 2: absorb the scattered pieces, reset the assembly
+        // buffers.
+        machine.superstep(|ctx| {
+            ctx.state.x = vec![f64::INFINITY; m];
+            ctx.state.y = vec![f64::INFINITY; m];
+            absorb_pieces(ctx, m, side);
+            // Own pieces (set during the scatter) also enter the assembly.
+            let x_piece = ctx.state.x_piece.clone();
+            if let Some((idx, vals)) = x_piece {
+                ctx.state.x[chunk(m, side, idx)].copy_from_slice(&vals);
+            }
+            let y_piece = ctx.state.y_piece.clone();
+            if let Some((idx, vals)) = y_piece {
+                ctx.state.y[chunk(m, side, idx)].copy_from_slice(&vals);
+            }
+        });
+
+        if pipelining {
+            // All-gather in one superstep: everyone re-broadcasts its piece
+            // along the row / column, then relaxes.
+            machine.superstep(|ctx| {
+                let pid = ctx.pid();
+                let (r, c) = grid.coords(embed.to_logical(pid));
+                let x_piece = ctx.state.x_piece.take();
+                if let Some((idx, vals)) = x_piece {
+                    for t in staggered(c, side) {
+                        let dst = embed.to_machine(grid.id(r, t));
+                        if dst != pid {
+                            send(ctx, variant, dst, 2 * idx as u32, &vals);
+                        }
+                    }
+                }
+                let y_piece = ctx.state.y_piece.take();
+                if let Some((idx, vals)) = y_piece {
+                    for t in staggered(r, side) {
+                        let dst = embed.to_machine(grid.id(t, c));
+                        if dst != pid {
+                            send(ctx, variant, dst, 2 * idx as u32 + 1, &vals);
+                        }
+                    }
+                }
+            });
+            machine.superstep(|ctx| {
+                absorb_pieces(ctx, m, side);
+                relax(ctx, m);
+            });
+        } else {
+            // MasPar path: doubling (if M < sqrt(P)) then ring rotations.
+            let pieces = m.min(side);
+            assert!(
+                side.is_multiple_of(pieces) && (side / pieces).is_power_of_two(),
+                "the doubling phase needs M to divide sqrt(P) as a power of                  two when M < sqrt(P); choose N so that M = N/sqrt(P) is a                  power of two (got M = {m}, sqrt(P) = {side})"
+            );
+            let repl = side / pieces; // power of two
+            for j in 0..log2_exact(repl) {
+                let span = pieces << j;
+                machine.superstep(move |ctx| {
+                    absorb_pieces(ctx, m, side);
+                    let pid = ctx.pid();
+                    let (r, c) = grid.coords(embed.to_logical(pid));
+                    if c < span {
+                        let x_piece = ctx.state.x_piece.clone();
+                        if let Some((idx, vals)) = x_piece {
+                            send(
+                                ctx,
+                                variant,
+                                embed.to_machine(grid.id(r, c + span)),
+                                2 * idx as u32,
+                                &vals,
+                            );
+                        }
+                    }
+                    if r < span {
+                        let y_piece = ctx.state.y_piece.clone();
+                        if let Some((idx, vals)) = y_piece {
+                            send(
+                                ctx,
+                                variant,
+                                embed.to_machine(grid.id(r + span, c)),
+                                2 * idx as u32 + 1,
+                                &vals,
+                            );
+                        }
+                    }
+                });
+            }
+            // Ring rotations over the subgroup of `pieces` consecutive
+            // holders: pass the current piece one step around, absorbing
+            // whatever arrived.
+            for _rot in 0..pieces.saturating_sub(1) {
+                machine.superstep(move |ctx| {
+                    absorb_pieces(ctx, m, side);
+                    let pid = ctx.pid();
+                    let (r, c) = grid.coords(embed.to_logical(pid));
+                    let bs_c = (c / pieces) * pieces;
+                    let next_c = bs_c + (c - bs_c + 1) % pieces;
+                    let x_piece = ctx.state.x_piece.clone();
+                    if let Some((idx, vals)) = x_piece {
+                        send(
+                            ctx,
+                            variant,
+                            embed.to_machine(grid.id(r, next_c)),
+                            2 * idx as u32,
+                            &vals,
+                        );
+                    }
+                    let bs_r = (r / pieces) * pieces;
+                    let next_r = bs_r + (r - bs_r + 1) % pieces;
+                    let y_piece = ctx.state.y_piece.clone();
+                    if let Some((idx, vals)) = y_piece {
+                        send(
+                            ctx,
+                            variant,
+                            embed.to_machine(grid.id(next_r, c)),
+                            2 * idx as u32 + 1,
+                            &vals,
+                        );
+                    }
+                });
+            }
+            machine.superstep(|ctx| {
+                absorb_pieces(ctx, m, side);
+                ctx.state.x_piece = None;
+                ctx.state.y_piece = None;
+                relax(ctx, m);
+            });
+        }
+    }
+
+    let time = machine.time();
+    // Reconstruct the distance matrix and verify.
+    let mut result = vec![0.0f64; n * n];
+    for (pid, st) in machine.states().iter().enumerate() {
+        let (r, c) = grid.coords(embed.to_logical(pid));
+        for i in 0..m {
+            let gr = r * m + i;
+            result[gr * n + c * m..gr * n + c * m + m]
+                .copy_from_slice(&st.d[i * m..(i + 1) * m]);
+        }
+    }
+    let expect = floyd_reference(&d0, n);
+    let verified = check_distances(&expect, &result);
+    RunResult::new(time, machine.breakdown(), verified)
+}
+
+/// Absorbs scatter/ring/doubling deliveries: updates the travelling piece
+/// and accumulates it into the assembled `x`/`y`. Tags encode
+/// `2·piece_index + axis` with axis 0 = column (X), 1 = row (Y).
+fn absorb_pieces(ctx: &mut pcm_sim::Ctx<'_, ApspState>, m: usize, side: usize) {
+    let incoming: Vec<(u32, Vec<f64>)> = ctx
+        .msgs()
+        .iter()
+        .map(|msg| (msg.tag, msg.as_f64s()))
+        .collect();
+    for (tag, vals) in incoming {
+        let idx = (tag / 2) as usize;
+        if tag % 2 == TAG_COL {
+            ctx.state.x[chunk(m, side, idx)].copy_from_slice(&vals);
+            ctx.state.x_piece = Some((idx, vals));
+        } else {
+            ctx.state.y[chunk(m, side, idx)].copy_from_slice(&vals);
+            ctx.state.y_piece = Some((idx, vals));
+        }
+    }
+}
+
+/// The Floyd relaxation of the local block, charged at `alpha` per entry.
+fn relax(ctx: &mut pcm_sim::Ctx<'_, ApspState>, m: usize) {
+    let st = &mut *ctx.state;
+    for i in 0..m {
+        let xi = st.x[i];
+        if !xi.is_finite() {
+            continue;
+        }
+        let row = &mut st.d[i * m..(i + 1) * m];
+        for (j, cell) in row.iter_mut().enumerate() {
+            let alt = xi + st.y[j];
+            if alt < *cell {
+                *cell = alt;
+            }
+        }
+    }
+    ctx.charge_ops((m * m) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_shortest_paths_on_all_platforms() {
+        for plat in [
+            Platform::gcel_with(16),
+            Platform::cm5_with(16),
+            Platform::maspar_with(16),
+        ] {
+            let r = run(&plat, 32, ApspVariant::Words, 3);
+            assert!(r.verified, "{} APSP failed", plat.name());
+        }
+    }
+
+    #[test]
+    fn maspar_small_m_doubling_and_ring() {
+        // 16 PEs -> side 4; n = 8 -> M = 2 < 4: doubling active.
+        let r = run(&Platform::maspar_with(16), 8, ApspVariant::Words, 11);
+        assert!(r.verified);
+        // M >= side: pure ring.
+        let r = run(&Platform::maspar_with(16), 32, ApspVariant::Words, 11);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn maspar_full_size_m_below_side() {
+        // The paper's regime: P = 1024, N = 128 -> M = 4 < 32.
+        let r = run(&Platform::maspar(), 128, ApspVariant::Words, 5);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn block_variant_matches_too() {
+        let r = run(&Platform::gcel_with(16), 32, ApspVariant::Blocks, 5);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn small_m_case_on_pipelined_machine() {
+        // M = 32/8 = 4 < sqrt(P) = 8: pieces are sparse but correct.
+        let r = run(&Platform::cm5(), 32, ApspVariant::Words, 7);
+        assert!(r.verified);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of sqrt(P)")]
+    fn rejects_misaligned_graphs() {
+        run(&Platform::cm5(), 30, ApspVariant::Words, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Platform::gcel_with(16), 16, ApspVariant::Words, 9);
+        let b = run(&Platform::gcel_with(16), 16, ApspVariant::Words, 9);
+        assert_eq!(a.time, b.time);
+    }
+}

@@ -1,0 +1,103 @@
+//! Logical-to-physical processor embeddings.
+//!
+//! The MasPar experiments in the paper show that the router priced the
+//! cube-structured matmul phases and the grid-structured APSP broadcasts
+//! like *random* permutations (the MP-BSP predictions with `g + L` per
+//! word matched within 14%, and the APSP gather matched `M·T_unb(P)`),
+//! while the bit-flip pattern of bitonic sort — addressed directly through
+//! PE-number bits — was ~2x cheaper. MPL's virtual-processor addressing
+//! evidently did not preserve router-cluster adjacency for the blocked
+//! layouts.
+//!
+//! We model that with an explicit [`Embedding`]: hypercube algorithms use
+//! the identity (PE-number) embedding; blocked cube/grid algorithms on the
+//! MasPar use a seeded scrambled embedding, which makes their superstep
+//! patterns cost what the paper measured.
+
+use pcm_core::rng::{random_permutation, seeded};
+
+/// A bijection between logical processor ids and machine PE ids.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    fwd: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl Embedding {
+    /// The identity embedding: logical id = machine id.
+    pub fn identity(p: usize) -> Self {
+        Embedding {
+            fwd: (0..p).collect(),
+            inv: (0..p).collect(),
+        }
+    }
+
+    /// A deterministic scrambled embedding.
+    pub fn scrambled(p: usize, seed: u64) -> Self {
+        let fwd = random_permutation(p, &mut seeded(seed));
+        let mut inv = vec![0usize; p];
+        for (logical, &machine) in fwd.iter().enumerate() {
+            inv[machine] = logical;
+        }
+        Embedding { fwd, inv }
+    }
+
+    /// Machine PE of a logical processor.
+    #[inline]
+    pub fn to_machine(&self, logical: usize) -> usize {
+        self.fwd[logical]
+    }
+
+    /// Logical processor of a machine PE.
+    #[inline]
+    pub fn to_logical(&self, machine: usize) -> usize {
+        self.inv[machine]
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// `true` for zero processors (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let e = Embedding::identity(8);
+        for i in 0..8 {
+            assert_eq!(e.to_machine(i), i);
+            assert_eq!(e.to_logical(i), i);
+        }
+    }
+
+    #[test]
+    fn scrambled_is_a_bijection() {
+        let e = Embedding::scrambled(64, 5);
+        let mut seen = [false; 64];
+        for i in 0..64 {
+            let m = e.to_machine(i);
+            assert!(!seen[m]);
+            seen[m] = true;
+            assert_eq!(e.to_logical(m), i, "inverse round trip");
+        }
+        assert_eq!(e.len(), 64);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn scrambled_is_deterministic_per_seed() {
+        let a = Embedding::scrambled(32, 9);
+        let b = Embedding::scrambled(32, 9);
+        let c = Embedding::scrambled(32, 10);
+        assert_eq!(a.fwd, b.fwd);
+        assert_ne!(a.fwd, c.fwd);
+    }
+}

@@ -1,0 +1,6 @@
+//! Communication primitives: pure planning helpers ([`plan`]) and
+//! standalone collectives ([`collectives`]).
+
+pub mod collectives;
+pub mod embed;
+pub mod plan;

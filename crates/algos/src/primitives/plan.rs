@@ -1,0 +1,113 @@
+//! Pure communication-planning helpers shared by the algorithms.
+//!
+//! Staggering — starting each processor's send sequence at a different
+//! offset — is the paper's fix for the CM-5 receiver-contention error
+//! (Fig. 4) and is mandatory under MP-BSP to avoid concurrent writes.
+
+/// The staggered order in which a processor with offset `start` visits
+/// `count` targets: `start, start+1, ..., start+count-1 (mod count)`.
+pub fn staggered(start: usize, count: usize) -> impl Iterator<Item = usize> {
+    (0..count).map(move |t| (start + t) % count)
+}
+
+/// Splits `n` items into `p` contiguous chunks as evenly as possible;
+/// returns the half-open range of chunk `i`.
+pub fn chunk(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
+    assert!(i < p);
+    let base = n / p;
+    let extra = n % p;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// The inverse of [`chunk`]: which chunk owns item `idx`.
+pub fn chunk_owner(n: usize, p: usize, idx: usize) -> usize {
+    assert!(idx < n);
+    let base = n / p;
+    let extra = n % p;
+    let boundary = extra * (base + 1);
+    if idx < boundary {
+        idx / (base + 1)
+    } else {
+        extra + (idx - boundary) / base.max(1)
+    }
+}
+
+/// Given sorted `keys` and sorted `splitters`, counts how many keys fall
+/// into each of the `splitters.len() + 1` buckets (bucket `b` holds keys in
+/// `[splitters[b-1], splitters[b])`). Linear time, as in the paper's
+/// `Theta(M + P)` bucketing step.
+pub fn bucket_counts(keys: &[u32], splitters: &[u32]) -> Vec<usize> {
+    let mut counts = vec![0usize; splitters.len() + 1];
+    let mut b = 0usize;
+    for &k in keys {
+        while b < splitters.len() && k >= splitters[b] {
+            b += 1;
+        }
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggered_visits_everything_once() {
+        let order: Vec<usize> = staggered(2, 5).collect();
+        assert_eq!(order, vec![2, 3, 4, 0, 1]);
+        let mut seen = order;
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn staggered_offsets_form_permutations_per_round() {
+        // In round t, processors with distinct offsets hit distinct targets.
+        let q = 7;
+        for t in 0..q {
+            let mut targets: Vec<usize> =
+                (0..q).map(|pid| staggered(pid, q).nth(t).unwrap()).collect();
+            targets.sort_unstable();
+            assert_eq!(targets, (0..q).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (5, 8), (100, 9), (0, 4)] {
+            let mut covered = 0;
+            for i in 0..p {
+                let r = chunk(n, p, i);
+                assert_eq!(r.start, covered, "chunks are contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "chunks cover all items");
+        }
+    }
+
+    #[test]
+    fn chunk_owner_matches_chunk() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (100, 9), (64, 8)] {
+            for idx in 0..n {
+                let owner = chunk_owner(n, p, idx);
+                assert!(chunk(n, p, owner).contains(&idx), "n={n} p={p} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_counts_partition_the_keys() {
+        let keys = [1u32, 3, 5, 7, 9, 11];
+        let splitters = [4u32, 8];
+        assert_eq!(bucket_counts(&keys, &splitters), vec![2, 2, 2]);
+        // All keys below the first splitter.
+        assert_eq!(bucket_counts(&[0, 1], &splitters), vec![2, 0, 0]);
+        // Boundary keys go right (splitters are inclusive lower bounds).
+        assert_eq!(bucket_counts(&[4, 8], &splitters), vec![0, 1, 1]);
+        // No splitters: one bucket.
+        assert_eq!(bucket_counts(&keys, &[]), vec![6]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Common result type for algorithm executions.
+
+use pcm_core::SimTime;
+use pcm_models::StepFacts;
+use pcm_sim::{RunBreakdown, SuperstepTrace};
+
+/// Outcome of running an algorithm on a simulated machine.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total simulated time.
+    pub time: SimTime,
+    /// Compute/communication split and message counts.
+    pub breakdown: RunBreakdown,
+    /// `true` if the computed result matched the sequential reference
+    /// (always checked — a reproduction that computes garbage fast is not
+    /// a reproduction).
+    pub verified: bool,
+    /// Algorithm-specific extra measurements (e.g. the observed maximum
+    /// bucket size `M_max` in sample sort).
+    pub stats: RunStats,
+}
+
+/// Optional per-algorithm measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Maximum keys in any bucket (sample sort).
+    pub max_bucket: usize,
+    /// Megaflops achieved (matrix multiplication).
+    pub mflops: f64,
+}
+
+/// Converts simulator traces into the facts the model accountant needs.
+pub fn step_facts(traces: &[SuperstepTrace]) -> Vec<StepFacts> {
+    traces
+        .iter()
+        .map(|t| StepFacts {
+            h_send: t.h_send,
+            h_recv: t.h_recv,
+            active: t.active,
+            block_steps: t.block_steps,
+            block_bytes_sum: t.block_bytes_sum,
+            compute_us: t.compute.as_micros(),
+        })
+        .collect()
+}
+
+impl RunResult {
+    /// Builds a result, asserting nothing.
+    pub fn new(time: SimTime, breakdown: RunBreakdown, verified: bool) -> Self {
+        RunResult {
+            time,
+            breakdown,
+            verified,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Attaches stats.
+    pub fn with_stats(mut self, stats: RunStats) -> Self {
+        self.stats = stats;
+        self
+    }
+}

@@ -1,0 +1,7 @@
+//! Sorting: the local radix sort, bitonic sort and sample sort of the
+//! paper's Section 4.2/4.3.
+
+pub mod bitonic;
+pub mod parallel_radix;
+pub mod radix;
+pub mod sample;

@@ -1,0 +1,151 @@
+//! The 8-bit LSD radix sort used as the local sort on every platform
+//! (paper Section 4.2.1): `T_local_sort = (b/r)·(beta·2^r + gamma·n)` with
+//! `b = 32` key bits and radix `2^8`.
+
+/// Key width in bits.
+pub const KEY_BITS: usize = 32;
+/// Digit width in bits.
+pub const RADIX_BITS: usize = 8;
+
+/// Sorts `keys` in place with a least-significant-digit radix sort,
+/// 8 bits per pass.
+pub fn radix_sort(keys: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut aux: Vec<u32> = vec![0; n];
+    let radix = 1usize << RADIX_BITS;
+    let mask = (radix - 1) as u32;
+    for pass in 0..(KEY_BITS / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let mut counts = vec![0usize; radix];
+        for &k in keys.iter() {
+            counts[((k >> shift) & mask) as usize] += 1;
+        }
+        let mut pos = 0usize;
+        for c in counts.iter_mut() {
+            let start = pos;
+            pos += *c;
+            *c = start;
+        }
+        for &k in keys.iter() {
+            let d = ((k >> shift) & mask) as usize;
+            aux[counts[d]] = k;
+            counts[d] += 1;
+        }
+        std::mem::swap(keys, &mut aux);
+    }
+}
+
+/// Merges two ascending lists and keeps the `keep` smallest
+/// (`low = true`) or largest (`low = false`) elements — the compare-split
+/// step of bitonic sort on blocks.
+pub fn merge_split(a: &[u32], b: &[u32], keep: usize, low: bool) -> Vec<u32> {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    let mut out = Vec::with_capacity(keep);
+    if low {
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < keep {
+            if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+                out.push(a[i]);
+                i += 1;
+            } else if j < b.len() {
+                out.push(b[j]);
+                j += 1;
+            } else {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (a.len(), b.len());
+        while out.len() < keep {
+            if i > 0 && (j == 0 || a[i - 1] >= b[j - 1]) {
+                out.push(a[i - 1]);
+                i -= 1;
+            } else if j > 0 {
+                out.push(b[j - 1]);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        out.reverse();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_core::rng::{random_keys, seeded};
+
+    #[test]
+    fn radix_sorts_random_keys() {
+        let mut rng = seeded(4);
+        for n in [0usize, 1, 2, 100, 4096] {
+            let mut keys = random_keys(n, &mut rng);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            radix_sort(&mut keys);
+            assert_eq!(keys, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn radix_handles_extremes() {
+        let mut keys = vec![u32::MAX, 0, u32::MAX, 1, 0];
+        radix_sort(&mut keys);
+        assert_eq!(keys, vec![0, 0, 1, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn merge_split_keeps_extremes() {
+        let a = vec![1u32, 4, 7];
+        let b = vec![2u32, 3, 9];
+        assert_eq!(merge_split(&a, &b, 3, true), vec![1, 2, 3]);
+        assert_eq!(merge_split(&a, &b, 3, false), vec![4, 7, 9]);
+        // Union of both halves is the whole multiset.
+        let mut all = merge_split(&a, &b, 3, true);
+        all.extend(merge_split(&a, &b, 3, false));
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn merge_split_short_inputs() {
+        assert_eq!(merge_split(&[5], &[], 1, true), vec![5]);
+        assert_eq!(merge_split(&[], &[7], 1, false), vec![7]);
+        assert_eq!(merge_split(&[], &[], 0, true), Vec::<u32>::new());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn radix_matches_std_sort(mut keys in proptest::collection::vec(proptest::prelude::any::<u32>(), 0..500)) {
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            radix_sort(&mut keys);
+            proptest::prop_assert_eq!(keys, expect);
+        }
+
+        #[test]
+        fn merge_split_is_a_partition(mut a in proptest::collection::vec(proptest::prelude::any::<u32>(), 0..100),
+                                      mut b in proptest::collection::vec(proptest::prelude::any::<u32>(), 0..100)) {
+            a.sort_unstable();
+            b.sort_unstable();
+            let keep = a.len();
+            let lo = merge_split(&a, &b, keep, true);
+            let hi = merge_split(&a, &b, a.len() + b.len() - keep, false);
+            let mut union: Vec<u32> = lo.iter().chain(hi.iter()).copied().collect();
+            union.sort_unstable();
+            let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(union, expect);
+            // Every low element <= every high element.
+            if let (Some(&max_lo), Some(&min_hi)) = (lo.last(), hi.first()) {
+                proptest::prop_assert!(max_lo <= min_hi);
+            }
+        }
+    }
+}

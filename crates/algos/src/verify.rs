@@ -1,0 +1,185 @@
+//! Sequential reference implementations and result checkers.
+//!
+//! Every parallel algorithm in this crate really computes its result on the
+//! simulated machine; these helpers confirm the result against a
+//! uniprocessor reference. Full verification is used for small problem
+//! sizes; for large sweeps the matrix checks sample random rows (still a
+//! real check, just a cheaper one).
+
+use pcm_core::rng::seeded;
+use rand::prelude::*;
+
+/// Dense sequential matrix multiplication `C = A·B` (`n x n`, row-major).
+pub fn matmul_reference(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Checks `c ≈ a·b` on `rows` randomly sampled rows (all rows when
+/// `rows >= n`). Tolerance is relative to the magnitude of the entries.
+pub fn spot_check_matmul(
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    n: usize,
+    rows: usize,
+    seed: u64,
+) -> bool {
+    let mut rng = seeded(seed);
+    let row_ids: Vec<usize> = if rows >= n {
+        (0..n).collect()
+    } else {
+        (0..rows).map(|_| rng.random_range(0..n)).collect()
+    };
+    for &i in &row_ids {
+        // expected row i = sum_k a[i][k] * b[k][*]
+        let mut expect = vec![0.0f64; n];
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let brow = &b[k * n..(k + 1) * n];
+            for j in 0..n {
+                expect[j] += aik * brow[j];
+            }
+        }
+        for j in 0..n {
+            let got = c[i * n + j];
+            let want = expect[j];
+            let tol = 1e-9 * (1.0 + want.abs());
+            if (got - want).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if `keys` is the sorted permutation of `original`.
+pub fn check_sorted_permutation(original: &[u32], keys: &[u32]) -> bool {
+    if keys.len() != original.len() {
+        return false;
+    }
+    if keys.windows(2).any(|w| w[0] > w[1]) {
+        return false;
+    }
+    let mut expect = original.to_vec();
+    expect.sort_unstable();
+    expect == keys
+}
+
+/// Sequential Floyd–Warshall on a row-major `n x n` distance matrix
+/// (in-place semantics, returns the closure).
+pub fn floyd_reference(d: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(d.len(), n * n);
+    let mut m = d.to_vec();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = m[i * n + k];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let alt = dik + m[k * n + j];
+                if alt < m[i * n + j] {
+                    m[i * n + j] = alt;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Compares two distance matrices entry-wise (infinities must match).
+pub fn check_distances(expect: &[f64], got: &[f64]) -> bool {
+    expect.len() == got.len()
+        && expect.iter().zip(got).all(|(&e, &g)| {
+            if e.is_infinite() {
+                g.is_infinite()
+            } else {
+                (e - g).abs() <= 1e-9 * (1.0 + e.abs())
+            }
+        })
+}
+
+/// Deterministic pseudo-random `n x n` matrix with entries in `[-1, 1)`.
+pub fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = seeded(seed);
+    (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matmul_identity() {
+        let n = 4;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a = random_matrix(n, 1);
+        assert_eq!(matmul_reference(&a, &eye, n), a);
+        assert_eq!(matmul_reference(&eye, &a, n), a);
+    }
+
+    #[test]
+    fn spot_check_accepts_correct_and_rejects_wrong() {
+        let n = 16;
+        let a = random_matrix(n, 2);
+        let b = random_matrix(n, 3);
+        let c = matmul_reference(&a, &b, n);
+        assert!(spot_check_matmul(&a, &b, &c, n, 4, 7));
+        assert!(spot_check_matmul(&a, &b, &c, n, n, 7), "full check");
+        let mut bad = c.clone();
+        bad[5 * n + 5] += 0.5;
+        assert!(!spot_check_matmul(&a, &b, &bad, n, n, 7));
+    }
+
+    #[test]
+    fn sorted_permutation_checker() {
+        assert!(check_sorted_permutation(&[3, 1, 2], &[1, 2, 3]));
+        assert!(!check_sorted_permutation(&[3, 1, 2], &[1, 3, 2]), "unsorted");
+        assert!(!check_sorted_permutation(&[3, 1, 2], &[1, 2, 4]), "wrong multiset");
+        assert!(!check_sorted_permutation(&[3, 1], &[1, 2, 3]), "wrong length");
+        assert!(check_sorted_permutation(&[], &[]));
+    }
+
+    #[test]
+    fn floyd_reference_small_graph() {
+        let inf = f64::INFINITY;
+        // 0 -> 1 (1), 1 -> 2 (2), 0 -> 2 (10): shortest 0->2 is 3.
+        let d = vec![
+            0.0, 1.0, 10.0, //
+            inf, 0.0, 2.0, //
+            inf, inf, 0.0,
+        ];
+        let m = floyd_reference(&d, 3);
+        assert_eq!(m[2], 3.0);
+        assert!(m[3].is_infinite(), "1 cannot reach 0");
+        assert!(check_distances(&m, &m));
+        let mut bad = m.clone();
+        bad[2] = 4.0;
+        assert!(!check_distances(&m, &bad));
+    }
+
+    #[test]
+    fn random_matrix_is_deterministic() {
+        assert_eq!(random_matrix(8, 9), random_matrix(8, 9));
+        assert_ne!(random_matrix(8, 9), random_matrix(8, 10));
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmarks of the calibration pipeline: microbenchmark execution and
+//! least-squares fitting per machine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pcm_calibrate::{fit_gl, fit_sigma_ell, fit_t_unb};
+use pcm_machines::Platform;
+
+const SEED: u64 = 5;
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {
+        g.bench_with_input(
+            BenchmarkId::new("fit_gl", plat.name()),
+            &plat,
+            |b, plat| b.iter(|| fit_gl(plat, 1, SEED)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fit_sigma_ell", plat.name()),
+            &plat,
+            |b, plat| b.iter(|| fit_sigma_ell(plat, 1, SEED)),
+        );
+    }
+    g.bench_function("fit_t_unb/MasPar", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| fit_t_unb(&plat, 1, SEED));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! One benchmark per paper table/figure: measures the wall-clock cost of
+//! the representative kernel behind each reproduced artifact (reduced
+//! problem sizes — the full sweeps live in the `reproduce` binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pcm_algos::apsp::{self, ApspVariant};
+use pcm_algos::matmul::{self, MatmulVariant};
+use pcm_algos::sort::bitonic::{self, ExchangeMode};
+use pcm_algos::sort::sample::{self, SampleVariant};
+use pcm_algos::vendor;
+use pcm_calibrate::microbench;
+use pcm_machines::Platform;
+
+const SEED: u64 = 77;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    // Table 1 / Fig. 1: MasPar 1-h relations.
+    g.bench_function("table1_fig01_one_h_relation", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| microbench::one_h_relation(&plat, 16, 1, SEED));
+    });
+
+    // Fig. 2: partial permutations.
+    g.bench_function("fig02_partial_permutation", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| microbench::partial_permutation(&plat, 256, 1, SEED));
+    });
+
+    // Fig. 3: MP-BSP matmul on the MasPar.
+    g.bench_function("fig03_maspar_matmul_words", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| matmul::run(&plat, 100, MatmulVariant::BspStaggered, SEED));
+    });
+
+    // Fig. 4: naive vs staggered on the CM-5 (benches the naive kernel).
+    g.bench_function("fig04_cm5_matmul_naive", |b| {
+        let plat = Platform::cm5();
+        b.iter(|| matmul::run(&plat, 128, MatmulVariant::BspNaive, SEED));
+    });
+
+    // Fig. 5: MasPar bitonic, word exchange.
+    g.bench_function("fig05_maspar_bitonic_words", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| bitonic::run(&plat, 64, ExchangeMode::Words, SEED));
+    });
+
+    // Fig. 6: GCel bitonic with resynchronization.
+    g.bench_function("fig06_gcel_bitonic_resync", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| bitonic::run(&plat, 512, ExchangeMode::WordsResync { interval: 256 }, SEED));
+    });
+
+    // Fig. 7: h-h permutations.
+    g.bench_function("fig07_hh_permutation", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| microbench::hh_permutation(&plat, 800, None, SEED));
+    });
+
+    // Fig. 8: MP-BPRAM matmul on the MasPar.
+    g.bench_function("fig08_maspar_matmul_blocks", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| matmul::run(&plat, 100, MatmulVariant::Bpram, SEED));
+    });
+
+    // Fig. 9: MP-BPRAM matmul on the CM-5.
+    g.bench_function("fig09_cm5_matmul_blocks", |b| {
+        let plat = Platform::cm5();
+        b.iter(|| matmul::run(&plat, 128, MatmulVariant::Bpram, SEED));
+    });
+
+    // Fig. 10/11: block bitonic on MasPar / GCel.
+    g.bench_function("fig10_maspar_bitonic_blocks", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| bitonic::run(&plat, 64, ExchangeMode::Block, SEED));
+    });
+    g.bench_function("fig11_gcel_bitonic_blocks", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| bitonic::run(&plat, 512, ExchangeMode::Block, SEED));
+    });
+
+    // Fig. 12: APSP on the MasPar (doubling + ring path).
+    g.bench_function("fig12_maspar_apsp", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| apsp::run(&plat, 64, ApspVariant::Words, SEED));
+    });
+
+    // Fig. 13: APSP on the GCel.
+    g.bench_function("fig13_gcel_apsp", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| apsp::run(&plat, 64, ApspVariant::Words, SEED));
+    });
+
+    // Fig. 14: multinode scatters.
+    g.bench_function("fig14_multinode_scatter", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| microbench::multinode_scatter(&plat, 28, 1, SEED));
+    });
+
+    // Fig. 15: APSP on the CM-5.
+    g.bench_function("fig15_cm5_apsp", |b| {
+        let plat = Platform::cm5();
+        b.iter(|| apsp::run(&plat, 64, ApspVariant::Words, SEED));
+    });
+
+    // Fig. 16: BSP vs BPRAM Mflops kernel (benches the staggered variant).
+    g.bench_function("fig16_cm5_matmul_staggered", |b| {
+        let plat = Platform::cm5();
+        b.iter(|| matmul::run(&plat, 128, MatmulVariant::BspStaggered, SEED));
+    });
+
+    // Fig. 17: the word/block bitonic pair at the comparison size.
+    g.bench_function("fig17_maspar_bitonic_pair", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| {
+            let w = bitonic::run(&plat, 64, ExchangeMode::Words, SEED);
+            let k = bitonic::run(&plat, 64, ExchangeMode::Block, SEED);
+            (w.time, k.time)
+        });
+    });
+
+    // Fig. 18: sample sort on the GCel.
+    g.bench_function("fig18_gcel_sample_sort", |b| {
+        let plat = Platform::gcel();
+        b.iter(|| sample::run(&plat, 256, 32, SampleVariant::Bpram, SEED));
+    });
+
+    // Fig. 19: the MasPar matmul intrinsic analogue.
+    g.bench_function("fig19_maspar_intrinsic", |b| {
+        let plat = Platform::maspar();
+        b.iter(|| vendor::maspar_matmul(&plat, 128, SEED));
+    });
+
+    // Fig. 20: the CMSSL analogue.
+    g.bench_function("fig20_cmssl_matmul", |b| {
+        let plat = Platform::cm5();
+        b.iter(|| vendor::cmssl_matmul(&plat, 128, SEED));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

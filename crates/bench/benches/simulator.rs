@@ -1,0 +1,82 @@
+//! Raw simulator throughput: superstep dispatch, message delivery, router
+//! pass simulation, pattern segmentation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pcm_core::rng::{random_permutation, seeded};
+use pcm_machines::maspar::router::DeltaRouter;
+use pcm_machines::Platform;
+use pcm_sim::{IdealNetwork, Machine, UniformCompute};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    // Superstep dispatch overhead at three machine sizes.
+    for p in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("noop_superstep", p), &p, |b, &p| {
+            let mut m = Machine::new(
+                Box::new(IdealNetwork),
+                Arc::new(UniformCompute::test_model()),
+                vec![0u64; p],
+                1,
+            );
+            m.set_tracing(false);
+            b.iter(|| m.superstep(|ctx| ctx.charge(1.0)));
+        });
+    }
+
+    // Neighbour exchange: P messages of 64 words per superstep.
+    g.bench_function("exchange_superstep/1024", |b| {
+        let mut m = Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![vec![0u32; 64]; 1024],
+            1,
+        );
+        m.set_tracing(false);
+        b.iter(|| {
+            m.superstep(|ctx| {
+                let dst = (ctx.pid() + 1) % ctx.nprocs();
+                let data = ctx.state.clone();
+                ctx.send_block_u32(dst, &data);
+            })
+        });
+    });
+
+    // MasPar delta-router pass simulation for a random permutation.
+    g.bench_function("delta_router_permutation/1024", |b| {
+        let router = DeltaRouter::new(1024);
+        let perm = random_permutation(1024, &mut seeded(3));
+        let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+        b.iter(|| router.route(&sends));
+    });
+
+    // End-to-end pricing of a word superstep on each machine model.
+    for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {
+        g.bench_with_input(
+            BenchmarkId::new("priced_superstep", plat.name()),
+            &plat,
+            |b, plat| {
+                let mut m = plat.machine(vec![0u8; plat.p()], 2);
+                m.set_tracing(false);
+                b.iter(|| {
+                    m.superstep(|ctx| {
+                        let dst = (ctx.pid() * 7 + 3) % ctx.nprocs();
+                        ctx.send_words_u32(dst, &[1, 2, 3, 4]);
+                    })
+                });
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

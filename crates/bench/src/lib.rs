@@ -1,0 +1,14 @@
+//! # pcm-bench — criterion benchmark harness
+//!
+//! Wall-clock benchmarks of the reproduction pipeline:
+//!
+//! * `benches/figures.rs` — one benchmark per paper figure/table kernel,
+//! * `benches/calibration.rs` — the microbenchmark + fitting pipeline,
+//! * `benches/simulator.rs` — raw simulator throughput (supersteps,
+//!   message delivery, router passes),
+//! * `benches/ablation.rs` — design-choice ablations (rayon fan-out,
+//!   contention factor, drift threshold, oversampling ratio).
+//!
+//! These measure *wall-clock* cost of running the simulation; the
+//! *simulated* times the paper cares about come from the `reproduce`
+//! binary in `pcm-experiments`.

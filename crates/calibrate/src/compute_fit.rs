@@ -1,0 +1,102 @@
+//! Local-computation coefficient fitting.
+//!
+//! The paper determines the radix-sort coefficients `beta`/`gamma` and the
+//! compound-op rate `alpha` "empirically on each platform". This module
+//! does the same against the simulated machines: it times local sorts,
+//! merges and matrix kernels through the ordinary superstep interface and
+//! fits the coefficients back out — a consistency check that the machine
+//! compute models and the analytic parameters used by the predictions
+//! agree (if someone retunes one side and not the other, these fits and
+//! their tests catch it).
+
+use pcm_core::fit::{linear_fit, LinearFit};
+use pcm_machines::Platform;
+
+/// Times a compute-only superstep in which every processor charges a local
+/// radix sort of `n` keys; returns the superstep's compute time in µs.
+fn time_radix(platform: &Platform, n: usize, seed: u64) -> f64 {
+    let mut machine = platform.machine(vec![(); platform.p()], seed);
+    machine.superstep(|ctx| {
+        ctx.charge_radix_sort(n, 32, 8);
+    });
+    machine.breakdown().compute.as_micros()
+}
+
+/// Fitted radix-sort coefficients.
+#[derive(Clone, Copy, Debug)]
+pub struct RadixFit {
+    /// Per-bucket-slot coefficient `beta` (µs).
+    pub beta: f64,
+    /// Per-key coefficient `gamma` (µs).
+    pub gamma: f64,
+}
+
+/// Recovers `beta` and `gamma` from timed local sorts:
+/// `T = (b/r)·(beta·2^r + gamma·n)` is linear in `n`.
+pub fn fit_radix_coeffs(platform: &Platform, seed: u64) -> RadixFit {
+    let ns = [256usize, 1024, 4096, 16384];
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let ys: Vec<f64> = ns.iter().map(|&n| time_radix(platform, n, seed)).collect();
+    let f: LinearFit = linear_fit(&xs, &ys);
+    let passes = 32.0 / 8.0;
+    RadixFit {
+        gamma: f.slope / passes,
+        beta: f.intercept / (passes * 256.0),
+    }
+}
+
+/// Recovers the effective compound-op time of the local matmul kernel at a
+/// given square size by timing a charged kernel call.
+pub fn fit_matmul_alpha(platform: &Platform, n: usize, seed: u64) -> f64 {
+    let mut machine = platform.machine(vec![(); platform.p()], seed);
+    machine.superstep(|ctx| {
+        ctx.charge_matmul(n, n, n);
+    });
+    machine.breakdown().compute.as_micros() / (n as f64).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_coefficients_round_trip_on_every_machine() {
+        for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {
+            let params = plat.model_params();
+            let f = fit_radix_coeffs(&plat, 3);
+            assert!(
+                (f.gamma - params.radix_gamma).abs() / params.radix_gamma < 1e-6,
+                "{}: gamma {} vs {}",
+                plat.name(),
+                f.gamma,
+                params.radix_gamma
+            );
+            assert!(
+                (f.beta - params.radix_beta).abs() / params.radix_beta < 1e-6,
+                "{}: beta {} vs {}",
+                plat.name(),
+                f.beta,
+                params.radix_beta
+            );
+        }
+    }
+
+    #[test]
+    fn maspar_kernel_rate_matches_alpha_mm() {
+        let plat = Platform::maspar();
+        let a = fit_matmul_alpha(&plat, 32, 1);
+        assert!((a - plat.model_params().alpha_mm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cm5_kernel_rate_follows_the_cache_curve() {
+        let plat = Platform::cm5();
+        // Sweet spot: ~0.29 µs (7.0 Mflops); tiny blocks are slower.
+        let mid = fit_matmul_alpha(&plat, 64, 1);
+        assert!((mid - 2.0 / 7.0).abs() < 0.01, "mid = {mid}");
+        let tiny = fit_matmul_alpha(&plat, 8, 1);
+        assert!(tiny > mid, "tiny blocks pay loop overhead");
+        let huge = fit_matmul_alpha(&plat, 512, 1);
+        assert!(huge > mid, "cache pathology at 512");
+    }
+}

@@ -1,0 +1,207 @@
+//! Parameter fitting: recovers the Table 1 machine parameters from the
+//! microbenchmarks, exactly as the paper derived them from measurements.
+
+use pcm_core::fit::{linear_fit, sqrt_poly_fit, LinearFit, SqrtPolyFit};
+use pcm_core::Table;
+use pcm_machines::{Platform, PlatformKind};
+
+use crate::microbench;
+
+/// Fitted (MP-)BSP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BspFit {
+    /// Bandwidth factor `g` (µs per word message).
+    pub g: f64,
+    /// Latency/synchronization cost `L` (µs).
+    pub l: f64,
+    /// Goodness of fit.
+    pub r_squared: f64,
+}
+
+/// Fitted MP-BPRAM parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BpramFit {
+    /// Per-byte cost `sigma` (µs/byte).
+    pub sigma: f64,
+    /// Message startup `ell` (µs).
+    pub ell: f64,
+    /// Goodness of fit.
+    pub r_squared: f64,
+}
+
+/// Fits `g` and `L` by timing h-relations and fitting a straight line, as
+/// the paper does: 1-h relations on the MasPar (Fig. 1), randomly
+/// generated full h-relations on the GCel and CM-5.
+pub fn fit_gl(platform: &Platform, trials: usize, seed: u64) -> BspFit {
+    let hs: Vec<usize> = match platform.kind() {
+        PlatformKind::MasPar => vec![1, 2, 4, 8, 16, 32, 64],
+        _ => vec![1, 2, 4, 8, 16, 24, 32],
+    };
+    let mut xs = Vec::with_capacity(hs.len());
+    let mut ys = Vec::with_capacity(hs.len());
+    for &h in &hs {
+        let s = match platform.kind() {
+            PlatformKind::MasPar => microbench::one_h_relation(platform, h, trials, seed),
+            _ => microbench::full_h_relation(platform, h, trials, seed),
+        };
+        xs.push(h as f64);
+        ys.push(s.mean);
+    }
+    let f: LinearFit = linear_fit(&xs, &ys);
+    BspFit {
+        g: f.slope,
+        l: f.intercept,
+        r_squared: f.r_squared,
+    }
+}
+
+/// Fits `sigma` and `ell` by timing full block permutations over a range
+/// of message sizes and fitting a straight line; the barrier cost is
+/// subtracted so the intercept isolates the message startup.
+pub fn fit_sigma_ell(platform: &Platform, trials: usize, seed: u64) -> BpramFit {
+    let w = platform.word();
+    let sizes: Vec<usize> = [64usize, 256, 1024, 4096, 16384]
+        .iter()
+        .map(|&b| b * w / 4)
+        .collect();
+    let barrier = microbench::barrier_time(platform, seed).as_micros();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &bytes in &sizes {
+        let s = microbench::block_permutation(platform, bytes, trials, seed);
+        xs.push(bytes as f64);
+        ys.push(s.mean - barrier);
+    }
+    let f = linear_fit(&xs, &ys);
+    BpramFit {
+        sigma: f.slope,
+        ell: f.intercept,
+        r_squared: f.r_squared,
+    }
+}
+
+/// Fits the MasPar partial-permutation cost
+/// `T_unb(P') = a·P' + b·sqrt(P') + c` (paper Section 3.1).
+pub fn fit_t_unb(platform: &Platform, trials: usize, seed: u64) -> SqrtPolyFit {
+    let p = platform.p();
+    let actives: Vec<usize> = (0..=5).map(|i| p >> i).filter(|&a| a >= 16).collect();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let barrier = microbench::barrier_time(platform, seed).as_micros();
+    for &a in &actives {
+        let s = microbench::partial_permutation(platform, a, trials, seed);
+        xs.push(a as f64);
+        ys.push(s.mean - barrier);
+    }
+    sqrt_poly_fit(&xs, &ys)
+}
+
+/// Fits the GCel multinode-scatter coefficient `g_mscat` (Fig. 14).
+pub fn fit_g_mscat(platform: &Platform, trials: usize, seed: u64) -> BspFit {
+    let hs = [7usize, 14, 28, 56];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &h in &hs {
+        let s = microbench::multinode_scatter(platform, h, trials, seed);
+        xs.push(h as f64);
+        ys.push(s.mean);
+    }
+    let f = linear_fit(&xs, &ys);
+    BspFit {
+        g: f.slope,
+        l: f.intercept,
+        r_squared: f.r_squared,
+    }
+}
+
+/// Reproduces Table 1: the (MP-)BSP and MP-BPRAM parameters of all three
+/// machines, as measured on the simulators.
+pub fn table1(trials: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Table 1",
+        "Summary of the (MP-)BSP and MP-BPRAM parameters (measured on the \
+         simulated machines; paper values in parentheses)",
+        vec![
+            "Architecture".into(),
+            "P".into(),
+            "g".into(),
+            "L".into(),
+            "sigma".into(),
+            "ell".into(),
+        ],
+    );
+    for (platform, paper) in [
+        (Platform::maspar(), (32.2, 1400.0, 107.0, 630.0)),
+        (Platform::gcel(), (4480.0, 5100.0, 9.3, 6900.0)),
+        (Platform::cm5(), (9.1, 45.0, 0.27, 75.0)),
+    ] {
+        let gl = fit_gl(&platform, trials, seed);
+        let se = fit_sigma_ell(&platform, trials, seed);
+        t.push_row(vec![
+            platform.name().to_string(),
+            platform.p().to_string(),
+            format!("{:.1} ({})", gl.g, paper.0),
+            format!("{:.0} ({})", gl.l, paper.1),
+            format!("{:.2} ({})", se.sigma, paper.2),
+            format!("{:.0} ({})", se.ell, paper.3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm5_fit_recovers_table1_closely() {
+        let f = fit_gl(&Platform::cm5(), 3, 1);
+        assert!((f.g - 9.1).abs() < 0.7, "g = {}", f.g);
+        assert!((f.l - 45.0).abs() < 20.0, "L = {}", f.l);
+        assert!(f.r_squared > 0.99);
+        let b = fit_sigma_ell(&Platform::cm5(), 3, 1);
+        assert!((b.sigma - 0.27).abs() < 0.03, "sigma = {}", b.sigma);
+        assert!((b.ell - 75.0).abs() < 30.0, "ell = {}", b.ell);
+    }
+
+    #[test]
+    fn gcel_fit_recovers_table1_closely() {
+        let f = fit_gl(&Platform::gcel(), 3, 2);
+        assert!((f.g - 4480.0).abs() / 4480.0 < 0.1, "g = {}", f.g);
+        assert!((f.l - 5100.0).abs() < 2500.0, "L = {}", f.l);
+        let b = fit_sigma_ell(&Platform::gcel(), 3, 2);
+        assert!((b.sigma - 9.3).abs() / 9.3 < 0.1, "sigma = {}", b.sigma);
+        assert!((b.ell - 6900.0).abs() / 6900.0 < 0.3, "ell = {}", b.ell);
+    }
+
+    #[test]
+    fn maspar_fit_is_in_the_right_regime() {
+        // The delta-network mechanism reproduces the shape; tolerances are
+        // wider because Fig. 1 itself "is not completely linear".
+        let f = fit_gl(&Platform::maspar(), 4, 3);
+        assert!(f.g > 20.0 && f.g < 55.0, "g = {}", f.g);
+        assert!(f.l > 700.0 && f.l < 2100.0, "L = {}", f.l);
+        let b = fit_sigma_ell(&Platform::maspar(), 3, 3);
+        assert!((b.sigma - 107.0).abs() / 107.0 < 0.25, "sigma = {}", b.sigma);
+    }
+
+    #[test]
+    fn t_unb_fit_matches_the_papers_polynomial_shape() {
+        let f = fit_t_unb(&Platform::maspar(), 4, 4);
+        // Paper: 0.84·P' + 11.8·sqrt(P') + 73.3. The linear coefficient is
+        // the strongly identified one.
+        assert!((f.a - 0.84).abs() < 0.4, "a = {}", f.a);
+        // Full permutation lands near 1300 µs.
+        let full = f.eval(1024.0);
+        assert!((full - 1311.0).abs() < 250.0, "T_unb(1024) = {full}");
+        // 32 active PEs near the paper's 13% ratio.
+        let ratio = f.eval(32.0) / full;
+        assert!(ratio > 0.05 && ratio < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn g_mscat_is_an_order_cheaper_than_g() {
+        let f = fit_g_mscat(&Platform::gcel(), 2, 5);
+        assert!((f.g - 492.0).abs() < 100.0, "g_mscat = {}", f.g);
+    }
+}

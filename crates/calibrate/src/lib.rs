@@ -1,0 +1,14 @@
+//! # pcm-calibrate — machine-parameter calibration
+//!
+//! The microbenchmarks of Section 3 of the paper ([`microbench`]) and the
+//! least-squares fits that turn their timings into the Table 1 parameters
+//! ([`fit`]): `g`/`L` from (1-)h-relations, `sigma`/`ell` from full block
+//! permutations, the MasPar `T_unb` polynomial from partial permutations
+//! and the GCel `g_mscat` from multinode scatters.
+
+pub mod compute_fit;
+pub mod fit;
+pub mod microbench;
+
+pub use compute_fit::{fit_matmul_alpha, fit_radix_coeffs, RadixFit};
+pub use fit::{fit_g_mscat, fit_gl, fit_sigma_ell, fit_t_unb, table1, BpramFit, BspFit};

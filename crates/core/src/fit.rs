@@ -1,0 +1,243 @@
+//! Least-squares curve fitting.
+//!
+//! The paper determines machine parameters by fitting straight lines to
+//! measured communication times (`g·h + L` for h-relations, `sigma·m + ell`
+//! for block messages) and a second-order polynomial in `sqrt(P')` for the
+//! MasPar partial-permutation cost
+//! `T_unb(P') = 0.84·P' + 11.8·sqrt(P') + 73.3 µs`.
+//! This module implements those fits on top of a small dense normal-equation
+//! solver.
+
+/// Result of a straight-line fit `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// # Panics
+/// Panics if fewer than two points are supplied or if all `x` are equal.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points for a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    assert!(sxx > 0.0, "degenerate fit: all x equal");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Result of fitting `y = a·x + b·sqrt(x) + c` — the functional form the
+/// paper uses for the MasPar partial-permutation time `T_unb`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SqrtPolyFit {
+    /// Coefficient of the linear term.
+    pub a: f64,
+    /// Coefficient of the `sqrt(x)` term.
+    pub b: f64,
+    /// Constant term.
+    pub c: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_residual: f64,
+}
+
+impl SqrtPolyFit {
+    /// Evaluates the fitted curve at `x >= 0`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x + self.b * x.sqrt() + self.c
+    }
+}
+
+/// Fits `y = a·x + b·sqrt(x) + c` by least squares.
+///
+/// # Panics
+/// Panics with fewer than three points, negative `x`, or a singular system
+/// (e.g. all `x` equal).
+pub fn sqrt_poly_fit(xs: &[f64], ys: &[f64]) -> SqrtPolyFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 3, "need at least three points");
+    assert!(xs.iter().all(|&x| x >= 0.0), "sqrt basis needs x >= 0");
+    let coeffs = basis_fit(xs, ys, &[|x| x, |x| x.sqrt(), |_| 1.0]);
+    let fit = SqrtPolyFit {
+        a: coeffs[0],
+        b: coeffs[1],
+        c: coeffs[2],
+        rms_residual: 0.0,
+    };
+    let ss: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = y - fit.eval(x);
+            r * r
+        })
+        .sum();
+    SqrtPolyFit {
+        rms_residual: (ss / xs.len() as f64).sqrt(),
+        ..fit
+    }
+}
+
+/// Least-squares fit of `y = sum_k coeff_k · basis_k(x)` for arbitrary basis
+/// functions, solving the normal equations by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Panics
+/// Panics when the normal equations are singular.
+pub fn basis_fit(xs: &[f64], ys: &[f64], basis: &[fn(f64) -> f64]) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let k = basis.len();
+    assert!(k >= 1, "need at least one basis function");
+    assert!(xs.len() >= k, "need at least as many points as coefficients");
+    // Normal equations: (B^T B) c = B^T y, with B[i][j] = basis_j(x_i).
+    let mut ata = vec![vec![0.0; k]; k];
+    let mut aty = vec![0.0; k];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let row: Vec<f64> = basis.iter().map(|f| f(x)).collect();
+        for i in 0..k {
+            aty[i] += row[i] * y;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    solve_dense(&mut ata, &mut aty)
+}
+
+/// Solves `A·x = b` in place via Gaussian elimination with partial pivoting.
+///
+/// # Panics
+/// Panics when `A` is (numerically) singular.
+#[allow(clippy::needless_range_loop)]
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        assert!(
+            a[pivot][col].abs() > 1e-12,
+            "singular system in least-squares fit"
+        );
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for c in row + 1..n {
+            s -= a[row][c] * x[c];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 32.2 * x + 1400.0).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 32.2).abs() < 1e-9);
+        assert!((f.intercept - 1400.0).abs() < 1e-6);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.eval(5.0) - (32.2 * 5.0 + 1400.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_with_noise_is_close() {
+        // Deterministic "noise" pattern.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 9.3 * x + 6900.0 + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 9.3).abs() < 0.05);
+        assert!((f.intercept - 6900.0).abs() < 10.0);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_fit_rejects_constant_x() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sqrt_poly_fit_recovers_t_unb_shape() {
+        // T_unb(P') = 0.84 P' + 11.8 sqrt(P') + 73.3 — the paper's fit.
+        let xs: Vec<f64> = (1..=32).map(|i| (i * 32) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.84 * x + 11.8 * x.sqrt() + 73.3).collect();
+        let f = sqrt_poly_fit(&xs, &ys);
+        assert!((f.a - 0.84).abs() < 1e-6, "a = {}", f.a);
+        assert!((f.b - 11.8).abs() < 1e-4, "b = {}", f.b);
+        assert!((f.c - 73.3).abs() < 1e-2, "c = {}", f.c);
+        assert!(f.rms_residual < 1e-6);
+        assert!((f.eval(1024.0) - (0.84 * 1024.0 + 11.8 * 32.0 + 73.3)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn basis_fit_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x * x - 3.0 * x + 7.0).collect();
+        let c = basis_fit(&xs, &ys, &[|x| x * x, |x| x, |_| 1.0]);
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] + 3.0).abs() < 1e-7);
+        assert!((c[2] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn basis_fit_rejects_duplicate_basis() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        basis_fit(&xs, &ys, &[|x| x, |x| x]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Foundation types shared by the `pcm` workspace.
+//!
+//! This crate deliberately knows nothing about parallel machines or cost
+//! models. It provides:
+//!
+//! * [`SimTime`] — simulated time in microseconds, the unit used throughout
+//!   Juurlink & Wijshoff (SPAA'96),
+//! * [`stats`] — summary statistics for repeated measurements,
+//! * [`fit`] — least-squares fitting (straight lines for `g`/`L` and
+//!   `sigma`/`ell`, and the `a·x + b·sqrt(x) + c` form used for the MasPar
+//!   partial-permutation cost `T_unb`),
+//! * [`series`] — typed data series / figures / tables with a plain-text
+//!   renderer used by the experiment harness,
+//! * [`plot`] — ASCII chart rendering for reproduced figures,
+//! * [`rng`] — deterministic seeded RNG helpers and permutation generators,
+//! * [`units`] — megaflops and byte/word conversion helpers.
+
+pub mod fit;
+pub mod plot;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use series::{DataPoint, Figure, Series, Table};
+pub use stats::Summary;
+pub use time::SimTime;

@@ -1,0 +1,210 @@
+//! ASCII chart rendering for reproduced figures.
+//!
+//! The paper's figures are log-scale line plots; the `reproduce` CLI
+//! renders each [`Figure`](crate::series::Figure) both as an aligned table
+//! (exact values) and as an ASCII chart (shape at a glance). One glyph per
+//! series, log or linear y-axis chosen from the data spread.
+
+use crate::series::Figure;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Chart dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct PlotSize {
+    /// Plot area width in columns (excluding the axis labels).
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+}
+
+impl Default for PlotSize {
+    fn default() -> Self {
+        PlotSize {
+            width: 64,
+            height: 18,
+        }
+    }
+}
+
+/// Renders the figure as an ASCII chart. Chooses a logarithmic y-axis when
+/// the data spans more than two decades (as most of the paper's plots do).
+/// Returns an empty string for figures without finite positive data.
+pub fn render_ascii(fig: &Figure, size: PlotSize) -> String {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in &fig.series {
+        for p in &s.points {
+            if p.x.is_finite() && p.y.is_finite() {
+                xs.push(p.x);
+                ys.push(p.y);
+            }
+        }
+    }
+    if xs.is_empty() {
+        return String::new();
+    }
+    let (x_min, x_max) = min_max(&xs);
+    let (y_min, y_max) = min_max(&ys);
+    let log_y = y_min > 0.0 && y_max / y_min.max(f64::MIN_POSITIVE) > 100.0;
+    let log_x = x_min > 0.0 && x_max / x_min.max(f64::MIN_POSITIVE) > 100.0;
+
+    let fx = |x: f64| -> f64 {
+        if log_x {
+            (x.ln() - x_min.ln()) / (x_max.ln() - x_min.ln()).max(f64::EPSILON)
+        } else {
+            (x - x_min) / (x_max - x_min).max(f64::EPSILON)
+        }
+    };
+    let fy = |y: f64| -> f64 {
+        if log_y {
+            (y.ln() - y_min.ln()) / (y_max.ln() - y_min.ln()).max(f64::EPSILON)
+        } else {
+            (y - y_min) / (y_max - y_min).max(f64::EPSILON)
+        }
+    };
+
+    let w = size.width.max(8);
+    let h = size.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for p in &s.points {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                continue;
+            }
+            if log_y && p.y <= 0.0 {
+                continue;
+            }
+            let col = (fx(p.x) * (w - 1) as f64).round() as usize;
+            let row = h - 1 - (fy(p.y) * (h - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(h - 1)][col.min(w - 1)];
+            // Later series overwrite — mark collisions distinctly.
+            *cell = if *cell == ' ' { glyph } else { '?' };
+        }
+    }
+
+    let mut out = String::new();
+    let y_label = |v: f64| format!("{v:>10.3e}");
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            y_label(y_max)
+        } else if ri == h - 1 {
+            y_label(y_min)
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>12}{:<w1$}{:>w2$}\n",
+        "",
+        format_axis(x_min),
+        format_axis(x_max),
+        w1 = w / 2,
+        w2 = w - w / 2,
+    ));
+    let scale = match (log_x, log_y) {
+        (true, true) => "log-log",
+        (false, true) => "lin-log",
+        (true, false) => "log-lin",
+        (false, false) => "lin-lin",
+    };
+    out.push_str(&format!("  [{scale}] legend: "));
+    for (si, s) in fig.series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push(GLYPHS[si % GLYPHS.len()]);
+        out.push(' ');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    out
+}
+
+fn min_max(vals: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+fn format_axis(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Figure, Series};
+
+    fn fig() -> Figure {
+        Figure::new("F", "test", "N", "µs")
+            .with(Series::from_points("a", [(1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)]))
+            .with(Series::from_points("b", [(1.0, 20.0), (2.0, 40.0), (3.0, 80.0)]))
+    }
+
+    #[test]
+    fn renders_a_grid_with_legend() {
+        let text = render_ascii(&fig(), PlotSize::default());
+        assert!(text.contains("legend: * a, o b"));
+        assert!(text.contains('|'));
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        // Height rows + axis + labels + legend.
+        assert!(text.lines().count() >= 20);
+    }
+
+    #[test]
+    fn empty_figure_renders_nothing() {
+        let f = Figure::new("F", "t", "x", "y");
+        assert_eq!(render_ascii(&f, PlotSize::default()), "");
+    }
+
+    #[test]
+    fn log_scale_kicks_in_for_wide_ranges() {
+        let wide = Figure::new("F", "t", "x", "y").with(Series::from_points(
+            "a",
+            [(1.0, 1.0), (2.0, 10_000.0)],
+        ));
+        let text = render_ascii(&wide, PlotSize::default());
+        assert!(text.contains("lin-log"), "{text}");
+        let narrow = Figure::new("F", "t", "x", "y")
+            .with(Series::from_points("a", [(1.0, 1.0), (2.0, 2.0)]));
+        let text = render_ascii(&narrow, PlotSize::default());
+        assert!(text.contains("lin-lin"));
+    }
+
+    #[test]
+    fn collisions_are_marked() {
+        let f = Figure::new("F", "t", "x", "y")
+            .with(Series::from_points("a", [(1.0, 5.0), (2.0, 6.0)]))
+            .with(Series::from_points("b", [(1.0, 5.0), (2.0, 7.0)]));
+        let text = render_ascii(&f, PlotSize::default());
+        assert!(text.contains('?'), "overlapping points show as ?");
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let f = Figure::new("F", "t", "x", "y")
+            .with(Series::from_points("a", [(5.0, 5.0)]));
+        let text = render_ascii(&f, PlotSize::default());
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component in the workspace (router jitter, random
+//! communication patterns, workload generation) draws from a seeded
+//! [`StdRng`], so any experiment reruns bit-for-bit. The helpers here cover
+//! the pattern generators the calibration suite needs: full and partial
+//! permutations, h-relation destination draws, and Gaussian jitter.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Creates a deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index, so that
+/// independent components get decorrelated but reproducible streams.
+pub fn child_seed(parent: u64, stream: u64) -> u64 {
+    // SplitMix64 finalizer — cheap, well-mixed, reproducible.
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniformly random permutation of `0..n`: `result[i]` is the destination
+/// of processor `i`.
+pub fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+/// A random *partial* permutation with `active` senders out of `n`
+/// processors: returns `(senders, receivers)` of equal length, both without
+/// duplicates, as in the paper's MasPar `T_unb` experiment.
+pub fn random_partial_permutation(
+    n: usize,
+    active: usize,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(active <= n, "cannot activate more processors than exist");
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    let senders = ids[..active].to_vec();
+    ids.shuffle(rng);
+    let receivers = ids[..active].to_vec();
+    (senders, receivers)
+}
+
+/// Destinations for a randomly generated full `h`-relation on `n`
+/// processors: every processor sends `h` messages and every processor
+/// receives exactly `h` messages (the pattern is `h` random permutations
+/// overlaid, which is how "randomly generated full h-relations" are
+/// realized in the GCel calibration).
+pub fn random_h_relation(n: usize, h: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut dests = vec![Vec::with_capacity(h); n];
+    for _ in 0..h {
+        let perm = random_permutation(n, rng);
+        for (src, &dst) in perm.iter().enumerate() {
+            dests[src].push(dst);
+        }
+    }
+    dests
+}
+
+/// Destinations for the MasPar 1-h relation experiment: the ACU picks
+/// `ceil(n / h)` random destinations; `floor(n/h)` of them receive `h`
+/// messages and the remaining destination receives the rest. Every
+/// processor sends exactly one message. Returns `dest[i]` for each sender.
+pub fn one_h_relation(n: usize, h: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(h >= 1 && h <= n);
+    let k = n.div_ceil(h);
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    let receivers = &ids[..k];
+    let mut dest = Vec::with_capacity(n);
+    for i in 0..n {
+        dest.push(receivers[i / h]);
+    }
+    // Randomize which senders hit which receiver so cluster placement varies.
+    dest.shuffle(rng);
+    dest
+}
+
+/// Gaussian jitter factor `max(0, 1 + cv·z)` with `z ~ N(0, 1)` via
+/// Box–Muller; used to perturb router round times.
+pub fn jitter(cv: f64, rng: &mut StdRng) -> f64 {
+    if cv == 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (1.0 + cv * z).max(0.0)
+}
+
+/// Uniformly random keys for sorting workloads.
+pub fn random_keys(n: usize, rng: &mut StdRng) -> Vec<u32> {
+    (0..n).map(|_| rng.random()).collect()
+}
+
+/// A random directed graph as an adjacency matrix of edge lengths for the
+/// APSP workload: `density` in `[0,1]` controls edge presence; absent edges
+/// are `f64::INFINITY`; the diagonal is zero.
+pub fn random_digraph(n: usize, density: f64, max_len: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut d = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+        for j in 0..n {
+            if i != j && rng.random_range(0.0..1.0) < density {
+                d[i * n + j] = rng.random_range(1.0..max_len);
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u32> = random_keys(16, &mut seeded(7));
+        let b: Vec<u32> = random_keys(16, &mut seeded(7));
+        assert_eq!(a, b);
+        let c: Vec<u32> = random_keys(16, &mut seeded(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn child_seeds_are_decorrelated() {
+        let s1 = child_seed(42, 0);
+        let s2 = child_seed(42, 1);
+        assert_ne!(s1, s2);
+        assert_eq!(child_seed(42, 1), s2, "deterministic");
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = seeded(1);
+        for n in [1usize, 2, 17, 64, 1024] {
+            let p = random_permutation(n, &mut rng);
+            let mut seen = vec![false; n];
+            for &d in &p {
+                assert!(!seen[d], "duplicate destination");
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn partial_permutation_has_distinct_endpoints() {
+        let mut rng = seeded(2);
+        let (s, r) = random_partial_permutation(64, 32, &mut rng);
+        assert_eq!(s.len(), 32);
+        assert_eq!(r.len(), 32);
+        let mut ss = s.clone();
+        ss.sort_unstable();
+        ss.dedup();
+        assert_eq!(ss.len(), 32, "senders distinct");
+        let mut rr = r.clone();
+        rr.sort_unstable();
+        rr.dedup();
+        assert_eq!(rr.len(), 32, "receivers distinct");
+    }
+
+    #[test]
+    fn h_relation_is_balanced() {
+        let mut rng = seeded(3);
+        let n = 64;
+        let h = 5;
+        let dests = random_h_relation(n, h, &mut rng);
+        let mut recv = vec![0usize; n];
+        for row in &dests {
+            assert_eq!(row.len(), h, "every processor sends h");
+            for &d in row {
+                recv[d] += 1;
+            }
+        }
+        assert!(recv.iter().all(|&c| c == h), "every processor receives h");
+    }
+
+    #[test]
+    fn one_h_relation_loads_receivers_correctly() {
+        let mut rng = seeded(4);
+        let n = 1024;
+        for h in [1usize, 3, 16, 64] {
+            let dest = one_h_relation(n, h, &mut rng);
+            assert_eq!(dest.len(), n);
+            let mut recv = std::collections::HashMap::new();
+            for &d in &dest {
+                *recv.entry(d).or_insert(0usize) += 1;
+            }
+            assert_eq!(recv.len(), n.div_ceil(h), "number of receivers");
+            let max = recv.values().copied().max().unwrap();
+            assert!(max <= h, "no receiver gets more than h (h={h}, max={max})");
+        }
+    }
+
+    #[test]
+    fn jitter_is_near_one_on_average_and_nonnegative() {
+        let mut rng = seeded(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let j = jitter(0.05, &mut rng);
+            assert!(j >= 0.0);
+            sum += j;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        assert_eq!(jitter(0.0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn digraph_has_zero_diagonal_and_requested_shape() {
+        let mut rng = seeded(6);
+        let n = 24;
+        let g = random_digraph(n, 0.5, 100.0, &mut rng);
+        assert_eq!(g.len(), n * n);
+        for i in 0..n {
+            assert_eq!(g[i * n + i], 0.0);
+        }
+        let finite = g.iter().filter(|v| v.is_finite()).count();
+        // diagonal + roughly half the off-diagonal entries
+        assert!(finite > n + (n * n - n) / 4);
+        assert!(finite < n + 3 * (n * n - n) / 4);
+    }
+}

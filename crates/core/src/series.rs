@@ -1,0 +1,388 @@
+//! Typed experiment output: data points, series, figures and tables.
+//!
+//! Every reproduction driver in `pcm-experiments` returns a [`Figure`]
+//! (one or more [`Series`] over a common x-axis) or a [`Table`]. These types
+//! carry enough structure for assertions in tests ("the staggered curve lies
+//! below the naive curve") and render to aligned plain text for the
+//! `reproduce` CLI and EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One measured/predicted point: `y` at `x`, with optional min/max spread
+/// (the paper's vertical error bars in Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// X coordinate (problem size, h, number of active PEs, ...).
+    pub x: f64,
+    /// Y value (usually microseconds, sometimes Mflops or µs/key).
+    pub y: f64,
+    /// Lower error bar, if sampled repeatedly.
+    pub y_min: Option<f64>,
+    /// Upper error bar, if sampled repeatedly.
+    pub y_max: Option<f64>,
+}
+
+impl DataPoint {
+    /// A point without error bars.
+    pub fn new(x: f64, y: f64) -> Self {
+        DataPoint {
+            x,
+            y,
+            y_min: None,
+            y_max: None,
+        }
+    }
+
+    /// A point with min/max error bars.
+    pub fn with_bounds(x: f64, y: f64, y_min: f64, y_max: f64) -> Self {
+        DataPoint {
+            x,
+            y,
+            y_min: Some(y_min),
+            y_max: Some(y_max),
+        }
+    }
+}
+
+/// A labelled curve: the unit of comparison in every figure
+/// ("Measured", "Predicted (BSP)", "Staggered", ...).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label as it would appear in the paper's legend.
+    pub label: String,
+    /// Points in ascending x order.
+    pub points: Vec<DataPoint>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Builds a series from `(x, y)` pairs.
+    pub fn from_points(label: impl Into<String>, pts: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points: pts.into_iter().map(|(x, y)| DataPoint::new(x, y)).collect(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: DataPoint) {
+        self.points.push(p);
+    }
+
+    /// Looks up `y` at a given `x` (exact match within 1e-9).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+
+    /// X values of the series.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// Y values of the series.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// Maximum pointwise relative deviation of this series from `other`
+    /// (`|self - other| / other`), over x values present in both.
+    ///
+    /// This is the number the paper quotes as "the deviation is less than
+    /// 14%".
+    pub fn max_relative_deviation(&self, other: &Series) -> f64 {
+        let mut worst: f64 = 0.0;
+        for p in &self.points {
+            if let Some(oy) = other.y_at(p.x) {
+                if oy != 0.0 {
+                    worst = worst.max((p.y - oy).abs() / oy.abs());
+                }
+            }
+        }
+        worst
+    }
+
+    /// `true` if this series lies strictly below `other` at every shared x.
+    pub fn dominated_by(&self, other: &Series) -> bool {
+        let mut shared = 0;
+        for p in &self.points {
+            if let Some(oy) = other.y_at(p.x) {
+                shared += 1;
+                if p.y >= oy {
+                    return false;
+                }
+            }
+        }
+        shared > 0
+    }
+}
+
+/// A reproduced figure: several series over a shared x-axis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier, e.g. "Fig. 4".
+    pub id: String,
+    /// Caption mirroring the paper's.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series and returns `self` for chaining.
+    pub fn with(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Finds a series by label.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as an aligned plain-text table: one row per x,
+    /// one column per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for p in &s.points {
+                if !xs.iter().any(|&x| (x - p.x).abs() < 1e-9) {
+                    xs.push(p.x);
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| format!("{} [{}]", s.label, self.y_label)));
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let mut row = vec![format_number(x)];
+            for s in &self.series {
+                row.push(match s.y_at(x) {
+                    Some(y) => format_number(y),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        out.push_str(&render_aligned(&header, &rows));
+        out
+    }
+}
+
+/// A reproduced table: named columns, string cells.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Identifier, e.g. "Table 1".
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row/column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Finds a cell by row key (first column) and column name.
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_key)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        out.push_str(&render_aligned(&self.columns, &self.rows));
+        out
+    }
+}
+
+/// Formats a number compactly: integers without decimals, otherwise three
+/// significant decimals.
+pub fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 1000.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.3}", v)
+    }
+}
+
+fn render_aligned(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            line.push_str(&" ".repeat(pad));
+            line.push_str(cell);
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        Figure::new("Fig. T", "test figure", "N", "ms")
+            .with(Series::from_points("Measured", [(1.0, 10.0), (2.0, 20.0)]))
+            .with(Series::from_points("Predicted", [(1.0, 11.0), (2.0, 24.0)]))
+    }
+
+    #[test]
+    fn series_lookup_and_accessors() {
+        let s = Series::from_points("a", [(1.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(s.y_at(2.0), Some(7.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.ys(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn max_relative_deviation_matches_paper_style_number() {
+        let f = sample_figure();
+        let dev = f.series[1].max_relative_deviation(&f.series[0]);
+        assert!((dev - 0.2).abs() < 1e-12, "dev = {dev}");
+    }
+
+    #[test]
+    fn dominated_by_detects_strict_ordering() {
+        let lo = Series::from_points("lo", [(1.0, 1.0), (2.0, 2.0)]);
+        let hi = Series::from_points("hi", [(1.0, 2.0), (2.0, 3.0)]);
+        assert!(lo.dominated_by(&hi));
+        assert!(!hi.dominated_by(&lo));
+        let disjoint = Series::from_points("d", [(9.0, 1.0)]);
+        assert!(!disjoint.dominated_by(&hi), "no shared x => not dominated");
+    }
+
+    #[test]
+    fn figure_renders_all_series_columns() {
+        let text = sample_figure().render();
+        assert!(text.contains("Measured"));
+        assert!(text.contains("Predicted"));
+        assert!(text.contains("Fig. T"));
+        // Two data rows plus header and rule.
+        assert_eq!(text.lines().count(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn figure_render_handles_missing_points() {
+        let f = Figure::new("F", "t", "x", "y")
+            .with(Series::from_points("a", [(1.0, 1.0)]))
+            .with(Series::from_points("b", [(2.0, 2.0)]));
+        let text = f.render();
+        assert!(text.contains('-'), "missing cells render as dashes");
+    }
+
+    #[test]
+    fn table_roundtrip_and_cell_lookup() {
+        let mut t = Table::new(
+            "Table 1",
+            "parameters",
+            vec!["Architecture".into(), "g".into(), "L".into()],
+        );
+        t.push_row(vec!["MasPar".into(), "32.2".into(), "1400".into()]);
+        t.push_row(vec!["CM-5".into(), "9.1".into(), "45".into()]);
+        assert_eq!(t.cell("MasPar", "g"), Some("32.2"));
+        assert_eq!(t.cell("CM-5", "L"), Some("45"));
+        assert_eq!(t.cell("GCel", "g"), None);
+        let text = t.render();
+        assert!(text.contains("MasPar"));
+        assert!(text.contains("32.2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("T", "t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(45.0), "45");
+        assert_eq!(format_number(9.1), "9.100");
+        assert_eq!(format_number(1432.5), "1432.5");
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated time.
+//!
+//! All machine models and cost models in this workspace express time in
+//! microseconds, exactly as the paper does ("We use actual times (in µs)").
+//! [`SimTime`] is a thin newtype over `f64` so that microseconds cannot be
+//! confused with byte counts, operation counts or megaflops.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of simulated time in microseconds.
+///
+/// `SimTime` supports the arithmetic needed by cost formulas
+/// (`+`, `-`, scaling by `f64`, division producing a ratio) and is totally
+/// ordered; NaN values are rejected at construction in debug builds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero elapsed time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Constructs a time span from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        debug_assert!(!us.is_nan(), "SimTime must not be NaN");
+        SimTime(us)
+    }
+
+    /// Constructs a time span from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_micros(ms * 1e3)
+    }
+
+    /// Constructs a time span from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_micros(s * 1e6)
+    }
+
+    /// The span in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The span in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// `true` if the span is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The larger of two spans. Cost formulas such as
+    /// `c + g·max{h_s, h_r} + L` use this constantly.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Relative error of `self` (a prediction) against `other` (a
+    /// measurement): `|self - other| / other`.
+    ///
+    /// Returns `f64::INFINITY` when `other` is zero and `self` is not.
+    pub fn relative_error(self, other: SimTime) -> f64 {
+        if other.0 == 0.0 {
+            if self.0 == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.0 - other.0).abs() / other.0
+        }
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({} µs)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-friendly rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        let a = us.abs();
+        if a >= 1e6 {
+            write!(f, "{:.3} s", us / 1e6)
+        } else if a >= 1e3 {
+            write!(f, "{:.3} ms", us / 1e3)
+        } else {
+            write!(f, "{:.3} µs", us)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn neg(self) -> SimTime {
+        SimTime(-self.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<SimTime> for f64 {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: SimTime) -> SimTime {
+        SimTime(self * rhs.0)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    /// Dividing two spans yields a dimensionless ratio.
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips_units() {
+        assert_eq!(SimTime::from_millis(1.5).as_micros(), 1500.0);
+        assert_eq!(SimTime::from_secs(2.0).as_millis(), 2000.0);
+        assert_eq!(SimTime::from_micros(250.0).as_secs(), 2.5e-4);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64_microseconds() {
+        let a = SimTime::from_micros(100.0);
+        let b = SimTime::from_micros(50.0);
+        assert_eq!((a + b).as_micros(), 150.0);
+        assert_eq!((a - b).as_micros(), 50.0);
+        assert_eq!((a * 3.0).as_micros(), 300.0);
+        assert_eq!((3.0 * a).as_micros(), 300.0);
+        assert_eq!((a / 4.0).as_micros(), 25.0);
+        assert_eq!(a / b, 2.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_micros(), 150.0);
+        c -= b;
+        assert_eq!(c.as_micros(), 100.0);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_micros(i as f64)).sum();
+        assert_eq!(total.as_micros(), 10.0);
+    }
+
+    #[test]
+    fn max_min_and_ordering() {
+        let a = SimTime::from_micros(10.0);
+        let b = SimTime::from_micros(20.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a < b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn relative_error_matches_definition() {
+        let measured = SimTime::from_micros(200.0);
+        let predicted = SimTime::from_micros(250.0);
+        assert!((predicted.relative_error(measured) - 0.25).abs() < 1e-12);
+        assert_eq!(SimTime::ZERO.relative_error(SimTime::ZERO), 0.0);
+        assert_eq!(
+            SimTime::from_micros(1.0).relative_error(SimTime::ZERO),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_micros(12.5)), "12.500 µs");
+        assert_eq!(format!("{}", SimTime::from_micros(12500.0)), "12.500 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3.25)), "3.250 s");
+    }
+}

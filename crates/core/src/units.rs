@@ -1,0 +1,98 @@
+//! Unit helpers: megaflops, words and bytes.
+
+use crate::time::SimTime;
+
+/// Megaflops achieved by `flops` floating-point operations in `time`.
+///
+/// The paper counts a multiply-add as two flops (matrix multiplication of
+/// two `N x N` matrices is `2·N³` flops).
+pub fn mflops(flops: f64, time: SimTime) -> f64 {
+    if time.is_zero() {
+        return 0.0;
+    }
+    // flops / s / 1e6  ==  flops / µs
+    flops / time.as_micros()
+}
+
+/// Flop count of a dense `N x N` matrix multiplication (multiply + add
+/// counted separately).
+pub fn matmul_flops(n: usize) -> f64 {
+    2.0 * (n as f64).powi(3)
+}
+
+/// Number of bytes occupied by `words` machine words of `w` bytes each.
+pub fn words_to_bytes(words: usize, w: usize) -> usize {
+    words * w
+}
+
+/// Ceil-divides `bytes` into `w`-byte words.
+pub fn bytes_to_words(bytes: usize, w: usize) -> usize {
+    bytes.div_ceil(w)
+}
+
+/// `log2` of a power of two.
+///
+/// # Panics
+/// Panics if `n` is not a positive power of two — the bitonic network and
+/// hypercube addressing require exact powers.
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "{n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// Integer cube root for `q³`-processor layouts; returns `None` when `p`
+/// is not a perfect cube.
+pub fn cube_root_exact(p: usize) -> Option<usize> {
+    let q = (p as f64).cbrt().round() as usize;
+    (q.saturating_sub(1)..=q + 1).find(|&cand| cand * cand * cand == p)
+}
+
+/// Integer square root for `√P x √P` grids; returns `None` when `p` is not
+/// a perfect square.
+pub fn sqrt_exact(p: usize) -> Option<usize> {
+    let q = (p as f64).sqrt().round() as usize;
+    (q.saturating_sub(1)..=q + 1).find(|&cand| cand * cand == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflops_of_known_workload() {
+        // 2·512³ flops in 1 second = 268.4 Mflops.
+        let m = mflops(matmul_flops(512), SimTime::from_secs(1.0));
+        assert!((m - 268.435456).abs() < 1e-6);
+        assert_eq!(mflops(1e6, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn word_byte_round_trip() {
+        assert_eq!(words_to_bytes(10, 4), 40);
+        assert_eq!(bytes_to_words(40, 4), 10);
+        assert_eq!(bytes_to_words(41, 4), 11);
+    }
+
+    #[test]
+    fn log2_exact_of_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_exact_rejects_non_powers() {
+        log2_exact(3);
+    }
+
+    #[test]
+    fn cube_and_square_roots() {
+        assert_eq!(cube_root_exact(1000), Some(10));
+        assert_eq!(cube_root_exact(64), Some(4));
+        assert_eq!(cube_root_exact(65), None);
+        assert_eq!(sqrt_exact(1024), Some(32));
+        assert_eq!(sqrt_exact(63), None);
+        assert_eq!(sqrt_exact(1), Some(1));
+        assert_eq!(cube_root_exact(1), Some(1));
+    }
+}

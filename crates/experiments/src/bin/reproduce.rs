@@ -1,0 +1,90 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   reproduce list
+//!   reproduce all [--quick] [--seed N] [--out DIR]
+//!   reproduce fig04 table1 ... [--quick] [--seed N] [--out DIR]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use pcm_experiments::{registry, Output, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+
+    let mut scale = Scale::Full;
+    let mut seed = 1996u64;
+    let mut out_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => out_dir = Some(it.next().expect("--out needs a directory")),
+            "list" => {
+                for e in registry() {
+                    println!("{:8} {}", e.id, e.title);
+                }
+                return;
+            }
+            "check" => {
+                let (pass, fail) =
+                    pcm_experiments::check::run_all(scale, seed, |claim, result| match result {
+                        Ok(detail) => {
+                            println!("PASS {:6} {} — {}", claim.id, claim.statement, detail)
+                        }
+                        Err(err) => println!("FAIL {:6} {} — {}", claim.id, claim.statement, err),
+                    });
+                println!();
+                println!("{pass} claims passed, {fail} failed");
+                std::process::exit(if fail == 0 { 0 } else { 1 });
+            }
+            "all" => targets.extend(registry().iter().map(|e| e.id.to_string())),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("cannot create output directory");
+    }
+
+    for id in targets {
+        let Some(exp) = pcm_experiments::find(&id) else {
+            eprintln!("unknown experiment `{id}` — try `reproduce list`");
+            std::process::exit(2);
+        };
+        eprintln!("== {} — {} ==", exp.id, exp.title);
+        let start = Instant::now();
+        let output: Output = (exp.run)(scale, seed);
+        let text = output.render();
+        eprintln!("   ({:.1}s wall clock)", start.elapsed().as_secs_f64());
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.txt");
+            let mut f = std::fs::File::create(&path).expect("cannot write result file");
+            f.write_all(text.as_bytes()).unwrap();
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: reproduce <list | check | all | id...> [--quick] [--seed N] [--out DIR]\n\
+         ids: table1, fig01..fig20, sec8, modelfit"
+    );
+}

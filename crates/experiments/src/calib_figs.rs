@@ -1,0 +1,204 @@
+//! Figures 1, 2, 7 and 14 — the machine-characterization plots of
+//! Sections 3 and 5.
+
+use pcm_calibrate::{fit_g_mscat, fit_gl, fit_t_unb, microbench};
+use pcm_core::{DataPoint, Figure, Series};
+use pcm_machines::Platform;
+
+use crate::report::{Output, Scale};
+
+/// Fig. 1: time for routing 1-h relations on the MasPar, with min/max
+/// error bars, plus the fitted `g·h + L` line.
+pub fn fig01(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::maspar();
+    let (trials, hs): (usize, Vec<usize>) = match scale {
+        Scale::Full => (100, vec![1, 2, 4, 8, 12, 16, 24, 32, 48, 64]),
+        Scale::Quick => (5, vec![1, 4, 16, 64]),
+    };
+    let mut measured = Series::new("Measured");
+    for &h in &hs {
+        let s = microbench::one_h_relation(&plat, h, trials, seed);
+        measured.push(DataPoint::with_bounds(h as f64, s.mean, s.min, s.max));
+    }
+    let fit = fit_gl(&plat, trials.min(10), seed);
+    let fitted = Series::from_points(
+        format!("Fit g·h+L (g={:.1}, L={:.0})", fit.g, fit.l),
+        hs.iter().map(|&h| (h as f64, fit.g * h as f64 + fit.l)),
+    );
+    let paper = Series::from_points(
+        "Paper fit (g=32.2, L=1400)",
+        hs.iter().map(|&h| (h as f64, 32.2 * h as f64 + 1400.0)),
+    );
+    Output::Fig(
+        Figure::new("Fig. 1", "Time required for routing 1-h relations on the MasPar MP-1", "h", "µs")
+            .with(measured)
+            .with(fitted)
+            .with(paper),
+    )
+}
+
+/// Fig. 2: time taken by partial permutations as a function of the number
+/// of active processors on the MasPar, plus the fitted `T_unb` polynomial.
+pub fn fig02(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::maspar();
+    let (trials, actives): (usize, Vec<usize>) = match scale {
+        Scale::Full => (50, vec![32, 64, 128, 192, 256, 384, 512, 768, 1024]),
+        Scale::Quick => (4, vec![32, 128, 512, 1024]),
+    };
+    let mut measured = Series::new("Measured");
+    for &a in &actives {
+        let s = microbench::partial_permutation(&plat, a, trials, seed);
+        measured.push(DataPoint::with_bounds(a as f64, s.mean, s.min, s.max));
+    }
+    let fit = fit_t_unb(&plat, trials.min(10), seed);
+    let fitted = Series::from_points(
+        format!("Fit {:.2}·P' + {:.1}·sqrt(P') + {:.0}", fit.a, fit.b, fit.c),
+        actives.iter().map(|&a| (a as f64, fit.eval(a as f64))),
+    );
+    let paper = Series::from_points(
+        "Paper fit 0.84·P' + 11.8·sqrt(P') + 73.3",
+        actives
+            .iter()
+            .map(|&a| (a as f64, 0.84 * a as f64 + 11.8 * (a as f64).sqrt() + 73.3)),
+    );
+    Output::Fig(
+        Figure::new(
+            "Fig. 2",
+            "Partial permutation time vs number of active PEs on the MasPar",
+            "active PEs",
+            "µs",
+        )
+        .with(measured)
+        .with(fitted)
+        .with(paper),
+    )
+}
+
+/// Fig. 7: h-h permutations (with and without a barrier every 256
+/// messages) vs randomly generated h-relations on the GCel.
+pub fn fig07(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::gcel();
+    let hs: Vec<usize> = match scale {
+        Scale::Full => vec![50, 100, 200, 300, 400, 600, 800, 1200, 1600, 2000],
+        Scale::Quick => vec![100, 400, 1600],
+    };
+    let trials = match scale {
+        Scale::Full => 5,
+        Scale::Quick => 2,
+    };
+    let mut hh = Series::new("h-h permutations");
+    let mut hh_sync = Series::new("h-h permutations, barrier every 256");
+    let mut hrel = Series::new("Random h-relations");
+    for &h in &hs {
+        hh.push(DataPoint::new(
+            h as f64,
+            microbench::hh_permutation(&plat, h, None, seed).as_millis(),
+        ));
+        hh_sync.push(DataPoint::new(
+            h as f64,
+            microbench::hh_permutation(&plat, h, Some(256), seed).as_millis(),
+        ));
+        let s = microbench::full_h_relation(&plat, h.min(64), trials, seed);
+        // Full h-relations are linear; extrapolate the measured slope so
+        // the series covers the same h range the paper plots.
+        let per_h = (s.mean - 5100.0) / h.min(64) as f64;
+        hrel.push(DataPoint::new(h as f64, (per_h * h as f64 + 5100.0) / 1e3));
+    }
+    Output::Fig(
+        Figure::new(
+            "Fig. 7",
+            "h-h permutations vs random h-relations on the GCel (drift beyond h ≈ 300)",
+            "h",
+            "ms",
+        )
+        .with(hh)
+        .with(hh_sync)
+        .with(hrel),
+    )
+}
+
+/// Fig. 14: total times of full h-relations vs multinode scatters on the
+/// GCel, with the fitted `g_mscat`.
+pub fn fig14(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::gcel();
+    let (trials, hs): (usize, Vec<usize>) = match scale {
+        Scale::Full => (10, vec![7, 14, 28, 42, 56]),
+        Scale::Quick => (2, vec![7, 28, 56]),
+    };
+    let mut full = Series::new("Full h-relations");
+    let mut scatter = Series::new("Multinode scatters");
+    for &h in &hs {
+        full.push(DataPoint::new(
+            h as f64,
+            microbench::full_h_relation(&plat, h, trials, seed).mean / 1e3,
+        ));
+        scatter.push(DataPoint::new(
+            h as f64,
+            microbench::multinode_scatter(&plat, h, trials, seed).mean / 1e3,
+        ));
+    }
+    let fit = fit_g_mscat(&plat, trials, seed);
+    let fitted = Series::from_points(
+        format!("Fit g_mscat·h+L (g_mscat={:.0})", fit.g),
+        hs.iter().map(|&h| (h as f64, (fit.g * h as f64 + fit.l) / 1e3)),
+    );
+    Output::Fig(
+        Figure::new(
+            "Fig. 14",
+            "Full h-relations vs multinode scatter operations on the GCel",
+            "h",
+            "ms",
+        )
+        .with(full)
+        .with(scatter)
+        .with(fitted),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_quick_has_error_bars_and_reasonable_fit() {
+        let Output::Fig(f) = fig01(Scale::Quick, 7) else { panic!() };
+        let measured = f.series_named("Measured").unwrap();
+        assert!(measured.points.iter().all(|p| p.y_min.is_some()));
+        // Measured h=1 lands near the paper's ~1300 µs.
+        let y1 = measured.y_at(1.0).unwrap();
+        assert!((y1 - 1300.0).abs() < 250.0, "h=1: {y1}");
+    }
+
+    #[test]
+    fn fig02_partial_permutations_are_cheap() {
+        let Output::Fig(f) = fig02(Scale::Quick, 8) else { panic!() };
+        let m = f.series_named("Measured").unwrap();
+        let at32 = m.y_at(32.0).unwrap();
+        let at1024 = m.y_at(1024.0).unwrap();
+        assert!(at32 < 0.3 * at1024, "32 PEs {at32} vs full {at1024}");
+    }
+
+    #[test]
+    fn fig07_shows_the_drift_knee() {
+        let Output::Fig(f) = fig07(Scale::Quick, 9) else { panic!() };
+        let hh = f.series_named("h-h permutations").unwrap();
+        let sync = f
+            .series_named("h-h permutations, barrier every 256")
+            .unwrap();
+        // At h = 1600 the unsynced version has degraded well beyond the
+        // synchronized one.
+        assert!(hh.y_at(1600.0).unwrap() > 1.4 * sync.y_at(1600.0).unwrap());
+        // At h = 100 they are close.
+        let a = hh.y_at(100.0).unwrap();
+        let b = sync.y_at(100.0).unwrap();
+        assert!((a - b).abs() / b < 0.3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fig14_scatter_is_much_cheaper() {
+        let Output::Fig(f) = fig14(Scale::Quick, 10) else { panic!() };
+        let full = f.series_named("Full h-relations").unwrap();
+        let scat = f.series_named("Multinode scatters").unwrap();
+        assert!(scat.y_at(56.0).unwrap() * 5.0 < full.y_at(56.0).unwrap());
+    }
+}

@@ -1,0 +1,232 @@
+//! `reproduce check`: one-command validation of the paper's claims.
+//!
+//! Runs the quick-scale experiments and asserts the *shape* statements the
+//! paper makes — who wins, by what factor, where the models err. The same
+//! claims are enforced by the integration test suite; this module gives a
+//! repository user a single command that prints a PASS/FAIL line per
+//! claim without involving the test harness.
+
+use crate::report::{Output, Scale};
+use crate::{apsp_figs, calib_figs, granularity, matmul_figs, sort_figs};
+
+/// One verifiable claim from the paper.
+pub struct Claim {
+    /// Short identifier.
+    pub id: &'static str,
+    /// The paper's statement.
+    pub statement: &'static str,
+    /// Returns `Ok(details)` or `Err(what went wrong)`.
+    pub verify: fn(Scale, u64) -> Result<String, String>,
+}
+
+fn fig(out: Output) -> pcm_core::Figure {
+    match out {
+        Output::Fig(f) => f,
+        Output::Tab(_) => unreachable!("claim drivers return figures"),
+    }
+}
+
+fn check_fig03(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(matmul_figs::fig03(scale, seed));
+    let dev = f
+        .series_named("Predicted (MP-BSP)")
+        .unwrap()
+        .max_relative_deviation(f.series_named("Measured").unwrap());
+    if dev < 0.22 {
+        Ok(format!("max deviation {:.1}% (paper: <14%)", dev * 100.0))
+    } else {
+        Err(format!("deviation {:.1}% too large", dev * 100.0))
+    }
+}
+
+fn check_fig04(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(matmul_figs::fig04(scale, seed));
+    let naive = f.series_named("Measured (naive)").unwrap();
+    let pred = f.series_named("Predicted (BSP)").unwrap();
+    let err = (naive.y_at(256.0).ok_or("no N=256 point")?
+        - pred.y_at(256.0).unwrap())
+        / pred.y_at(256.0).unwrap();
+    if (err - 0.21).abs() < 0.12 {
+        Ok(format!("contention error {:.0}% (paper: 21%)", err * 100.0))
+    } else {
+        Err(format!("contention error {:.0}% off the paper's 21%", err * 100.0))
+    }
+}
+
+fn check_fig05(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(sort_figs::fig05(scale, seed));
+    let ratio = f.series_named("Predicted (MP-BSP)").unwrap().y_at(256.0).unwrap()
+        / f.series_named("Measured").unwrap().y_at(256.0).unwrap();
+    if ratio > 1.5 && ratio < 2.8 {
+        Ok(format!("MP-BSP overestimates {ratio:.1}x (paper: ~2.0x)"))
+    } else {
+        Err(format!("overestimate {ratio:.1}x outside ~2x"))
+    }
+}
+
+fn check_fig06(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(sort_figs::fig06(scale, seed));
+    let synced = f.series_named("Measured (barrier every 256)").unwrap();
+    let unsynced = f.series_named("Measured (no resync)").unwrap();
+    let pred = f.series_named("Predicted (BSP)").unwrap();
+    let dev = pred.max_relative_deviation(synced);
+    let drifted = unsynced.y_at(1024.0).unwrap() > 1.2 * synced.y_at(1024.0).unwrap();
+    if dev < 0.2 && drifted {
+        Ok(format!("resync restores prediction ({:.0}% dev); drift visible", dev * 100.0))
+    } else {
+        Err(format!("dev {:.2}, drift visible: {drifted}", dev))
+    }
+}
+
+fn check_fig12(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(apsp_figs::fig12(scale, seed));
+    let m = f.series_named("Measured").unwrap();
+    let mp = f.series_named("Predicted (MP-BSP)").unwrap().max_relative_deviation(m);
+    let eb = f.series_named("Predicted (E-BSP)").unwrap().max_relative_deviation(m);
+    if mp > 0.5 && eb < 0.35 {
+        Ok(format!("MP-BSP errs {:.0}%, E-BSP {:.0}%", mp * 100.0, eb * 100.0))
+    } else {
+        Err(format!("MP-BSP {:.0}% / E-BSP {:.0}%", mp * 100.0, eb * 100.0))
+    }
+}
+
+fn check_fig14(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(calib_figs::fig14(scale, seed));
+    let full = f.series_named("Full h-relations").unwrap();
+    let scat = f.series_named("Multinode scatters").unwrap();
+    let factor = full.y_at(56.0).unwrap() / scat.y_at(56.0).unwrap();
+    if factor > 5.0 && factor < 12.0 {
+        Ok(format!("scatter {factor:.1}x cheaper (paper: up to 9.1x)"))
+    } else {
+        Err(format!("factor {factor:.1} out of range"))
+    }
+}
+
+fn check_fig19(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(matmul_figs::fig19(scale, seed));
+    let model = f.series_named("MP-BPRAM (blocks)").unwrap();
+    let intrinsic = f.series_named("matmul intrinsic (xnet Cannon)").unwrap();
+    if model.dominated_by(intrinsic) {
+        let n = *model.xs().last().unwrap();
+        let penalty = 1.0 - model.y_at(n).unwrap() / intrinsic.y_at(n).unwrap();
+        Ok(format!("intrinsic wins; penalty {:.0}% (paper: 35%)", penalty * 100.0))
+    } else {
+        Err("the intrinsic did not dominate".into())
+    }
+}
+
+fn check_fig20(scale: Scale, seed: u64) -> Result<String, String> {
+    let f = fig(matmul_figs::fig20(scale, seed));
+    let model = f.series_named("MP-BPRAM").unwrap();
+    let cmssl = f.series_named("gen_matrix_mult (CMSSL)").unwrap();
+    if cmssl.dominated_by(model) {
+        let peak = cmssl.ys().into_iter().fold(0.0f64, f64::max);
+        Ok(format!("model versions win; CMSSL peaks at {peak:.0} Mflops (paper: <=151)"))
+    } else {
+        Err("CMSSL unexpectedly won".into())
+    }
+}
+
+fn check_sec8(scale: Scale, seed: u64) -> Result<String, String> {
+    let Output::Tab(t) = granularity::run(scale, seed) else {
+        return Err("expected a table".into());
+    };
+    let ratio = |m: &str| -> f64 { t.cell(m, "ratio @16 B").unwrap().parse().unwrap() };
+    let (mp, c5) = (ratio("MasPar"), ratio("CM-5"));
+    if (mp - 1.37).abs() < 0.45 && (c5 - 2.1).abs() < 0.7 {
+        Ok(format!("16-byte ratios: MasPar {mp:.2} (1.37), CM-5 {c5:.2} (2.1)"))
+    } else {
+        Err(format!("ratios MasPar {mp:.2} / CM-5 {c5:.2}"))
+    }
+}
+
+/// All registered claims.
+pub fn claims() -> Vec<Claim> {
+    vec![
+        Claim {
+            id: "fig03",
+            statement: "MP-BSP predicts the MasPar matmul within ~14%",
+            verify: check_fig03,
+        },
+        Claim {
+            id: "fig04",
+            statement: "unstaggered sends cost ~21% on the CM-5 (receiver contention)",
+            verify: check_fig04,
+        },
+        Claim {
+            id: "fig05",
+            statement: "MP-BSP overestimates MasPar bitonic ~2x (cheap router pattern)",
+            verify: check_fig05,
+        },
+        Claim {
+            id: "fig06",
+            statement: "GCel drift breaks BSP; a barrier every 256 messages restores it",
+            verify: check_fig06,
+        },
+        Claim {
+            id: "fig12",
+            statement: "unbalanced communication breaks MP-BSP on MasPar APSP; E-BSP is close",
+            verify: check_fig12,
+        },
+        Claim {
+            id: "fig14",
+            statement: "GCel multinode scatters are up to 9.1x cheaper than h-relations",
+            verify: check_fig14,
+        },
+        Claim {
+            id: "fig19",
+            statement: "the MasPar matmul intrinsic beats the model-derived codes (~35%)",
+            verify: check_fig19,
+        },
+        Claim {
+            id: "fig20",
+            statement: "the model-derived codes beat CMSSL gen_matrix_mult (<=151 Mflops)",
+            verify: check_fig20,
+        },
+        Claim {
+            id: "sec8",
+            statement: "16-byte messages close the bulk gap to 1.37 (MasPar) / 2.1 (CM-5)",
+            verify: check_sec8,
+        },
+    ]
+}
+
+/// Runs every claim; returns `(passed, failed)`.
+pub fn run_all(scale: Scale, seed: u64, mut report: impl FnMut(&Claim, &Result<String, String>)) -> (usize, usize) {
+    let mut pass = 0;
+    let mut fail = 0;
+    for claim in claims() {
+        let result = (claim.verify)(scale, seed);
+        if result.is_ok() {
+            pass += 1;
+        } else {
+            fail += 1;
+        }
+        report(&claim, &result);
+    }
+    (pass, fail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_passes_at_quick_scale() {
+        let (pass, fail) = run_all(Scale::Quick, 1996, |claim, result| {
+            if let Err(e) = result {
+                eprintln!("claim {} failed: {e}", claim.id);
+            }
+        });
+        assert_eq!(fail, 0, "{pass} passed, {fail} failed");
+    }
+
+    #[test]
+    fn claims_have_unique_ids() {
+        let mut ids: Vec<&str> = claims().iter().map(|c| c.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,135 @@
+//! Trace accounting: replay the algorithms' superstep traces under every
+//! model and report which model best explains each machine.
+//!
+//! This generalizes the paper's evaluation method — instead of deriving a
+//! closed form per algorithm, the accountant (`pcm_models::account`)
+//! consumes the traces the simulator recorded and charges each model's
+//! rules mechanically. The result should echo the paper's Section 8: the
+//! MP-BPRAM explains block-transfer programs, MP-BSP/BSP explain word
+//! programs on their machines, and E-BSP wins wherever communication is
+//! unbalanced.
+
+use pcm_algos::run::step_facts;
+use pcm_algos::sort::bitonic::{self, ExchangeMode};
+use pcm_core::Table;
+use pcm_machines::Platform;
+use pcm_models::account_run;
+
+use crate::report::{Output, Scale};
+
+/// Runs bitonic sort in word and block modes on every machine, accounts
+/// the traces under all four models, and reports each model's relative
+/// error against the simulated measurement.
+pub fn run(scale: Scale, seed: u64) -> Output {
+    let m = match scale {
+        Scale::Full => 1024,
+        Scale::Quick => 256,
+    };
+    let mut t = Table::new(
+        "Model fit",
+        format!(
+            "Bitonic sort ({m} keys/processor) traces replayed under each model: \
+             relative error of the model's charge vs the simulated time \
+             (negative = underestimate)"
+        ),
+        vec![
+            "Workload".into(),
+            "BSP".into(),
+            "MP-BSP".into(),
+            "MP-BPRAM".into(),
+            "E-BSP".into(),
+            "best".into(),
+        ],
+    );
+
+    for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {
+        let params = plat.model_params();
+        for (label, mode) in [
+            ("words", ExchangeMode::Words),
+            ("blocks", ExchangeMode::Block),
+        ] {
+            // Re-run with tracing through the library API.
+            let r = bitonic::run(&plat, m, mode, seed);
+            assert!(r.verified);
+            // The RunResult does not carry traces; reconstruct them by
+            // running the machine again at the algorithm level would be
+            // wasteful — instead the breakdown already separates compute,
+            // and the accountant needs per-step facts, which we collect by
+            // re-running via the traced path below.
+            let facts = traced_facts(&plat, m, mode, seed);
+            let acc = account_run(&params, &facts);
+            let measured = r.time;
+            let err = |t: pcm_core::SimTime| {
+                format!("{:+.0}%", 100.0 * ((t + acc.compute) / measured - 1.0))
+            };
+            let (best, _) = acc.best_fit(measured);
+            t.push_row(vec![
+                format!("{} {label}", plat.name()),
+                err(acc.bsp),
+                err(acc.mp_bsp),
+                err(acc.bpram),
+                err(acc.ebsp),
+                best.to_string(),
+            ]);
+        }
+    }
+    Output::Tab(t)
+}
+
+/// Runs the bitonic phases directly on a machine to harvest the traces.
+fn traced_facts(
+    plat: &Platform,
+    m: usize,
+    mode: ExchangeMode,
+    seed: u64,
+) -> Vec<pcm_models::StepFacts> {
+    use pcm_algos::sort::bitonic::{merge_phases, BitonicList, SortState};
+    use pcm_algos::sort::radix::radix_sort;
+
+    let p = plat.p();
+    let mut rng = pcm_core::rng::seeded(seed);
+    let all_keys = pcm_core::rng::random_keys(p * m, &mut rng);
+    let states: Vec<SortState> = (0..p)
+        .map(|i| SortState {
+            keys: all_keys[i * m..(i + 1) * m].to_vec(),
+            stash: Vec::new(),
+        })
+        .collect();
+    let mut machine = plat.machine(states, seed);
+    machine.superstep(|ctx| {
+        radix_sort(ctx.state.list_mut());
+        ctx.charge_radix_sort(m, 32, 8);
+    });
+    merge_phases(&mut machine, mode);
+    step_facts(machine.traces())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accountant_picks_sensible_models() {
+        let Output::Tab(t) = run(Scale::Quick, 4) else { panic!() };
+        assert_eq!(t.rows.len(), 6, "3 machines x 2 workloads");
+        // Block workloads are explained by the MP-BPRAM on every machine.
+        for machine in ["MasPar", "GCel", "CM-5"] {
+            let key = format!("{machine} blocks");
+            let best = t.cell(&key, "best").unwrap();
+            assert_eq!(best, "MP-BPRAM", "{key} best-fit = {best}");
+        }
+        // The GCel word workload follows (MP-)BSP-style charging; the
+        // MasPar word workload is *cheaper* than MP-BSP predicts (Fig. 5),
+        // so anything but MP-BPRAM may win — assert MP-BSP overestimates.
+        let gcel_best = t.cell("GCel words", "best").unwrap();
+        assert!(
+            gcel_best == "BSP" || gcel_best == "MP-BSP" || gcel_best == "E-BSP",
+            "GCel words best-fit = {gcel_best}"
+        );
+        let maspar_mp = t.cell("MasPar words", "MP-BSP").unwrap();
+        assert!(
+            maspar_mp.starts_with('+'),
+            "MP-BSP should overestimate MasPar bitonic, got {maspar_mp}"
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Experiment registry and output types.
+
+use pcm_core::{Figure, Table};
+
+/// Problem-size scale of a reproduction run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale sweeps (minutes).
+    Full,
+    /// Reduced sweeps for tests and benches (seconds).
+    Quick,
+}
+
+/// A reproduced artifact: a figure or a table.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// A figure with one or more series.
+    Fig(Figure),
+    /// A table.
+    Tab(Table),
+}
+
+impl Output {
+    /// Renders as plain text (aligned value table, plus an ASCII chart for
+    /// figures).
+    pub fn render(&self) -> String {
+        match self {
+            Output::Fig(f) => {
+                let mut text = f.render();
+                let chart = pcm_core::plot::render_ascii(f, pcm_core::plot::PlotSize::default());
+                if !chart.is_empty() {
+                    text.push('\n');
+                    text.push_str(&chart);
+                }
+                text
+            }
+            Output::Tab(t) => t.render(),
+        }
+    }
+
+    /// The artifact id ("Fig. 4", "Table 1").
+    pub fn id(&self) -> &str {
+        match self {
+            Output::Fig(f) => &f.id,
+            Output::Tab(t) => &t.id,
+        }
+    }
+
+    /// The figure, if this is one.
+    pub fn figure(&self) -> Option<&Figure> {
+        match self {
+            Output::Fig(f) => Some(f),
+            Output::Tab(_) => None,
+        }
+    }
+}
+
+/// A registered reproduction experiment.
+pub struct Experiment {
+    /// Short id used on the CLI: "table1", "fig04", ...
+    pub id: &'static str,
+    /// What the paper's artifact shows.
+    pub title: &'static str,
+    /// The driver.
+    pub run: fn(Scale, u64) -> Output,
+}
+
+/// The full registry, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "(MP-)BSP and MP-BPRAM machine parameters",
+            run: crate::table1::run,
+        },
+        Experiment {
+            id: "fig01",
+            title: "1-h relation time on the MasPar",
+            run: crate::calib_figs::fig01,
+        },
+        Experiment {
+            id: "fig02",
+            title: "Partial permutations vs active PEs on the MasPar",
+            run: crate::calib_figs::fig02,
+        },
+        Experiment {
+            id: "fig03",
+            title: "MP-BSP matrix multiplication on the MasPar",
+            run: crate::matmul_figs::fig03,
+        },
+        Experiment {
+            id: "fig04",
+            title: "BSP matrix multiplication on the CM-5 (naive vs staggered)",
+            run: crate::matmul_figs::fig04,
+        },
+        Experiment {
+            id: "fig05",
+            title: "Bitonic sort time/key on the MasPar (MP-BSP)",
+            run: crate::sort_figs::fig05,
+        },
+        Experiment {
+            id: "fig06",
+            title: "Bitonic sort time/key on the GCel (BSP, drift vs resync)",
+            run: crate::sort_figs::fig06,
+        },
+        Experiment {
+            id: "fig07",
+            title: "h-h permutations vs random h-relations on the GCel",
+            run: crate::calib_figs::fig07,
+        },
+        Experiment {
+            id: "fig08",
+            title: "MP-BPRAM matrix multiplication on the MasPar",
+            run: crate::matmul_figs::fig08,
+        },
+        Experiment {
+            id: "fig09",
+            title: "MP-BPRAM matrix multiplication on the CM-5",
+            run: crate::matmul_figs::fig09,
+        },
+        Experiment {
+            id: "fig10",
+            title: "MP-BPRAM bitonic sort time/key on the MasPar",
+            run: crate::sort_figs::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "MP-BPRAM bitonic sort time/key on the GCel",
+            run: crate::sort_figs::fig11,
+        },
+        Experiment {
+            id: "fig12",
+            title: "APSP on the MasPar (MP-BSP vs E-BSP vs measured)",
+            run: crate::apsp_figs::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "APSP on the GCel (BSP vs g_mscat-refined vs measured)",
+            run: crate::apsp_figs::fig13,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Full h-relations vs multinode scatters on the GCel",
+            run: crate::calib_figs::fig14,
+        },
+        Experiment {
+            id: "fig15",
+            title: "APSP on the CM-5",
+            run: crate::apsp_figs::fig15,
+        },
+        Experiment {
+            id: "fig16",
+            title: "BSP vs MP-BPRAM matrix multiplication Mflops on the CM-5",
+            run: crate::matmul_figs::fig16,
+        },
+        Experiment {
+            id: "fig17",
+            title: "MP-BSP vs MP-BPRAM bitonic sort on the MasPar",
+            run: crate::sort_figs::fig17,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Bitonic vs sample sort time/key on the GCel",
+            run: crate::sort_figs::fig18,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Model-derived matmuls vs the matmul intrinsic on the MasPar",
+            run: crate::matmul_figs::fig19,
+        },
+        Experiment {
+            id: "fig20",
+            title: "Model-derived matmuls vs CMSSL gen_matrix_mult on the CM-5",
+            run: crate::matmul_figs::fig20,
+        },
+        Experiment {
+            id: "sec8",
+            title: "Message-granularity study (Section 8 conclusions)",
+            run: crate::granularity::run,
+        },
+        Experiment {
+            id: "modelfit",
+            title: "Trace accounting: which model explains which machine",
+            run: crate::model_fit::run,
+        },
+    ]
+}
+
+/// Finds an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table_and_all_figures() {
+        let reg = registry();
+        assert_eq!(reg.len(), 23, "Table 1 + Figs 1..20 + Sec. 8 + model fit");
+        let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        assert!(ids.contains(&"table1"));
+        for n in 1..=20 {
+            let id = format!("fig{n:02}");
+            assert!(ids.contains(&id.as_str()), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn find_by_id() {
+        assert!(find("fig04").is_some());
+        assert!(find("fig99").is_none());
+    }
+}

@@ -1,0 +1,253 @@
+//! Sorting figures: 5, 6, 10, 11 (evaluation), 17 and 18 (comparison).
+//! All plot "time per key" — total time divided by the keys per processor.
+
+use pcm_algos::sort::bitonic::{self, ExchangeMode};
+use pcm_algos::sort::sample::{self, SampleVariant};
+use pcm_core::{DataPoint, Figure, Series};
+use pcm_machines::Platform;
+use pcm_models::predict;
+
+use crate::report::{Output, Scale};
+
+fn maspar_ms(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![64, 128, 256, 512, 1024, 2048],
+        Scale::Quick => vec![64, 256],
+    }
+}
+
+fn gcel_ms(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![256, 512, 1024, 2048, 4096],
+        Scale::Quick => vec![256, 1024],
+    }
+}
+
+fn per_key_series(
+    label: &str,
+    plat: &Platform,
+    ms: &[usize],
+    mode: ExchangeMode,
+    seed: u64,
+) -> Series {
+    let mut s = Series::new(label);
+    for &m in ms {
+        let r = bitonic::run(plat, m, mode, seed);
+        assert!(r.verified, "bitonic failed to sort at M = {m}");
+        s.push(DataPoint::new(m as f64, r.time.as_micros() / m as f64));
+    }
+    s
+}
+
+fn predicted_series(
+    label: &str,
+    ms: &[usize],
+    f: impl Fn(usize) -> pcm_core::SimTime,
+) -> Series {
+    Series::from_points(
+        label,
+        ms.iter().map(|&m| (m as f64, f(m).as_micros() / m as f64)),
+    )
+}
+
+/// Fig. 5: measured vs MP-BSP-predicted time per key of bitonic sort on
+/// the MasPar — the model overestimates by ~2x because the bit-flip
+/// exchange is cheap on the router.
+pub fn fig05(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::maspar();
+    let ms = maspar_ms(scale);
+    let params = plat.model_params();
+    let measured = per_key_series("Measured", &plat, &ms, ExchangeMode::Words, seed);
+    let predicted = predicted_series("Predicted (MP-BSP)", &ms, |m| {
+        predict::bitonic::mp_bsp(&params, m)
+    });
+    Output::Fig(
+        Figure::new(
+            "Fig. 5",
+            "Measured and predicted times per key of bitonic sort on the MasPar",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(measured)
+        .with(predicted),
+    )
+}
+
+/// Fig. 6: bitonic time per key on the GCel — unsynchronized BSP drifts;
+/// a barrier every 256 messages restores the prediction.
+pub fn fig06(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::gcel();
+    let ms = gcel_ms(scale);
+    let params = plat.model_params();
+    let unsynced = per_key_series("Measured (no resync)", &plat, &ms, ExchangeMode::Words, seed);
+    let synced = per_key_series(
+        "Measured (barrier every 256)",
+        &plat,
+        &ms,
+        ExchangeMode::WordsResync { interval: 256 },
+        seed,
+    );
+    let predicted = predicted_series("Predicted (BSP)", &ms, |m| {
+        predict::bitonic::bsp(&params, m)
+    });
+    Output::Fig(
+        Figure::new(
+            "Fig. 6",
+            "Measured and predicted times per key of bitonic sort on the GCel",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(unsynced)
+        .with(synced)
+        .with(predicted),
+    )
+}
+
+/// Fig. 10: MP-BPRAM bitonic on the MasPar — blocks are less sensitive to
+/// the pattern, so the overestimate shrinks but does not vanish.
+pub fn fig10(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::maspar();
+    let ms = maspar_ms(scale);
+    let params = plat.model_params();
+    let measured = per_key_series("Measured", &plat, &ms, ExchangeMode::Block, seed);
+    let predicted = predicted_series("Predicted (MP-BPRAM)", &ms, |m| {
+        predict::bitonic::bpram(&params, m)
+    });
+    Output::Fig(
+        Figure::new(
+            "Fig. 10",
+            "Measured and predicted times per key of MP-BPRAM bitonic sort on the MasPar",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(measured)
+        .with(predicted),
+    )
+}
+
+/// Fig. 11: MP-BPRAM bitonic on the GCel — the predictions "almost
+/// coincide with the measured data points".
+pub fn fig11(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::gcel();
+    let ms = gcel_ms(scale);
+    let params = plat.model_params();
+    let measured = per_key_series("Measured", &plat, &ms, ExchangeMode::Block, seed);
+    let predicted = predicted_series("Predicted (MP-BPRAM)", &ms, |m| {
+        predict::bitonic::bpram(&params, m)
+    });
+    Output::Fig(
+        Figure::new(
+            "Fig. 11",
+            "Measured and estimated times per key of bitonic sort on the GCel",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(measured)
+        .with(predicted),
+    )
+}
+
+/// Fig. 17: MP-BSP vs MP-BPRAM bitonic on the MasPar — the bulk-transfer
+/// gain, about 2.1x against the 3.3x bound.
+pub fn fig17(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::maspar();
+    let ms = maspar_ms(scale);
+    let words = per_key_series("MP-BSP (words)", &plat, &ms, ExchangeMode::Words, seed);
+    let blocks = per_key_series("MP-BPRAM (blocks)", &plat, &ms, ExchangeMode::Block, seed);
+    Output::Fig(
+        Figure::new(
+            "Fig. 17",
+            "MP-BSP vs MP-BPRAM bitonic sort on the MasPar",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(words)
+        .with(blocks),
+    )
+}
+
+/// Fig. 18: MP-BPRAM bitonic vs sample sort (padded single-port routing)
+/// vs the staggered direct variant, on the GCel.
+///
+/// The sweep covers the startup-dominated regime the paper plots (the
+/// `4·sqrt(P)·ell` term of the send phase); at several thousand keys per
+/// processor the per-key startup amortizes and sample sort catches up with
+/// bitonic — see EXPERIMENTS.md.
+pub fn fig18(scale: Scale, seed: u64) -> Output {
+    let plat = Platform::gcel();
+    let ms: Vec<usize> = match scale {
+        Scale::Full => vec![64, 128, 256, 512, 1024],
+        Scale::Quick => vec![128, 512, 1024],
+    };
+    let oversampling = 64;
+    let bitonic_s = per_key_series("Bitonic (MP-BPRAM)", &plat, &ms, ExchangeMode::Block, seed);
+    let mut sample_s = Series::new("Sample sort (MP-BPRAM)");
+    let mut staggered_s = Series::new("Sample sort (staggered direct)");
+    for &m in &ms {
+        let r = sample::run(&plat, m, oversampling, SampleVariant::Bpram, seed);
+        assert!(r.verified, "sample sort failed at M = {m}");
+        sample_s.push(DataPoint::new(m as f64, r.time.as_micros() / m as f64));
+        let r = sample::run(&plat, m, oversampling, SampleVariant::BpramStaggered, seed);
+        assert!(r.verified);
+        staggered_s.push(DataPoint::new(m as f64, r.time.as_micros() / m as f64));
+    }
+    Output::Fig(
+        Figure::new(
+            "Fig. 18",
+            "Measured times per key of MP-BPRAM bitonic and sample sort on the GCel",
+            "keys per processor",
+            "µs/key",
+        )
+        .with(bitonic_s)
+        .with(sample_s)
+        .with(staggered_s),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_model_overestimates_by_about_two() {
+        let Output::Fig(f) = fig05(Scale::Quick, 2) else { panic!() };
+        let m = f.series_named("Measured").unwrap();
+        let p = f.series_named("Predicted (MP-BSP)").unwrap();
+        let ratio = p.y_at(256.0).unwrap() / m.y_at(256.0).unwrap();
+        assert!(
+            ratio > 1.5 && ratio < 2.8,
+            "MP-BSP should overestimate ~2x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn fig06_resync_restores_the_prediction() {
+        let Output::Fig(f) = fig06(Scale::Quick, 3) else { panic!() };
+        let synced = f.series_named("Measured (barrier every 256)").unwrap();
+        let pred = f.series_named("Predicted (BSP)").unwrap();
+        let dev = pred.max_relative_deviation(synced);
+        assert!(dev < 0.25, "synced deviation = {dev}");
+        let unsynced = f.series_named("Measured (no resync)").unwrap();
+        assert!(
+            unsynced.y_at(1024.0).unwrap() > 1.3 * synced.y_at(1024.0).unwrap(),
+            "drift should show at M = 1024"
+        );
+    }
+
+    #[test]
+    fn fig11_bpram_is_accurate_on_gcel() {
+        let Output::Fig(f) = fig11(Scale::Quick, 4) else { panic!() };
+        let m = f.series_named("Measured").unwrap();
+        let p = f.series_named("Predicted (MP-BPRAM)").unwrap();
+        assert!(p.max_relative_deviation(m) < 0.15);
+    }
+
+    #[test]
+    fn fig17_bulk_gain_within_bound() {
+        let Output::Fig(f) = fig17(Scale::Quick, 5) else { panic!() };
+        let w = f.series_named("MP-BSP (words)").unwrap();
+        let b = f.series_named("MP-BPRAM (blocks)").unwrap();
+        let ratio = w.y_at(256.0).unwrap() / b.y_at(256.0).unwrap();
+        assert!(ratio > 1.3 && ratio < 3.3, "gain {ratio}, bound 3.3");
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 1: the machine parameters, as re-measured on the simulators.
+
+use crate::report::{Output, Scale};
+
+/// Runs the calibration suite and renders Table 1.
+pub fn run(scale: Scale, seed: u64) -> Output {
+    let trials = match scale {
+        Scale::Full => 10,
+        Scale::Quick => 2,
+    };
+    Output::Tab(pcm_calibrate::table1(trials, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_three_machines() {
+        let out = run(Scale::Quick, 1);
+        let Output::Tab(t) = out else { panic!("expected a table") };
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.cell("MasPar", "P").is_some());
+        assert!(t.cell("CM-5", "sigma").is_some());
+    }
+}

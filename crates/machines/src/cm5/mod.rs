@@ -1,0 +1,357 @@
+//! The Thinking Machines CM-5 machine model.
+//!
+//! 64 SPARC nodes under Split-C: a fat-tree data network with high
+//! bisection bandwidth, plus a dedicated control network that makes
+//! barriers almost free (`L = 45 µs`). Three mechanisms matter:
+//!
+//! * **pipelined fine-grain messages** — a processor can keep `h` word
+//!   messages in flight, so an h-relation costs `g·h + L` with a small
+//!   `g = 9.1 µs` (memory pipelining — this is where the CM-5 differs from
+//!   the MasPar);
+//! * **receiver contention** — when several processors follow the *same*
+//!   send schedule (everyone hits destination `<i,j,0>` first), the
+//!   receiver becomes a transient hot spot and senders stall; the paper
+//!   measured a 21% end-to-end penalty for the unstaggered matrix
+//!   multiplication (Fig. 4). The model charges a per-round factor
+//!   `1 + rho·(c-1)` where `c` is the in-degree of the round, capped at
+//!   full serialization `c`;
+//! * **cache-sensitive local compute** — the assembly matmul kernel runs
+//!   at 6.5–7.5 Mflops between 32 and 256, but degrades below 32 (loop
+//!   overhead) and above ~256 KB working set (5.2 Mflops at 512, the
+//!   64 KB direct-mapped cache), which produces the small-N/large-N
+//!   prediction errors of Figs. 4 and 9.
+
+use pcm_core::rng::jitter;
+use pcm_core::SimTime;
+use rand::rngs::StdRng;
+
+use pcm_sim::{CommPattern, ComputeModel, NetworkModel};
+
+/// Tunable cost constants of the CM-5 model.
+#[derive(Clone, Copy, Debug)]
+pub struct Cm5Costs {
+    /// Gap per word message (µs) — the BSP `g`.
+    pub gap: f64,
+    /// Barrier via the control network (µs) — the BSP `L`.
+    pub barrier: f64,
+    /// Per-byte cost of bulk transfers (µs/byte) — the BPRAM `sigma`.
+    pub byte: f64,
+    /// Startup of a bulk transfer (µs) — the BPRAM `ell`.
+    pub block_overhead: f64,
+    /// Receiver-contention factor per extra concurrent sender into the
+    /// same destination within a round.
+    pub rho: f64,
+    /// Contention factor for concurrent blocks into one destination.
+    pub rho_block: f64,
+    /// Multiplicative jitter.
+    pub jitter_cv: f64,
+}
+
+impl Default for Cm5Costs {
+    fn default() -> Self {
+        Cm5Costs {
+            gap: 9.1,
+            barrier: 45.0,
+            byte: 0.27,
+            block_overhead: 75.0,
+            rho: 0.117,
+            rho_block: 0.117,
+            jitter_cv: 0.01,
+        }
+    }
+}
+
+/// The CM-5 fat-tree network model.
+pub struct Cm5Network {
+    p: usize,
+    costs: Cm5Costs,
+}
+
+impl Cm5Network {
+    /// Builds the network for `p` nodes.
+    pub fn new(p: usize) -> Self {
+        Self::with_costs(p, Cm5Costs::default())
+    }
+
+    /// Builds the network with explicit constants (for ablations).
+    pub fn with_costs(p: usize, costs: Cm5Costs) -> Self {
+        assert!(p > 0);
+        Cm5Network { p, costs }
+    }
+
+    /// Contention factor for in-degree `c`: `min(c, 1 + rho·(c-1))`.
+    fn factor(rho: f64, c: usize) -> f64 {
+        if c <= 1 {
+            1.0
+        } else {
+            (1.0 + rho * (c as f64 - 1.0)).min(c as f64)
+        }
+    }
+}
+
+impl NetworkModel for Cm5Network {
+    fn route(&mut self, pattern: &CommPattern, rng: &mut StdRng) -> SimTime {
+        debug_assert_eq!(pattern.p, self.p);
+        let c = self.costs;
+
+        // Word traffic: rounds pipeline at the gap; a round whose
+        // destinations collide pays the contention factor. A sustained
+        // imbalance is bounded below by the receiver's drain time g·h_r.
+        let mut words = 0.0;
+        for seg in pattern.word_segments() {
+            let f = Self::factor(c.rho, seg.max_in_degree());
+            words += c.gap * seg.rounds as f64 * f;
+        }
+        words = words.max(c.gap * pattern.h_recv() as f64);
+
+        // Block traffic: per block round, the longest transfer (plus
+        // contention) determines the step; the hottest receiver bounds it.
+        let mut blocks = 0.0;
+        let mut all_rounds = pattern.block_rounds();
+        all_rounds.extend(pattern.xnet_rounds()); // no xnet on a CM-5
+        for round in &all_rounds {
+            let f = Self::factor(c.rho_block, round.max_in_degree());
+            let step = (c.byte * round.max_bytes() as f64 * f)
+                .max(c.byte * round.max_recv_bytes() as f64)
+                + c.block_overhead;
+            blocks += step;
+        }
+
+        let t = (words + blocks) * jitter(c.jitter_cv, rng) + c.barrier;
+        SimTime::from_micros(t)
+    }
+
+    fn barrier(&mut self) -> SimTime {
+        SimTime::from_micros(self.costs.barrier)
+    }
+
+    fn name(&self) -> &str {
+        "cm5-fat-tree"
+    }
+}
+
+/// The CM-5 compute model: nominal `alpha` for generic work plus the
+/// measured Mflops curve of the assembly matmul kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Cm5Compute {
+    /// Generic compound-op time (µs) used by `charge_ops`.
+    pub alpha: f64,
+    /// Copy cost per word (µs).
+    pub copy: f64,
+    /// Radix-sort coefficients (µs).
+    pub radix: (f64, f64),
+}
+
+impl Cm5Compute {
+    /// The default CM-5 node (paper values).
+    pub fn new() -> Self {
+        Cm5Compute {
+            alpha: 0.35,
+            copy: 0.06,
+            radix: (0.45, 0.55),
+        }
+    }
+
+    /// Sustained Mflops of the local matmul kernel for an
+    /// `m x k · k x n` multiplication.
+    pub fn kernel_mflops(m: usize, n: usize, k: usize) -> f64 {
+        let max_dim = m.max(n).max(k);
+        // Largest operand panel in bytes (8-byte doubles): the cache-blocked
+        // kernel tolerates panels up to ~1 MB; beyond that the 64 KB
+        // direct-mapped cache thrashes on the power-of-two strides.
+        let panel = 8 * (m * k).max(k * n).max(m * n);
+        if max_dim <= 16 {
+            4.5 // loop overhead dominates tiny blocks
+        } else if max_dim <= 24 {
+            5.5
+        } else if max_dim <= 32 {
+            6.5
+        } else if panel > 1024 * 1024 {
+            5.2 // the paper's square-512 pathology
+        } else if max_dim <= 64 {
+            7.0
+        } else {
+            7.3
+        }
+    }
+}
+
+impl Default for Cm5Compute {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputeModel for Cm5Compute {
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn word_bytes(&self) -> usize {
+        8
+    }
+
+    fn matmul_op_time(&self, m: usize, n: usize, k: usize) -> f64 {
+        // One compound op = 2 flops; Mflops = flops/µs.
+        2.0 / Self::kernel_mflops(m, n, k)
+    }
+
+    fn copy_word_time(&self) -> f64 {
+        self.copy
+    }
+
+    fn radix_coeffs(&self) -> (f64, f64) {
+        self.radix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_core::rng::{random_h_relation, seeded};
+    use pcm_sim::{MsgKind, SendRecord};
+
+    fn route_us(net: &mut Cm5Network, pat: &CommPattern, seed: u64) -> f64 {
+        let mut rng = seeded(seed);
+        net.route(pat, &mut rng).as_micros() - net.costs.barrier
+    }
+
+    #[test]
+    fn h_relation_costs_g_h() {
+        let mut net = Cm5Network::new(64);
+        let mut rng = seeded(2);
+        for &h in &[1usize, 8, 64] {
+            let dests = random_h_relation(64, h, &mut rng);
+            let pat = CommPattern {
+                p: 64,
+                sends: dests
+                    .into_iter()
+                    .map(|ds| {
+                        ds.into_iter()
+                            .map(|d| SendRecord {
+                                dst: d,
+                                words: 1,
+                                bytes: 8,
+                                kind: MsgKind::Words,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            };
+            let t = route_us(&mut net, &pat, h as u64);
+            let expect = 9.1 * h as f64;
+            assert!((t - expect).abs() / expect < 0.05, "h={h}: {t} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn identical_schedules_pay_contention() {
+        // 4 senders all send 100 words to dst 0, then 100 to dst 1, ... —
+        // the unstaggered matmul schedule.
+        let naive: Vec<Vec<SendRecord>> = (0..4)
+            .map(|_| {
+                (0..4usize)
+                    .map(|d| SendRecord {
+                        dst: 8 + d,
+                        words: 100,
+                        bytes: 800,
+                        kind: MsgKind::Words,
+                    })
+                    .collect()
+            })
+            .collect();
+        // Staggered: sender i starts at destination i.
+        let staggered: Vec<Vec<SendRecord>> = (0..4usize)
+            .map(|i| {
+                (0..4usize)
+                    .map(|d| SendRecord {
+                        dst: 8 + (i + d) % 4,
+                        words: 100,
+                        bytes: 800,
+                        kind: MsgKind::Words,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut net = Cm5Network::new(64);
+        let mut pad = vec![Vec::new(); 60];
+        let mut naive_sends = naive;
+        naive_sends.append(&mut pad);
+        let t_naive = route_us(&mut net, &CommPattern { p: 64, sends: naive_sends }, 1);
+        let mut pad = vec![Vec::new(); 60];
+        let mut stag_sends = staggered;
+        stag_sends.append(&mut pad);
+        let t_stag = route_us(&mut net, &CommPattern { p: 64, sends: stag_sends }, 1);
+        let ratio = t_naive / t_stag;
+        // 1 + rho·3 = 1.35 — the Fig. 4 contention factor for q = 4.
+        assert!((ratio - 1.35).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn sustained_hot_receiver_is_drain_bound() {
+        // 63 procs send 10 words each to proc 0: receiver must drain 630.
+        let sends: Vec<Vec<SendRecord>> = (0..64)
+            .map(|i| {
+                if i == 0 {
+                    Vec::new()
+                } else {
+                    vec![SendRecord {
+                        dst: 0,
+                        words: 10,
+                        bytes: 80,
+                        kind: MsgKind::Words,
+                    }]
+                }
+            })
+            .collect();
+        let mut net = Cm5Network::new(64);
+        let t = route_us(&mut net, &CommPattern { p: 64, sends }, 1);
+        assert!(t >= 9.1 * 630.0 * 0.95, "drain bound: {t}");
+    }
+
+    #[test]
+    fn block_permutation_costs_sigma_m_plus_ell() {
+        let mut net = Cm5Network::new(64);
+        for &m in &[1024usize, 32768] {
+            let sends: Vec<Vec<SendRecord>> = (0..64)
+                .map(|i| {
+                    vec![SendRecord {
+                        dst: (i + 7) % 64,
+                        words: m / 8,
+                        bytes: m,
+                        kind: MsgKind::Block,
+                    }]
+                })
+                .collect();
+            let t = route_us(&mut net, &CommPattern { p: 64, sends }, m as u64);
+            let expect = 0.27 * m as f64 + 75.0;
+            assert!((t - expect).abs() / expect < 0.05, "m={m}: {t} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn kernel_curve_matches_the_paper() {
+        // "6.5 to 7.5 Mflops for square matrices of size 32x32 to 256x256"
+        for n in [32usize, 64, 128] {
+            let mf = Cm5Compute::kernel_mflops(n, n, n);
+            assert!((6.5..=7.5).contains(&mf), "n={n}: {mf}");
+        }
+        // "When N = 512, the performance drops to 5.2 Mflops."
+        let big = Cm5Compute::kernel_mflops(512, 512, 512);
+        assert!((5.0..=5.6).contains(&big), "512: {big}");
+        // Tiny blocks are slow.
+        assert!(Cm5Compute::kernel_mflops(8, 8, 8) < 5.0);
+        // Nominal alpha ≈ 0.29 µs in the sweet spot.
+        let c = Cm5Compute::new();
+        let op = c.matmul_op_time(64, 64, 64);
+        assert!((op - 0.2857).abs() < 0.01, "op time = {op}");
+    }
+
+    #[test]
+    fn contention_factor_caps_at_full_serialization() {
+        assert_eq!(Cm5Network::factor(0.117, 1), 1.0);
+        assert!((Cm5Network::factor(0.117, 4) - 1.351).abs() < 1e-9);
+        // With a huge rho the factor cannot exceed c.
+        assert_eq!(Cm5Network::factor(10.0, 3), 3.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # pcm-machines — calibrated models of the paper's three machines
+//!
+//! Mechanistic simulators of the MasPar MP-1, the Parsytec GCel and the
+//! CM-5, pluggable into `pcm-sim` through its `NetworkModel`/`ComputeModel`
+//! traits. Each model implements the physical mechanism behind every
+//! prediction error the paper reports (router pass conflicts, PVM software
+//! occupancy and drift, fat-tree receiver contention, cache effects), and
+//! each is calibrated so that the `pcm-calibrate` microbenchmarks recover
+//! the paper's Table 1 parameters.
+
+pub mod cm5;
+pub mod gcel;
+pub mod maspar;
+pub mod platform;
+
+pub use cm5::{Cm5Compute, Cm5Costs, Cm5Network};
+pub use gcel::{GcelCosts, GcelNetwork};
+pub use maspar::{MasParCosts, MasParNetwork};
+pub use platform::{ParamCompute, Platform, PlatformKind};

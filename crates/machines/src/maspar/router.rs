@@ -1,0 +1,278 @@
+//! The MasPar MP-1 global router: a circuit-switched multistage delta
+//! network with one router channel per cluster of 16 PEs.
+//!
+//! The router transfers a communication round in a series of *passes*.
+//! In each pass, every cluster port can originate one circuit and each PE
+//! can accept one message; a circuit claims one node per network stage, and
+//! circuits that would collide are deferred to a later pass (greedy
+//! circuit switching with retry — the MP-1's actual scheme).
+//!
+//! Two consequences, both reported by the paper, fall out of this
+//! mechanism:
+//!
+//! * **bit-permute permutations are cheap** — a permutation that flips one
+//!   address bit maps clusters to clusters bijectively and routes through
+//!   the delta network without internal conflicts, finishing in the minimum
+//!   16 passes (one per PE of a cluster). Random permutations collide
+//!   internally and need roughly twice as many passes, which is why the
+//!   bitonic exchange costs about half of what `g + L` predicts (Fig. 5);
+//! * **partial permutations are cheap** — with `P'` active PEs the port
+//!   loads shrink, pass counts drop, and the measured time follows the
+//!   paper's `T_unb(P') = 0.84·P' + 11.8·sqrt(P') + 73.3` curve (Fig. 2).
+
+/// PEs per router cluster (one router channel each) on the MP-1.
+pub const CLUSTER: usize = 16;
+
+/// The router's pass-count outcome for one communication round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Passes the greedy circuit switching actually needed.
+    pub passes: usize,
+    /// Information-theoretic minimum passes for the round: the largest of
+    /// the per-port send loads, per-port receive loads and per-PE receive
+    /// degrees.
+    pub min_passes: usize,
+}
+
+/// A delta/omega network over `P/16` cluster ports.
+#[derive(Clone, Debug)]
+pub struct DeltaRouter {
+    p: usize,
+    ports: usize,
+    stages: u32,
+}
+
+impl DeltaRouter {
+    /// Builds the router for `p` PEs.
+    ///
+    /// # Panics
+    /// Panics unless `p` is a power of two with at least one full cluster
+    /// (16 PEs), so that the port count is a power of two.
+    pub fn new(p: usize) -> Self {
+        assert!(
+            p >= CLUSTER && p.is_power_of_two(),
+            "MasPar router needs a power-of-two PE count >= {CLUSTER}, got {p}"
+        );
+        let ports = p / CLUSTER;
+        DeltaRouter {
+            p,
+            ports,
+            stages: ports.trailing_zeros(),
+        }
+    }
+
+    /// Number of cluster ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The cluster port of a PE.
+    #[inline]
+    pub fn port_of(&self, pe: usize) -> usize {
+        pe / CLUSTER
+    }
+
+    /// Lower bound on the number of passes for a round.
+    pub fn min_passes(&self, sends: &[(usize, usize)]) -> usize {
+        let mut out_load = vec![0usize; self.ports];
+        let mut in_load = vec![0usize; self.ports];
+        let mut pe_in = std::collections::HashMap::new();
+        for &(src, dst) in sends {
+            out_load[self.port_of(src)] += 1;
+            in_load[self.port_of(dst)] += 1;
+            *pe_in.entry(dst).or_insert(0usize) += 1;
+        }
+        let a = out_load.into_iter().max().unwrap_or(0);
+        let b = in_load.into_iter().max().unwrap_or(0);
+        let c = pe_in.into_values().max().unwrap_or(0);
+        a.max(b).max(c).max(usize::from(!sends.is_empty()))
+    }
+
+    /// Routes one round of `(src PE, dst PE)` messages and reports the
+    /// pass counts. Deterministic: retry order rotates with the pass index.
+    pub fn route(&self, sends: &[(usize, usize)]) -> RouteOutcome {
+        let min_passes = self.min_passes(sends);
+        if sends.is_empty() {
+            return RouteOutcome {
+                passes: 0,
+                min_passes: 0,
+            };
+        }
+        for &(src, dst) in sends {
+            debug_assert!(src < self.p && dst < self.p, "PE id out of range");
+        }
+
+        let mut pending: Vec<(usize, usize)> = sends.to_vec();
+        let mut passes = 0usize;
+        // Reusable occupancy maps, keyed by pass stamp to avoid clearing.
+        let mut src_busy = vec![0u32; self.ports];
+        let mut node_busy = vec![0u32; (self.stages as usize).max(1) * self.ports];
+        let mut pe_busy = vec![0u32; self.p];
+        let mut stamp = 0u32;
+
+        while !pending.is_empty() {
+            passes += 1;
+            stamp += 1;
+            let mut next = Vec::with_capacity(pending.len() / 2);
+            // Rotate the service order so no message starves.
+            let offset = (passes * 17) % pending.len();
+            for idx in 0..pending.len() {
+                let (src, dst) = pending[(idx + offset) % pending.len()];
+                let sp = self.port_of(src);
+                let dp = self.port_of(dst);
+                if src_busy[sp] == stamp || pe_busy[dst] == stamp {
+                    next.push((src, dst));
+                    continue;
+                }
+                if sp == dp {
+                    // Intra-cluster transfer: uses the port's local crossbar
+                    // only; no internal network nodes.
+                    src_busy[sp] = stamp;
+                    pe_busy[dst] = stamp;
+                    continue;
+                }
+                // Walk the omega path; conflict if any stage node is taken.
+                let mut x = sp;
+                let mut path_ok = true;
+                let mut path = [0usize; 16];
+                for s in 0..self.stages {
+                    let bit = (dp >> (self.stages - 1 - s)) & 1;
+                    x = ((x << 1) | bit) & (self.ports - 1);
+                    let node = s as usize * self.ports + x;
+                    if node_busy[node] == stamp {
+                        path_ok = false;
+                        break;
+                    }
+                    path[s as usize] = node;
+                }
+                if !path_ok {
+                    next.push((src, dst));
+                    continue;
+                }
+                for &node in path.iter().take(self.stages as usize) {
+                    node_busy[node] = stamp;
+                }
+                src_busy[sp] = stamp;
+                pe_busy[dst] = stamp;
+            }
+            pending = next;
+            assert!(
+                passes < 1_000_000,
+                "router livelock: {} messages stuck",
+                pending.len()
+            );
+        }
+        RouteOutcome { passes, min_passes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_core::rng::{random_permutation, seeded};
+    use pcm_sim::topology::hypercube_partner;
+
+    #[test]
+    fn empty_round_is_free() {
+        let r = DeltaRouter::new(1024);
+        assert_eq!(
+            r.route(&[]),
+            RouteOutcome {
+                passes: 0,
+                min_passes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn single_message_routes_in_one_pass() {
+        let r = DeltaRouter::new(1024);
+        let out = r.route(&[(3, 997)]);
+        assert_eq!(out.passes, 1);
+        assert_eq!(out.min_passes, 1);
+    }
+
+    #[test]
+    fn bit_flip_permutations_achieve_the_minimum() {
+        let r = DeltaRouter::new(1024);
+        for bit in [0u32, 3, 4, 7, 9] {
+            let sends: Vec<(usize, usize)> =
+                (0..1024).map(|i| (i, hypercube_partner(i, bit))).collect();
+            let out = r.route(&sends);
+            assert_eq!(out.min_passes, CLUSTER);
+            assert_eq!(
+                out.passes, CLUSTER,
+                "bit {bit} permutation should be conflict-free"
+            );
+        }
+    }
+
+    #[test]
+    fn random_permutations_need_more_passes_than_bit_flips() {
+        let r = DeltaRouter::new(1024);
+        let mut rng = seeded(11);
+        let mut total = 0usize;
+        for _ in 0..5 {
+            let perm = random_permutation(1024, &mut rng);
+            let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+            let out = r.route(&sends);
+            assert!(out.passes >= out.min_passes);
+            total += out.passes;
+        }
+        let avg = total as f64 / 5.0;
+        assert!(
+            avg > 1.5 * CLUSTER as f64,
+            "random permutations should collide internally (avg {avg} passes)"
+        );
+    }
+
+    #[test]
+    fn hot_receiver_serializes() {
+        let r = DeltaRouter::new(64);
+        // 32 PEs all send to PE 0.
+        let sends: Vec<(usize, usize)> = (16..48).map(|i| (i, 0)).collect();
+        let out = r.route(&sends);
+        assert!(out.min_passes >= 32);
+        assert!(out.passes >= 32);
+    }
+
+    #[test]
+    fn partial_permutations_use_fewer_passes() {
+        let r = DeltaRouter::new(1024);
+        let mut rng = seeded(12);
+        let (s, d) = pcm_core::rng::random_partial_permutation(1024, 32, &mut rng);
+        let sends: Vec<(usize, usize)> = s.into_iter().zip(d).collect();
+        let out = r.route(&sends);
+        assert!(
+            out.passes <= 8,
+            "32 active PEs should route quickly, got {} passes",
+            out.passes
+        );
+    }
+
+    #[test]
+    fn intra_cluster_traffic_avoids_the_network() {
+        let r = DeltaRouter::new(64);
+        // Every PE sends to its neighbour inside the same cluster.
+        let sends: Vec<(usize, usize)> = (0..64)
+            .map(|i| (i, (i / CLUSTER) * CLUSTER + ((i + 1) % CLUSTER)))
+            .collect();
+        let out = r.route(&sends);
+        assert_eq!(out.passes, CLUSTER, "port serialization only");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_odd_sizes() {
+        DeltaRouter::new(100);
+    }
+
+    #[test]
+    fn determinism() {
+        let r = DeltaRouter::new(256);
+        let mut rng = seeded(5);
+        let perm = random_permutation(256, &mut rng);
+        let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+        assert_eq!(r.route(&sends), r.route(&sends));
+    }
+}

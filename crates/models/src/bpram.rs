@@ -1,0 +1,59 @@
+//! The Message-Passing Block PRAM (MP-BPRAM) cost model.
+//!
+//! Processors exchange messages of arbitrary length; a message of `m`
+//! bytes is transferred in `sigma·m + ell` time. The model is synchronous
+//! and *single-ported*: a processor can send and receive at most one
+//! message per communication step, and every processor waits for the
+//! longest transfer of the step.
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// MP-BPRAM cost calculator.
+#[derive(Clone, Debug)]
+pub struct Bpram<'a> {
+    /// The machine parameters (`sigma`, `ell`, `w`).
+    pub params: &'a MachineParams,
+}
+
+impl<'a> Bpram<'a> {
+    /// Creates a calculator for `params`.
+    pub fn new(params: &'a MachineParams) -> Self {
+        Bpram { params }
+    }
+
+    /// Cost of one communication step whose longest message is `bytes`
+    /// bytes: `sigma·bytes + ell`.
+    pub fn step_bytes(&self, bytes: usize) -> SimTime {
+        SimTime::from_micros(self.params.sigma * bytes as f64 + self.params.ell)
+    }
+
+    /// Cost of one communication step whose longest message is `words`
+    /// machine words: `sigma·w·words + ell`.
+    pub fn step_words(&self, words: usize) -> SimTime {
+        self.step_bytes(words * self.params.w)
+    }
+
+    /// Cost of `steps` identical communication steps of `words`-word
+    /// messages.
+    pub fn steps_words(&self, steps: usize, words: usize) -> SimTime {
+        self.step_words(words) * steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::gcel;
+
+    #[test]
+    fn block_transfer_cost() {
+        let p = gcel();
+        let b = Bpram::new(&p);
+        // sigma·m + ell = 9.3·1000 + 6900
+        assert!((b.step_bytes(1000).as_micros() - 16200.0).abs() < 1e-9);
+        // words are 4 bytes on the GCel
+        assert!((b.step_words(250).as_micros() - 16200.0).abs() < 1e-9);
+        assert!((b.steps_words(3, 250).as_micros() - 48600.0).abs() < 1e-6);
+    }
+}

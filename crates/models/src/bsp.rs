@@ -1,0 +1,60 @@
+//! The Bulk-Synchronous Parallel cost model (Valiant 1990), in the
+//! cost-definition variant the paper adopts from Bisseling & McColl:
+//! a superstep with local computation `c` and word fan-in/fan-out
+//! `h_s`/`h_r` costs `c + g·max{h_s, h_r} + L`.
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// BSP cost calculator over a machine's parameters.
+#[derive(Clone, Debug)]
+pub struct Bsp<'a> {
+    /// The machine parameters (`g`, `L`, `w`).
+    pub params: &'a MachineParams,
+}
+
+impl<'a> Bsp<'a> {
+    /// Creates a calculator for `params`.
+    pub fn new(params: &'a MachineParams) -> Self {
+        Bsp { params }
+    }
+
+    /// Cost of one superstep: `c + g·max{h_s, h_r} + L`.
+    pub fn superstep(&self, compute_us: f64, h_send: usize, h_recv: usize) -> SimTime {
+        let h = h_send.max(h_recv) as f64;
+        SimTime::from_micros(compute_us + self.params.g * h + self.params.l)
+    }
+
+    /// Cost of routing an `h`-relation followed by a barrier: `g·h + L`.
+    pub fn h_relation(&self, h: usize) -> SimTime {
+        self.superstep(0.0, h, h)
+    }
+
+    /// Cost of a barrier alone.
+    pub fn barrier(&self) -> SimTime {
+        SimTime::from_micros(self.params.l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::cm5;
+
+    #[test]
+    fn superstep_cost_formula() {
+        let p = cm5();
+        let b = Bsp::new(&p);
+        // c + g·max{3, 7} + L = 100 + 9.1·7 + 45
+        let t = b.superstep(100.0, 3, 7);
+        assert!((t.as_micros() - (100.0 + 9.1 * 7.0 + 45.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h_relation_is_g_h_plus_l() {
+        let p = cm5();
+        let b = Bsp::new(&p);
+        assert!((b.h_relation(10).as_micros() - 136.0).abs() < 1e-9);
+        assert!((b.barrier().as_micros() - 45.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! The E-BSP model — BSP extended with unbalanced communication.
+//!
+//! E-BSP views every communication pattern as an `(M, h1, h2)`-relation:
+//! each processor sends at most `h1` messages, receives at most `h2`, and
+//! at most `M` messages are routed in total. The paper instantiates E-BSP
+//! per machine:
+//!
+//! * **MasPar**: the cost of a communication step is a function of the
+//!   number of *active* PEs — `T_unb(P') = a·P' + b·sqrt(P') + c`;
+//! * **GCel**: multinode scatters (few senders, spread receivers) cost
+//!   `g_mscat·h + L` with `g_mscat ≪ g` (about a factor 9.1);
+//! * **CM-5**: the fat tree's bisection bandwidth is high enough that
+//!   partial relations cost like full ones — E-BSP coincides with BSP.
+
+use crate::params::{EbspParams, MachineParams};
+use pcm_core::SimTime;
+
+/// E-BSP cost calculator.
+#[derive(Clone, Debug)]
+pub struct Ebsp<'a> {
+    /// The machine parameters, including the E-BSP refinement.
+    pub params: &'a MachineParams,
+}
+
+impl<'a> Ebsp<'a> {
+    /// Creates a calculator for `params`.
+    pub fn new(params: &'a MachineParams) -> Self {
+        Ebsp { params }
+    }
+
+    /// Cost of one communication step that is a partial permutation with
+    /// `active` participating processors.
+    ///
+    /// On a `PartialPermutation` machine this is `T_unb(active)`; otherwise
+    /// it falls back to the plain BSP cost of a 1-relation, `g + L`.
+    pub fn partial_permutation(&self, active: usize) -> SimTime {
+        match self.params.ebsp.t_unb(active as f64) {
+            Some(t) => SimTime::from_micros(t),
+            None => SimTime::from_micros(self.params.g + self.params.l),
+        }
+    }
+
+    /// Cost of a multinode scatter in which each of the (few) senders
+    /// transmits `h` messages.
+    ///
+    /// On a `MultinodeScatter` machine this is `g_mscat·h + L`; otherwise
+    /// the plain BSP `g·h + L`.
+    pub fn multinode_scatter(&self, h: usize) -> SimTime {
+        let g = match self.params.ebsp {
+            EbspParams::MultinodeScatter { g_mscat } => g_mscat,
+            _ => self.params.g,
+        };
+        SimTime::from_micros(g * h as f64 + self.params.l)
+    }
+
+    /// The effective scatter coefficient (`g_mscat` where refined, `g`
+    /// elsewhere).
+    pub fn g_scatter(&self) -> f64 {
+        match self.params.ebsp {
+            EbspParams::MultinodeScatter { g_mscat } => g_mscat,
+            _ => self.params.g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{cm5, gcel, maspar};
+
+    #[test]
+    fn maspar_partial_permutations_use_t_unb() {
+        let p = maspar();
+        let e = Ebsp::new(&p);
+        let full = e.partial_permutation(1024).as_micros();
+        let partial = e.partial_permutation(32).as_micros();
+        assert!(partial / full < 0.15, "32 active PEs ≈ 13% of full");
+        // Cheaper than the MP-BSP estimate g + L = 1432.
+        assert!(full < 1432.0);
+    }
+
+    #[test]
+    fn gcel_scatter_is_9x_cheaper() {
+        let p = gcel();
+        let e = Ebsp::new(&p);
+        let scatter = e.multinode_scatter(100).as_micros();
+        let full = p.g * 100.0 + p.l;
+        let factor = (full - p.l) / (scatter - p.l);
+        assert!((factor - 9.1).abs() < 0.1, "factor = {factor}");
+    }
+
+    #[test]
+    fn cm5_degenerates_to_bsp() {
+        let p = cm5();
+        let e = Ebsp::new(&p);
+        assert_eq!(e.g_scatter(), p.g);
+        assert!((e.partial_permutation(7).as_micros() - (p.g + p.l)).abs() < 1e-9);
+        assert!((e.multinode_scatter(10).as_micros() - (p.g * 10.0 + p.l)).abs() < 1e-9);
+    }
+}

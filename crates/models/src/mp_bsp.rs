@@ -1,0 +1,67 @@
+//! The MP-BSP model — the paper's MasPar-flavoured BSP variant.
+//!
+//! The MasPar MP-1 permits only one outstanding message per PE (no memory
+//! pipelining), so the paper defines MP-BSP: a synchronous model whose
+//! steps are either computation steps or *communication steps*. In a
+//! communication step every processor writes at most one word into another
+//! processor's memory; if `h` is the maximum number of writers into one
+//! module, the step costs `L + g·h` (a 1-h relation).
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// MP-BSP cost calculator.
+#[derive(Clone, Debug)]
+pub struct MpBsp<'a> {
+    /// The machine parameters (`g`, `L`).
+    pub params: &'a MachineParams,
+}
+
+impl<'a> MpBsp<'a> {
+    /// Creates a calculator for `params`.
+    pub fn new(params: &'a MachineParams) -> Self {
+        MpBsp { params }
+    }
+
+    /// Cost of one communication step that is a 1-h relation:
+    /// `L + g·h`.
+    pub fn comm_step(&self, h: usize) -> SimTime {
+        SimTime::from_micros(self.params.l + self.params.g * h as f64)
+    }
+
+    /// Cost of `steps` successive communication steps, each a (partial)
+    /// permutation (`h = 1`): `steps · (g + L)`. This is the term that
+    /// appears as `(g + L) · M` in the MP-BSP algorithm analyses.
+    pub fn permutation_steps(&self, steps: usize) -> SimTime {
+        SimTime::from_micros((self.params.g + self.params.l) * steps as f64)
+    }
+
+    /// Cost of a computation phase of `compute_us` microseconds.
+    pub fn compute_step(&self, compute_us: f64) -> SimTime {
+        SimTime::from_micros(compute_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::maspar;
+
+    #[test]
+    fn permutation_step_costs_g_plus_l() {
+        let p = maspar();
+        let m = MpBsp::new(&p);
+        // g + L = 1432.2 µs — the paper's per-word MP-BSP cost on the
+        // MasPar ("g + L ≈ 1430 µs").
+        assert!((m.comm_step(1).as_micros() - 1432.2).abs() < 1e-9);
+        assert!((m.permutation_steps(10).as_micros() - 14322.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_writes_scale_with_h() {
+        let p = maspar();
+        let m = MpBsp::new(&p);
+        let t = m.comm_step(16);
+        assert!((t.as_micros() - (1400.0 + 32.2 * 16.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine parameters as the cost models see them.
+//!
+//! [`MachineParams`] bundles everything the closed-form predictions of
+//! Section 4 of the paper need: the (MP-)BSP parameters `g`, `L`, the
+//! MP-BPRAM parameters `sigma`, `ell`, the word size `w`, local-computation
+//! coefficients, and the machine-specific E-BSP refinements. The
+//! [`maspar`], [`gcel`] and [`cm5`] constructors carry the paper's Table 1
+//! values together with the secondary constants the paper reports in the
+//! text (`T_unb`, `g_mscat`).
+
+/// E-BSP refinement: how a machine prices *unbalanced* communication.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EbspParams {
+    /// MasPar-style: a partial permutation with `P'` active processors
+    /// costs `T_unb(P') = a·P' + b·sqrt(P') + c` µs.
+    PartialPermutation {
+        /// Linear coefficient (µs per active PE).
+        a: f64,
+        /// Square-root coefficient.
+        b: f64,
+        /// Constant offset.
+        c: f64,
+    },
+    /// GCel-style: a multinode scatter (few senders, spread receivers)
+    /// costs `g_mscat·h + L` instead of `g·h + L`.
+    MultinodeScatter {
+        /// Effective per-message cost of the scatter pattern (µs).
+        g_mscat: f64,
+    },
+    /// High-bisection network (CM-5 fat tree): partial relations cost about
+    /// the same as full relations; E-BSP degenerates to BSP.
+    Uniform,
+}
+
+impl EbspParams {
+    /// `T_unb(active)` where applicable; falls back to `None` for machines
+    /// without a partial-permutation refinement.
+    pub fn t_unb(&self, active: f64) -> Option<f64> {
+        match *self {
+            EbspParams::PartialPermutation { a, b, c } => {
+                Some(a * active + b * active.sqrt() + c)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Everything a cost model needs to know about a machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineParams {
+    /// Machine name ("MasPar", "GCel", "CM-5").
+    pub name: &'static str,
+    /// Number of processors `P`.
+    pub p: usize,
+    /// Word size `w` in bytes (message granularity of the BSP variants).
+    pub w: usize,
+    /// BSP bandwidth factor `g` — µs per word message in an h-relation.
+    pub g: f64,
+    /// BSP synchronization/latency cost `L` in µs.
+    pub l: f64,
+    /// MP-BPRAM per-byte transfer cost `sigma` in µs/byte.
+    pub sigma: f64,
+    /// MP-BPRAM message startup `ell` in µs.
+    pub ell: f64,
+    /// Compound-op (multiply+add) time of the tuned local matmul kernel, µs.
+    pub alpha_mm: f64,
+    /// Compound-op time for generic scalar work (APSP updates, merges), µs.
+    pub alpha: f64,
+    /// Per-word data rearrangement cost `beta` in the matmul expressions, µs.
+    pub copy: f64,
+    /// Radix-sort coefficient `beta` (per bucket slot per pass), µs.
+    pub radix_beta: f64,
+    /// Radix-sort coefficient `gamma` (per key per pass), µs.
+    pub radix_gamma: f64,
+    /// `true` if remote accesses pipeline (plain BSP); `false` for the
+    /// MasPar-style MP-BSP machine where each word message is its own
+    /// communication step costing `g + L`.
+    pub memory_pipelining: bool,
+    /// Machine-specific unbalanced-communication refinement.
+    pub ebsp: EbspParams,
+}
+
+impl MachineParams {
+    /// The ratio `g / (w·sigma)` — the paper's indicator of the maximum
+    /// gain obtainable by grouping data into long messages (about 120 on
+    /// the GCel, 4.2 on the CM-5).
+    pub fn bulk_gain(&self) -> f64 {
+        self.g / (self.w as f64 * self.sigma)
+    }
+
+    /// The MP-BSP variant of the bulk gain, `(g+L) / (w·sigma)` — 3.3 on
+    /// the MasPar, where every word message pays the synchronization cost.
+    pub fn bulk_gain_mp(&self) -> f64 {
+        (self.g + self.l) / (self.w as f64 * self.sigma)
+    }
+
+    /// Cost of the local radix sort of `n` keys (`b`-bit keys, radix `2^r`):
+    /// `T_local_sort = (b/r)·(beta·2^r + gamma·n)`.
+    pub fn local_sort(&self, n: usize, key_bits: usize, radix_bits: usize) -> f64 {
+        let passes = key_bits as f64 / radix_bits as f64;
+        passes * (self.radix_beta * (1u64 << radix_bits) as f64 + self.radix_gamma * n as f64)
+    }
+}
+
+/// Table 1 parameters of the 1024-PE MasPar MP-1 (plus the text's secondary
+/// constants: `T_unb` polynomial, optimized local kernel).
+pub fn maspar() -> MachineParams {
+    MachineParams {
+        name: "MasPar",
+        p: 1024,
+        w: 4,
+        g: 32.2,
+        l: 1400.0,
+        sigma: 107.0,
+        ell: 630.0,
+        // 75 Mflops aggregate peak over 1024 PEs, single precision, with the
+        // register-blocked kernel running at ~86% of peak.
+        alpha_mm: 32.0,
+        alpha: 44.8,
+        copy: 8.0,
+        radix_beta: 10.0,
+        radix_gamma: 22.0,
+        memory_pipelining: false,
+        ebsp: EbspParams::PartialPermutation {
+            a: 0.84,
+            b: 11.8,
+            c: 73.3,
+        },
+    }
+}
+
+/// Table 1 parameters of the 64-node Parsytec GCel under HPVM.
+pub fn gcel() -> MachineParams {
+    MachineParams {
+        name: "GCel",
+        p: 64,
+        w: 4,
+        g: 4480.0,
+        l: 5100.0,
+        sigma: 9.3,
+        ell: 6900.0,
+        // T805 @ 30 MHz, ~0.45 Mflops sustained on the inner product; the
+        // generic per-element rate (merge step, bucket scan) is slower.
+        alpha_mm: 4.4,
+        alpha: 20.0,
+        copy: 0.9,
+        radix_beta: 1.2,
+        radix_gamma: 2.4,
+        memory_pipelining: true,
+        ebsp: EbspParams::MultinodeScatter { g_mscat: 492.0 },
+    }
+}
+
+/// Table 1 parameters of the 64-node CM-5 under Split-C (no vector units).
+pub fn cm5() -> MachineParams {
+    MachineParams {
+        name: "CM-5",
+        p: 64,
+        w: 8,
+        g: 9.1,
+        l: 45.0,
+        sigma: 0.27,
+        ell: 75.0,
+        // alpha = 2/(7.0e6) s — the paper's choice for predictions.
+        alpha_mm: 0.29,
+        alpha: 0.35,
+        copy: 0.06,
+        radix_beta: 0.45,
+        radix_gamma: 0.55,
+        memory_pipelining: true,
+        ebsp: EbspParams::Uniform,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_the_papers() {
+        let mp = maspar();
+        assert_eq!((mp.p, mp.g, mp.l, mp.sigma, mp.ell), (1024, 32.2, 1400.0, 107.0, 630.0));
+        let gc = gcel();
+        assert_eq!((gc.p, gc.g, gc.l, gc.sigma, gc.ell), (64, 4480.0, 5100.0, 9.3, 6900.0));
+        let c5 = cm5();
+        assert_eq!((c5.p, c5.g, c5.l, c5.sigma, c5.ell), (64, 9.1, 45.0, 0.27, 75.0));
+    }
+
+    #[test]
+    fn bulk_gain_ratios_match_the_paper() {
+        // "For the GCel, this ratio is about 120."
+        assert!((gcel().bulk_gain() - 120.0).abs() < 1.0);
+        // "On this architecture, the ratio ... is about 4.2 for 8-byte
+        // messages."
+        assert!((cm5().bulk_gain() - 4.2).abs() < 0.05);
+        // "the maximum improvement is (g+L)/(w·sigma) = 3.3" (MasPar).
+        assert!((maspar().bulk_gain_mp() - 3.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn t_unb_matches_the_fitted_polynomial() {
+        let mp = maspar();
+        let full = mp.ebsp.t_unb(1024.0).unwrap();
+        // T_unb(1024) = 0.84·1024 + 11.8·32 + 73.3 ≈ 1311 µs — consistent
+        // with "the time taken by a 1-1 relation is about 1300 µs".
+        assert!((full - 1311.26).abs() < 0.5, "full = {full}");
+        // "when there are 32 active PEs, a partial permutation takes about
+        // 13% of the time required by a full permutation."
+        let partial = mp.ebsp.t_unb(32.0).unwrap();
+        let ratio = partial / full;
+        assert!((ratio - 0.13).abs() < 0.02, "ratio = {ratio}");
+        assert_eq!(gcel().ebsp.t_unb(32.0), None);
+    }
+
+    #[test]
+    fn local_sort_formula() {
+        let p = cm5();
+        let t = p.local_sort(1000, 32, 8);
+        let expect = 4.0 * (0.45 * 256.0 + 0.55 * 1000.0);
+        assert!((t - expect).abs() < 1e-9);
+    }
+}

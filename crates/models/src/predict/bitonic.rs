@@ -1,0 +1,117 @@
+//! Closed-form predictions for bitonic sort with `M = N/P` keys per
+//! processor (paper Section 4.2).
+//!
+//! The algorithm first radix-sorts locally, then runs `log P` merge
+//! stages; stage `d` comprises `d` merge steps, each a linear merge plus a
+//! full pairwise exchange of `M` keys:
+//! `sum_{d=1}^{log P} d = log P (log P + 1)/2` steps in total.
+
+use crate::params::MachineParams;
+use pcm_core::units::log2_exact;
+use pcm_core::SimTime;
+
+/// Number of merge steps: `log P · (log P + 1) / 2`.
+pub fn merge_steps(p: usize) -> usize {
+    let lg = log2_exact(p) as usize;
+    lg * (lg + 1) / 2
+}
+
+/// Key width used throughout the reproduction (32-bit keys, 8-bit radix).
+pub const KEY_BITS: usize = 32;
+/// Radix width of the local sort.
+pub const RADIX_BITS: usize = 8;
+
+/// BSP prediction:
+/// `T = T_local_sort + S·(alpha·M + g·M + L)` with `S = merge_steps(P)`.
+pub fn bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
+    let s = merge_steps(m.p) as f64;
+    let mm = keys_per_proc as f64;
+    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
+        + s * (m.alpha * mm + m.g * mm + m.l);
+    SimTime::from_micros(t)
+}
+
+/// MP-BSP prediction: each exchanged key is its own communication step:
+/// `T = T_local_sort + S·(alpha·M + (g+L)·M)`.
+pub fn mp_bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
+    let s = merge_steps(m.p) as f64;
+    let mm = keys_per_proc as f64;
+    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
+        + s * (m.alpha * mm + (m.g + m.l) * mm);
+    SimTime::from_micros(t)
+}
+
+/// MP-BPRAM prediction: each merge step exchanges one block of `M` words:
+/// `T = T_local_sort + S·(alpha·M + sigma·w·M + ell)`.
+pub fn bpram(m: &MachineParams, keys_per_proc: usize) -> SimTime {
+    let s = merge_steps(m.p) as f64;
+    let mm = keys_per_proc as f64;
+    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
+        + s * (m.alpha * mm + m.sigma * m.w as f64 * mm + m.ell);
+    SimTime::from_micros(t)
+}
+
+/// "Time per key" as the figures plot it: total time divided by the number
+/// of keys per processor.
+pub fn per_key(total: SimTime, keys_per_proc: usize) -> f64 {
+    total.as_micros() / keys_per_proc as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{cm5, gcel, maspar};
+
+    #[test]
+    fn merge_step_counts() {
+        assert_eq!(merge_steps(64), 21, "log 64 = 6, 6·7/2 = 21");
+        assert_eq!(merge_steps(1024), 55, "log 1024 = 10, 10·11/2 = 55");
+        assert_eq!(merge_steps(2), 1);
+    }
+
+    #[test]
+    fn gcel_bsp_per_key_anchor() {
+        // "With 4K keys per processor, the measured time per key of the
+        // synchronized BSP version is 86.1 milliseconds" — the prediction
+        // is close to that: 21·(alpha + g) ≈ 94 ms/key.
+        let t = bsp(&gcel(), 4096);
+        let pk_ms = per_key(t, 4096) / 1e3;
+        assert!(pk_ms > 80.0 && pk_ms < 105.0, "per-key = {pk_ms} ms");
+    }
+
+    #[test]
+    fn gcel_bpram_per_key_anchor() {
+        // "whereas the MP-BPRAM variation requires only 1.36 milliseconds
+        // per key" — almost two orders of magnitude difference.
+        let t = bpram(&gcel(), 4096);
+        let pk_ms = per_key(t, 4096) / 1e3;
+        assert!(pk_ms > 0.8 && pk_ms < 1.8, "per-key = {pk_ms} ms");
+        let ratio = per_key(bsp(&gcel(), 4096), 4096) / (pk_ms * 1e3);
+        assert!(ratio > 40.0, "BSP/BPRAM ratio = {ratio}");
+    }
+
+    #[test]
+    fn maspar_bulk_gain_bound() {
+        // Fig. 17: the MP-BPRAM version improves on MP-BSP by about 2.1,
+        // bounded by (g+L)/(w·sigma) = 3.3.
+        let m = maspar();
+        let big = 4096;
+        let ratio = mp_bsp(&m, big) / bpram(&m, big);
+        assert!(ratio > 1.5 && ratio < 3.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn cm5_bpram_advantage_is_modest() {
+        // On the CM-5 the ratio g/(w·sigma) is only 4.2, and local work
+        // matters, so the gap stays small.
+        let m = cm5();
+        let ratio = bsp(&m, 4096) / bpram(&m, 4096);
+        assert!(ratio > 1.0 && ratio < 4.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn per_key_divides_by_keys() {
+        let t = SimTime::from_micros(1000.0);
+        assert!((per_key(t, 10) - 100.0).abs() < 1e-12);
+    }
+}

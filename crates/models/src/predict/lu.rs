@@ -1,0 +1,63 @@
+//! Closed-form predictions for the blocked LU decomposition extension.
+//!
+//! The paper notes APSP's communication structure "is similar to many
+//! other important algorithms such as LU decomposition"; the cost
+//! expressions mirror the APSP ones: per iteration one pivot broadcast
+//! down a processor column, one multiplier-column broadcast along the
+//! rows, one pivot-row broadcast down the columns, and an `M²` rank-1
+//! update — summed over the `N` iterations.
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// `M = N / sqrt(P)`.
+fn block_side(m: &MachineParams, n: usize) -> f64 {
+    n as f64 / (m.p as f64).sqrt()
+}
+
+/// BSP prediction: per iteration the pivot broadcast is a 1-relation down
+/// `sqrt(P)` processors (`g + L`), and the two segment broadcasts are
+/// `(sqrt(P)-1)`-fold sends of `M` words (`g·M·(sqrt(P)-1)/sqrt(P)`-ish,
+/// charged as the full `g·M + L` superstep the implementation uses).
+pub fn bsp(m: &MachineParams, n: usize) -> SimTime {
+    let mm = block_side(m, n);
+    let sq = (m.p as f64).sqrt();
+    let per_iter = (m.g + m.l) // pivot broadcast superstep
+        + 2.0 * (m.g * mm * (sq - 1.0).max(1.0) + m.l) // L and U broadcasts
+        + m.alpha * mm * mm; // rank-1 update
+    SimTime::from_micros(n as f64 * per_iter)
+}
+
+/// MP-BPRAM prediction: each broadcast is `sqrt(P)-1` staggered block
+/// steps of `M` words.
+pub fn bpram(m: &MachineParams, n: usize) -> SimTime {
+    let mm = block_side(m, n);
+    let sq = (m.p as f64).sqrt();
+    let steps = (sq - 1.0).max(1.0);
+    let per_iter = (m.sigma * m.w as f64 + m.ell) // pivot block
+        + 2.0 * steps * (m.sigma * m.w as f64 * mm + m.ell)
+        + m.alpha * mm * mm;
+    SimTime::from_micros(n as f64 * per_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{cm5, gcel};
+
+    #[test]
+    fn predictions_scale_cubically_in_n() {
+        let m = cm5();
+        let t1 = bsp(&m, 64).as_micros();
+        let t2 = bsp(&m, 128).as_micros();
+        // Compute term is alpha·N·M² = alpha·N³/P: doubling N multiplies
+        // the compute part by 8 and the communication part by 4.
+        assert!(t2 / t1 > 3.5 && t2 / t1 < 8.5, "ratio = {}", t2 / t1);
+    }
+
+    #[test]
+    fn blocks_beat_words_on_the_gcel() {
+        let m = gcel();
+        assert!(bpram(&m, 128) < bsp(&m, 128));
+    }
+}

@@ -1,0 +1,129 @@
+//! Closed-form running-time predictions for the 3D matrix multiplication
+//! algorithm (paper Section 4.1).
+//!
+//! The algorithm uses `P = q³` processors arranged as a `q x q x q` cube.
+//! On machines whose processor count is not a perfect cube (the 1024-PE
+//! MasPar) the largest embedded cube is used: `q = 10`, `P_eff = 1000`.
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// The cube side `q` used on a machine with `p` processors: the largest
+/// `q` with `q³ <= p`.
+pub fn q_for(p: usize) -> usize {
+    let mut q = (p as f64).cbrt().floor() as usize;
+    // Guard against floating point under/overshoot.
+    while (q + 1) * (q + 1) * (q + 1) <= p {
+        q += 1;
+    }
+    while q > 1 && q * q * q > p {
+        q -= 1;
+    }
+    q.max(1)
+}
+
+/// Shared compute part: `alpha·N³/P + beta·N²/q²`.
+fn compute_part(m: &MachineParams, n: usize, q: usize) -> f64 {
+    let nf = n as f64;
+    let p_eff = (q * q * q) as f64;
+    let qf = q as f64;
+    m.alpha_mm * nf.powi(3) / p_eff + m.copy * nf * nf / (qf * qf)
+}
+
+/// BSP prediction:
+/// `T = alpha·N³/P + beta·N²/q² + 3·g·N²/q² + 2·L`.
+pub fn bsp(m: &MachineParams, n: usize) -> SimTime {
+    let q = q_for(m.p);
+    let nf = n as f64;
+    let qf = q as f64;
+    let comm = 3.0 * m.g * nf * nf / (qf * qf) + 2.0 * m.l;
+    SimTime::from_micros(compute_part(m, n, q) + comm)
+}
+
+/// MP-BSP prediction (every word message is its own communication step):
+/// `T = alpha·N³/P + beta·N²/q² + 3·(g+L)·N²/q²`.
+pub fn mp_bsp(m: &MachineParams, n: usize) -> SimTime {
+    let q = q_for(m.p);
+    let nf = n as f64;
+    let qf = q as f64;
+    let comm = 3.0 * (m.g + m.l) * nf * nf / (qf * qf);
+    SimTime::from_micros(compute_part(m, n, q) + comm)
+}
+
+/// MP-BPRAM prediction (block transfers of `N²/P` words):
+/// `T = alpha·N³/P + beta·N²/q² + 3·q·(sigma·w·N²/P + ell)`.
+pub fn bpram(m: &MachineParams, n: usize) -> SimTime {
+    let q = q_for(m.p);
+    let nf = n as f64;
+    let p_eff = (q * q * q) as f64;
+    let comm = 3.0 * q as f64 * (m.sigma * m.w as f64 * nf * nf / p_eff + m.ell);
+    SimTime::from_micros(compute_part(m, n, q) + comm)
+}
+
+/// Megaflops implied by a prediction (`2·N³` flops).
+pub fn mflops(n: usize, t: SimTime) -> f64 {
+    pcm_core::units::mflops(pcm_core::units::matmul_flops(n), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{cm5, maspar};
+
+    #[test]
+    fn q_for_common_machine_sizes() {
+        assert_eq!(q_for(64), 4);
+        assert_eq!(q_for(1024), 10, "largest cube inside 1024 PEs is 1000");
+        assert_eq!(q_for(1000), 10);
+        assert_eq!(q_for(8), 2);
+        assert_eq!(q_for(1), 1);
+        assert_eq!(q_for(7), 1);
+        assert_eq!(q_for(27), 3);
+    }
+
+    #[test]
+    fn cm5_bsp_prediction_matches_the_paper_anchor() {
+        // "even for N = 256, the BSP model predicts an execution time of
+        // 188 milliseconds". With alpha = 0.29 the compute part alone is
+        // 0.29·256³/64 ≈ 76 ms and the communication part 3·9.1·256²/16
+        // ≈ 112 ms.
+        let t = bsp(&cm5(), 256);
+        let ms = t.as_millis();
+        assert!((ms - 188.0).abs() < 8.0, "predicted {ms} ms");
+    }
+
+    #[test]
+    fn bpram_beats_bsp_on_cm5_at_large_n() {
+        // Fig. 16: the long-message version is faster.
+        let m = cm5();
+        for n in [128usize, 256, 512, 1024] {
+            assert!(bpram(&m, n) < bsp(&m, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mp_bsp_dominates_bsp_on_maspar() {
+        // Without memory pipelining each word pays L: MP-BSP ≥ BSP cost.
+        let m = maspar();
+        assert!(mp_bsp(&m, 300) > bsp(&m, 300));
+    }
+
+    #[test]
+    fn maspar_bpram_mflops_anchor() {
+        // Fig. 19: "At N = 700, the measured performance of the MP-BPRAM
+        // version is 39.9 Mflops".
+        let m = maspar();
+        let t = bpram(&m, 700);
+        let mf = mflops(700, t);
+        assert!((mf - 39.9).abs() < 4.0, "predicted {mf} Mflops");
+    }
+
+    #[test]
+    fn cm5_bpram_mflops_anchor() {
+        // Fig. 16/20: the MP-BPRAM version reaches ~370-400 Mflops at
+        // N = 512 (measured 366, peaking at 372).
+        let m = cm5();
+        let mf = mflops(512, bpram(&m, 512));
+        assert!(mf > 330.0 && mf < 440.0, "predicted {mf} Mflops");
+    }
+}

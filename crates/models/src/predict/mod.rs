@@ -1,0 +1,9 @@
+//! Per-algorithm closed-form running-time predictions — the formulas of
+//! Section 4 of the paper, evaluated over [`crate::params::MachineParams`].
+
+pub mod apsp;
+pub mod bitonic;
+pub mod lu;
+pub mod matmul;
+pub mod parallel_radix;
+pub mod samplesort;

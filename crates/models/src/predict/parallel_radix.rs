@@ -1,0 +1,86 @@
+//! Closed-form predictions for the parallel radix sort extension.
+//!
+//! Each of the `32/r` passes performs: a local histogram (`gamma`-rate scan
+//! of `M` keys plus `2^r` bucket slots), a count exchange and its reply
+//! (two supersteps moving `2^r` words per processor), and the key routing
+//! (`2·M` words per processor — `(position, key)` pairs).
+
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// Radix width used by the implementation.
+pub const RADIX_BITS: usize = 8;
+
+fn passes() -> f64 {
+    32.0 / RADIX_BITS as f64
+}
+
+/// BSP prediction of one pass with `m` keys per processor.
+fn pass_bsp(p: &MachineParams, m: usize) -> f64 {
+    let radix = (1usize << RADIX_BITS) as f64;
+    let histogram = p.radix_gamma * m as f64 + p.radix_beta * radix;
+    // Counts out, prefixes + totals back: ~2·radix words each way.
+    let scans = 2.0 * (p.g * radix + p.l);
+    // Keys travel as (position, key) pairs.
+    let routing = p.g * 2.0 * m as f64 + p.l;
+    let placing = p.copy * m as f64;
+    histogram + scans + routing + placing
+}
+
+/// MP-BPRAM prediction of one pass: the exchanges become at most `P`
+/// staggered blocks per processor.
+fn pass_bpram(p: &MachineParams, m: usize) -> f64 {
+    let radix = (1usize << RADIX_BITS) as f64;
+    let histogram = p.radix_gamma * m as f64 + p.radix_beta * radix;
+    let blocks_per_step = p.p as f64 - 1.0;
+    let scans = 2.0 * blocks_per_step * (p.sigma * p.w as f64 * radix / p.p as f64 + p.ell);
+    let routing =
+        blocks_per_step * (p.sigma * p.w as f64 * 2.0 * m as f64 / p.p as f64 + p.ell);
+    let placing = p.copy * m as f64;
+    histogram + scans + routing + placing
+}
+
+/// Total BSP prediction.
+pub fn bsp(p: &MachineParams, keys_per_proc: usize) -> SimTime {
+    SimTime::from_micros(passes() * pass_bsp(p, keys_per_proc))
+}
+
+/// Total MP-BPRAM prediction.
+pub fn bpram(p: &MachineParams, keys_per_proc: usize) -> SimTime {
+    SimTime::from_micros(passes() * pass_bpram(p, keys_per_proc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{cm5, gcel};
+    use crate::predict::bitonic;
+
+    #[test]
+    fn radix_beats_bitonic_for_large_inputs_on_the_cm5() {
+        let p = cm5();
+        // Radix moves Theta(M) words per pass x 4 passes = 8M words total;
+        // bitonic moves 21·M — the constant-pass structure wins.
+        let m = 4096;
+        assert!(bpram(&p, m) < bitonic::bpram(&p, m));
+        assert!(bsp(&p, m) < bitonic::bsp(&p, m));
+    }
+
+    #[test]
+    fn startup_costs_dominate_small_inputs_on_the_gcel() {
+        let p = gcel();
+        // With 63 block startups per exchange and three exchanges per
+        // pass, tiny inputs are painful.
+        let small = bpram(&p, 16).as_micros();
+        assert!(small > 4.0 * 3.0 * 63.0 * p.ell * 0.5, "small = {small}");
+    }
+
+    #[test]
+    fn predictions_grow_linearly_in_m() {
+        let p = cm5();
+        let t1 = bsp(&p, 1000).as_micros();
+        let t2 = bsp(&p, 2000).as_micros();
+        let ratio = t2 / t1;
+        assert!(ratio > 1.5 && ratio < 2.1, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Closed-form predictions for sample sort (paper Section 4.3).
+//!
+//! Sample sort proceeds in three phases:
+//!
+//! 1. **splitter** — every processor draws `S` samples; the `P·S` samples
+//!    are sorted with bitonic sort and `P-1` splitters are broadcast;
+//! 2. **send** — keys are sorted locally, bucket boundaries found in
+//!    `Theta(M + P)` time, destinations exchanged via a multi-scan, and the
+//!    keys routed to their buckets;
+//! 3. **sort buckets** — each bucket (at most `M_max` keys) is sorted
+//!    locally.
+//!
+//! The MP-BPRAM variant replaces the irregular word traffic with block
+//! transfers: the splitter broadcast becomes a `P x P` transpose
+//! (`2·sqrt(P)` block steps), the multi-scan `4·sqrt(P)` block steps, and
+//! the send substep uses the JáJá–Ryu routing scheme costing
+//! `4·sqrt(P)·(4·sigma·w·N/P^1.5 + ell)`.
+
+use super::bitonic;
+use crate::params::MachineParams;
+use pcm_core::SimTime;
+
+/// Cost of the BSP splitter phase with oversampling ratio `s`:
+/// `T_bsp_bitonic(P·S) + g·(P-1) + L` (the bitonic sort runs with `S` keys
+/// per processor).
+pub fn splitter_bsp(m: &MachineParams, s: usize) -> SimTime {
+    let bitonic = bitonic::bsp(m, s);
+    bitonic + SimTime::from_micros(m.g * (m.p as f64 - 1.0) + m.l)
+}
+
+/// Cost of the BSP multi-scan used to compute receive addresses:
+/// `2·(g·P + L)`.
+pub fn scan_bsp(m: &MachineParams) -> SimTime {
+    SimTime::from_micros(2.0 * (m.g * m.p as f64 + m.l))
+}
+
+/// Cost of the BSP send phase given the observed maximum bucket size:
+/// `T_local_sort(M) + alpha·(M+P) + T_scan + g·M_max + L`.
+pub fn send_bsp(m: &MachineParams, keys_per_proc: usize, m_max: usize) -> SimTime {
+    let local = m.local_sort(keys_per_proc, bitonic::KEY_BITS, bitonic::RADIX_BITS);
+    let bucketing = m.alpha * (keys_per_proc + m.p) as f64;
+    SimTime::from_micros(local + bucketing)
+        + scan_bsp(m)
+        + SimTime::from_micros(m.g * m_max as f64 + m.l)
+}
+
+/// Cost of the final local bucket sort: `T_local_sort(M_max)`.
+pub fn sort_buckets(m: &MachineParams, m_max: usize) -> SimTime {
+    SimTime::from_micros(m.local_sort(m_max, bitonic::KEY_BITS, bitonic::RADIX_BITS))
+}
+
+/// Total BSP sample-sort prediction.
+pub fn bsp_total(m: &MachineParams, keys_per_proc: usize, s: usize, m_max: usize) -> SimTime {
+    splitter_bsp(m, s) + send_bsp(m, keys_per_proc, m_max) + sort_buckets(m, m_max)
+}
+
+/// Block-transfer cost of the splitter broadcast (a `P x P` transpose):
+/// `2·sqrt(P)·(sigma·w·sqrt(P) + ell)`.
+pub fn splitter_broadcast_bpram(m: &MachineParams) -> SimTime {
+    let sq = (m.p as f64).sqrt();
+    SimTime::from_micros(2.0 * sq * (m.sigma * m.w as f64 * sq + m.ell))
+}
+
+/// Block-transfer cost of the multi-scan:
+/// `4·sqrt(P)·(sigma·w·sqrt(P) + ell)`.
+pub fn scan_bpram(m: &MachineParams) -> SimTime {
+    let sq = (m.p as f64).sqrt();
+    SimTime::from_micros(4.0 * sq * (m.sigma * m.w as f64 * sq + m.ell))
+}
+
+/// Block-transfer cost of routing the keys to their buckets
+/// (JáJá–Ryu): `4·sqrt(P)·(4·sigma·w·N/P^1.5 + ell)`.
+pub fn send_to_buckets_bpram(m: &MachineParams, total_keys: usize) -> SimTime {
+    let p = m.p as f64;
+    let sq = p.sqrt();
+    SimTime::from_micros(
+        4.0 * sq * (4.0 * m.sigma * m.w as f64 * total_keys as f64 / (p * sq) + m.ell),
+    )
+}
+
+/// Total MP-BPRAM sample-sort prediction.
+pub fn bpram_total(
+    m: &MachineParams,
+    keys_per_proc: usize,
+    s: usize,
+    m_max: usize,
+) -> SimTime {
+    let splitters = bitonic::bpram(m, s) + splitter_broadcast_bpram(m);
+    let local = m.local_sort(keys_per_proc, bitonic::KEY_BITS, bitonic::RADIX_BITS)
+        + m.alpha * (keys_per_proc + m.p) as f64;
+    let total_keys = keys_per_proc * m.p;
+    splitters
+        + SimTime::from_micros(local)
+        + scan_bpram(m)
+        + send_to_buckets_bpram(m, total_keys)
+        + sort_buckets(m, m_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::gcel;
+
+    #[test]
+    fn send_substep_dominates_on_gcel() {
+        // Section 6: "The send substep alone ... requires about
+        // 16·sigma·w·N/P µs" — 4·sqrt(P)·4·sigma·w·N/P^1.5 = 16·sigma·w·N/P
+        // for any P.
+        let m = gcel();
+        let n = 64 * 4096;
+        let t = send_to_buckets_bpram(&m, n).as_micros();
+        let dominant = 16.0 * m.sigma * m.w as f64 * n as f64 / m.p as f64;
+        let startup = 4.0 * 8.0 * m.ell;
+        assert!((t - (dominant + startup)).abs() < 1e-6);
+        // Bitonic's communication term is ~21·sigma·w·N/P (plus startups),
+        // so sample sort's send phase alone is within a factor of the whole
+        // bitonic exchange volume — that is why sample sort disappoints.
+        let bitonic_comm = 21.0 * m.sigma * m.w as f64 * 4096.0;
+        assert!(dominant > 0.5 * bitonic_comm);
+    }
+
+    #[test]
+    fn totals_are_monotone_in_keys() {
+        let m = gcel();
+        let a = bpram_total(&m, 1024, 64, 1400);
+        let b = bpram_total(&m, 4096, 64, 5600);
+        assert!(b > a);
+        let c = bsp_total(&m, 1024, 64, 1400);
+        let d = bsp_total(&m, 4096, 64, 5600);
+        assert!(d > c);
+    }
+
+    #[test]
+    fn block_phase_costs_scale_with_sqrt_p() {
+        let m = gcel();
+        let sq = 8.0;
+        let expect = 2.0 * sq * (m.sigma * 4.0 * sq + m.ell);
+        assert!((splitter_broadcast_bpram(&m).as_micros() - expect).abs() < 1e-9);
+        assert!((scan_bpram(&m).as_micros() - 2.0 * expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Local-computation cost models.
+//!
+//! The cost models of the paper leave local computation "unspecified", but
+//! the experiments cannot: each platform has a compound-operation time
+//! `alpha`, a word size `w`, radix-sort coefficients `beta`/`gamma`
+//! (Section 4.2.1) and — on the CM-5 — strong cache effects on the local
+//! matrix-multiply kernel (Section 4.1.1). A [`ComputeModel`] encapsulates
+//! all of that per platform.
+
+/// Per-platform local computation cost model.
+pub trait ComputeModel: Send + Sync {
+    /// Nominal time of one compound (multiply + add) operation, in µs.
+    /// This is the `alpha` the analytic predictions use.
+    fn alpha(&self) -> f64;
+
+    /// Machine word size in bytes (4 on MasPar and GCel, 8 on the CM-5).
+    fn word_bytes(&self) -> usize;
+
+    /// Effective compound-op time for a local `m x k · k x n` matrix
+    /// multiplication, in µs. The default has no cache effects; the CM-5
+    /// model overrides this with its measured Mflops curve.
+    fn matmul_op_time(&self, _m: usize, _n: usize, _k: usize) -> f64 {
+        self.alpha()
+    }
+
+    /// Time per element for pure data movement (copy/rearrangement), in µs
+    /// — the `beta` term of the matmul cost expressions.
+    fn copy_word_time(&self) -> f64;
+
+    /// Radix-sort coefficients `(beta, gamma)` of
+    /// `T_local_sort = (b/r) · (beta · 2^r + gamma · n)`, in µs.
+    fn radix_coeffs(&self) -> (f64, f64);
+
+    /// Time per element of a linear-time merge, in µs. Defaults to `alpha`.
+    fn merge_word_time(&self) -> f64 {
+        self.alpha()
+    }
+
+    /// Time per comparison-ish scalar op (bucket lookup, splitter compare),
+    /// in µs. Defaults to `alpha`.
+    fn scalar_op_time(&self) -> f64 {
+        self.alpha()
+    }
+
+    /// Time for the local sort of `n` keys of `b` bits with radix `2^r`.
+    fn radix_sort_time(&self, n: usize, key_bits: usize, radix_bits: usize) -> f64 {
+        let (beta, gamma) = self.radix_coeffs();
+        let passes = (key_bits as f64) / (radix_bits as f64);
+        passes * (beta * (1u64 << radix_bits) as f64 + gamma * n as f64)
+    }
+}
+
+/// A uniform compute model with no cache effects — used by tests and as a
+/// building block for platforms without measured anomalies.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformCompute {
+    /// Compound-op time (µs).
+    pub alpha: f64,
+    /// Word size (bytes).
+    pub word: usize,
+    /// Copy time per word (µs).
+    pub copy: f64,
+    /// Radix-sort coefficients (µs).
+    pub radix: (f64, f64),
+}
+
+impl UniformCompute {
+    /// A convenient default for unit tests: 1 µs ops, 4-byte words.
+    pub fn test_model() -> Self {
+        UniformCompute {
+            alpha: 1.0,
+            word: 4,
+            copy: 0.1,
+            radix: (0.5, 0.25),
+        }
+    }
+}
+
+impl ComputeModel for UniformCompute {
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn word_bytes(&self) -> usize {
+        self.word
+    }
+
+    fn copy_word_time(&self) -> f64 {
+        self.copy
+    }
+
+    fn radix_coeffs(&self) -> (f64, f64) {
+        self.radix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_sort_time_matches_formula() {
+        let m = UniformCompute::test_model();
+        // (32/8) · (0.5·256 + 0.25·1000) = 4 · (128 + 250) = 1512
+        let t = m.radix_sort_time(1000, 32, 8);
+        assert!((t - 1512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_fall_back_to_alpha() {
+        let m = UniformCompute::test_model();
+        assert_eq!(m.matmul_op_time(8, 8, 8), 1.0);
+        assert_eq!(m.merge_word_time(), 1.0);
+        assert_eq!(m.scalar_op_time(), 1.0);
+        assert_eq!(m.word_bytes(), 4);
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-processor execution context for one superstep.
+
+use rand::rngs::StdRng;
+
+use crate::compute::ComputeModel;
+use crate::message::{encode_f64s, encode_u32s, encode_u64s, Message, MsgKind, ProcId};
+
+/// The view a virtual processor has during one superstep: its id, its
+/// private state, the messages delivered at the previous barrier, and the
+/// ability to charge local computation time and enqueue sends.
+///
+/// Send order is semantically meaningful: it defines the communication
+/// rounds the network model prices (staggered vs. naive schedules).
+pub struct Ctx<'a, S> {
+    pid: ProcId,
+    p: usize,
+    /// The processor's private state.
+    pub state: &'a mut S,
+    inbox: &'a [Message],
+    compute: &'a dyn ComputeModel,
+    word: usize,
+    outbox: Vec<Message>,
+    compute_us: f64,
+    rng: StdRng,
+}
+
+impl<'a, S> Ctx<'a, S> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pid: ProcId,
+        p: usize,
+        state: &'a mut S,
+        inbox: &'a [Message],
+        compute: &'a dyn ComputeModel,
+        rng: StdRng,
+    ) -> Self {
+        let word = compute.word_bytes();
+        Ctx {
+            pid,
+            p,
+            state,
+            inbox,
+            compute,
+            word,
+            outbox: Vec::new(),
+            compute_us: 0.0,
+            rng,
+        }
+    }
+
+    /// This processor's id in `0..p`.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Total number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// The platform's compute model (for `alpha`, cache curves, ...).
+    pub fn compute(&self) -> &dyn ComputeModel {
+        self.compute
+    }
+
+    /// Deterministic per-processor-per-superstep RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ---- local computation accounting -----------------------------------
+
+    /// Charges `us` microseconds of local computation.
+    pub fn charge(&mut self, us: f64) {
+        debug_assert!(us >= 0.0, "cannot charge negative time");
+        self.compute_us += us;
+    }
+
+    /// Charges `n` compound (multiply + add) operations at the platform's
+    /// nominal `alpha`.
+    pub fn charge_ops(&mut self, n: u64) {
+        self.compute_us += n as f64 * self.compute.alpha();
+    }
+
+    /// Charges a local `m x k · k x n` matrix multiplication through the
+    /// platform's (possibly cache-sensitive) kernel model.
+    pub fn charge_matmul(&mut self, m: usize, n: usize, k: usize) {
+        let ops = (m as f64) * (n as f64) * (k as f64);
+        self.compute_us += ops * self.compute.matmul_op_time(m, n, k);
+    }
+
+    /// Charges `n` words of pure data movement (the `beta` term).
+    pub fn charge_copy_words(&mut self, n: u64) {
+        self.compute_us += n as f64 * self.compute.copy_word_time();
+    }
+
+    /// Charges a local radix sort of `n` keys of `key_bits` bits using
+    /// `radix_bits`-bit digits.
+    pub fn charge_radix_sort(&mut self, n: usize, key_bits: usize, radix_bits: usize) {
+        self.compute_us += self.compute.radix_sort_time(n, key_bits, radix_bits);
+    }
+
+    /// Charges an `n`-element linear merge.
+    pub fn charge_merge(&mut self, n: u64) {
+        self.compute_us += n as f64 * self.compute.merge_word_time();
+    }
+
+    /// Local computation charged so far in this superstep, in µs.
+    pub fn charged(&self) -> f64 {
+        self.compute_us
+    }
+
+    // ---- receiving -------------------------------------------------------
+
+    /// Messages delivered at the previous barrier, ordered by source id and
+    /// then by send order.
+    pub fn msgs(&self) -> &[Message] {
+        self.inbox
+    }
+
+    /// Messages from a particular source.
+    pub fn msgs_from(&self, src: ProcId) -> impl Iterator<Item = &Message> {
+        self.inbox.iter().filter(move |m| m.src == src)
+    }
+
+    /// Messages carrying a particular tag.
+    pub fn msgs_tagged(&self, tag: u32) -> impl Iterator<Item = &Message> {
+        self.inbox.iter().filter(move |m| m.tag == tag)
+    }
+
+    // ---- sending ---------------------------------------------------------
+
+    fn push(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        kind: MsgKind,
+        logical_words: usize,
+        data: Box<[u8]>,
+    ) {
+        let bytes = logical_words * self.word;
+        self.push_sized(dst, tag, kind, logical_words, bytes, data);
+    }
+
+    fn push_sized(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        kind: MsgKind,
+        logical_words: usize,
+        logical_bytes: usize,
+        data: Box<[u8]>,
+    ) {
+        debug_assert!(dst < self.p, "destination {dst} out of range");
+        if logical_words == 0 {
+            return;
+        }
+        self.outbox.push(Message {
+            src: self.pid,
+            dst,
+            tag,
+            kind,
+            logical_words,
+            logical_bytes,
+            data,
+        });
+    }
+
+    /// Sends `vals.len()` individual word messages carrying `u32` values.
+    pub fn send_words_u32(&mut self, dst: ProcId, vals: &[u32]) {
+        self.send_words_u32_tagged(dst, 0, vals);
+    }
+
+    /// Tagged variant of [`Ctx::send_words_u32`].
+    pub fn send_words_u32_tagged(&mut self, dst: ProcId, tag: u32, vals: &[u32]) {
+        self.push(dst, tag, MsgKind::Words, vals.len(), encode_u32s(vals));
+    }
+
+    /// Sends `vals.len()` individual word messages carrying `f64` values.
+    /// (Each value counts as one *logical* word of the platform's size.)
+    pub fn send_words_f64(&mut self, dst: ProcId, vals: &[f64]) {
+        self.send_words_f64_tagged(dst, 0, vals);
+    }
+
+    /// Tagged variant of [`Ctx::send_words_f64`].
+    pub fn send_words_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
+        self.push(dst, tag, MsgKind::Words, vals.len(), encode_f64s(vals));
+    }
+
+    /// Sends one word message carrying a `u32`.
+    pub fn send_word_u32(&mut self, dst: ProcId, val: u32) {
+        self.send_words_u32(dst, &[val]);
+    }
+
+    /// Sends one word message carrying an `f64`.
+    pub fn send_word_f64(&mut self, dst: ProcId, val: f64) {
+        self.send_words_f64(dst, &[val]);
+    }
+
+    /// Sends one block message of `u32` values.
+    pub fn send_block_u32(&mut self, dst: ProcId, vals: &[u32]) {
+        self.send_block_u32_tagged(dst, 0, vals);
+    }
+
+    /// Tagged variant of [`Ctx::send_block_u32`].
+    pub fn send_block_u32_tagged(&mut self, dst: ProcId, tag: u32, vals: &[u32]) {
+        self.push(dst, tag, MsgKind::Block, vals.len(), encode_u32s(vals));
+    }
+
+    /// Sends one block message of `u64` values.
+    pub fn send_block_u64(&mut self, dst: ProcId, vals: &[u64]) {
+        self.push(dst, 0, MsgKind::Block, vals.len(), encode_u64s(vals));
+    }
+
+    /// Sends one block message of `f64` values.
+    pub fn send_block_f64(&mut self, dst: ProcId, vals: &[f64]) {
+        self.send_block_f64_tagged(dst, 0, vals);
+    }
+
+    /// Tagged variant of [`Ctx::send_block_f64`].
+    pub fn send_block_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
+        self.push(dst, tag, MsgKind::Block, vals.len(), encode_f64s(vals));
+    }
+
+    /// Sends `vals` grouped into fixed-size *packets* of `packet_bytes`
+    /// each: every packet is one network message (one communication round)
+    /// carrying several machine words — the "fixed size short messages,
+    /// but larger than one computational word" of the paper's Section 8.
+    ///
+    /// # Panics
+    /// Panics unless `packet_bytes` is a positive multiple of the machine
+    /// word size.
+    pub fn send_packets_u32(&mut self, dst: ProcId, vals: &[u32], packet_bytes: usize) {
+        assert!(
+            packet_bytes > 0 && packet_bytes.is_multiple_of(self.word),
+            "packet size must be a positive multiple of the word size"
+        );
+        if vals.is_empty() {
+            return;
+        }
+        let payload_bytes = vals.len() * self.word;
+        let packets = payload_bytes.div_ceil(packet_bytes);
+        self.push_sized(
+            dst,
+            0,
+            MsgKind::Words,
+            packets,
+            payload_bytes,
+            encode_u32s(vals),
+        );
+    }
+
+    /// Sends one xnet (neighbour-grid) block of `f64` values. Only the
+    /// MasPar prices these specially; other machines treat them as blocks.
+    pub fn send_xnet_f64(&mut self, dst: ProcId, vals: &[f64]) {
+        self.send_xnet_f64_tagged(dst, 0, vals);
+    }
+
+    /// Tagged variant of [`Ctx::send_xnet_f64`].
+    pub fn send_xnet_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
+        self.push(dst, tag, MsgKind::Xnet, vals.len(), encode_f64s(vals));
+    }
+
+    /// Sends one xnet block of `u32` values.
+    pub fn send_xnet_u32(&mut self, dst: ProcId, vals: &[u32]) {
+        self.push(dst, 0, MsgKind::Xnet, vals.len(), encode_u32s(vals));
+    }
+
+    pub(crate) fn finish(self) -> (Vec<Message>, f64) {
+        (self.outbox, self.compute_us)
+    }
+}

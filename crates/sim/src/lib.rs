@@ -1,0 +1,37 @@
+//! # pcm-sim — a superstep-oriented parallel machine simulator
+//!
+//! This crate provides the execution substrate for the reproduction of
+//! Juurlink & Wijshoff (SPAA'96): a simulated distributed-memory machine
+//! with `P` virtual processors that execute *supersteps* — local
+//! computation, followed by message exchange, followed by a barrier — the
+//! program structure all of the paper's models (BSP, MP-BSP, MP-BPRAM,
+//! E-BSP) share.
+//!
+//! The crate is machine-agnostic: the actual MasPar MP-1, Parsytec GCel and
+//! CM-5 personalities live in `pcm-machines` and plug in through the
+//! [`NetworkModel`] and [`ComputeModel`] traits. What this crate fixes is
+//! the *semantics*:
+//!
+//! * algorithms really execute (messages carry real data; results can be
+//!   checked against sequential references), and
+//! * simulated time advances by `max_p(local compute) + route(pattern)` per
+//!   superstep, where `route` sees the full ordered communication pattern —
+//!   including the per-processor *send order* that distinguishes staggered
+//!   from naive schedules.
+
+pub mod compute;
+pub mod ctx;
+pub mod machine;
+pub mod message;
+pub mod network;
+pub mod pattern;
+pub mod topology;
+pub mod trace;
+
+pub use compute::{ComputeModel, UniformCompute};
+pub use ctx::Ctx;
+pub use machine::Machine;
+pub use message::{Message, MsgKind, ProcId};
+pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
+pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
+pub use trace::{RunBreakdown, SuperstepTrace};

@@ -1,0 +1,421 @@
+//! The superstep machine.
+//!
+//! A [`Machine`] owns `P` virtual processors (each with a private state
+//! `S`), a network model and a compute model. An *orchestrator* — ordinary
+//! Rust code implementing a parallel algorithm — drives it through a
+//! sequence of supersteps:
+//!
+//! ```
+//! use pcm_sim::{Machine, IdealNetwork, UniformCompute};
+//!
+//! // Each processor holds one number; one superstep rotates them left.
+//! let mut m = Machine::new(
+//!     Box::new(IdealNetwork),
+//!     std::sync::Arc::new(UniformCompute::test_model()),
+//!     (0u32..8).collect::<Vec<_>>(),
+//!     42,
+//! );
+//! m.superstep(|ctx| {
+//!     let next = (ctx.pid() + 1) % ctx.nprocs();
+//!     let v = *ctx.state;
+//!     ctx.send_word_u32(next, v);
+//! });
+//! m.superstep(|ctx| {
+//!     *ctx.state = ctx.msgs()[0].word_u32();
+//! });
+//! assert_eq!(m.states()[1], 0);
+//! ```
+//!
+//! Within a superstep the processors are independent (the BSP contract), so
+//! the machine executes them with rayon. All randomness is seeded: the same
+//! seed gives bit-identical simulated times and results.
+
+use std::sync::Arc;
+
+use pcm_core::rng::{child_seed, seeded};
+use pcm_core::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::compute::ComputeModel;
+use crate::ctx::Ctx;
+use crate::message::Message;
+use crate::network::NetworkModel;
+use crate::pattern::CommPattern;
+use crate::trace::{RunBreakdown, SuperstepTrace};
+
+/// A simulated distributed-memory parallel machine.
+pub struct Machine<S> {
+    p: usize,
+    states: Vec<S>,
+    inboxes: Vec<Vec<Message>>,
+    net: Box<dyn NetworkModel>,
+    compute: Arc<dyn ComputeModel>,
+    clock: SimTime,
+    seed: u64,
+    net_rng: StdRng,
+    step_count: usize,
+    traces: Vec<SuperstepTrace>,
+    tracing: bool,
+    parallel: bool,
+}
+
+impl<S: Send> Machine<S> {
+    /// Creates a machine with one state per processor.
+    pub fn new(
+        net: Box<dyn NetworkModel>,
+        compute: Arc<dyn ComputeModel>,
+        states: Vec<S>,
+        seed: u64,
+    ) -> Self {
+        let p = states.len();
+        assert!(p > 0, "a machine needs at least one processor");
+        Machine {
+            p,
+            inboxes: (0..p).map(|_| Vec::new()).collect(),
+            states,
+            net,
+            compute,
+            clock: SimTime::ZERO,
+            seed,
+            net_rng: seeded(child_seed(seed, u64::MAX)),
+            step_count: 0,
+            traces: Vec::new(),
+            tracing: true,
+            parallel: true,
+        }
+    }
+
+    /// Disables per-superstep tracing (saves memory on very long runs).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Forces sequential execution of processors (for the rayon ablation).
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// Simulated time elapsed so far.
+    pub fn time(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Resets the simulated clock and traces (keeps states and inboxes).
+    pub fn reset_clock(&mut self) {
+        self.clock = SimTime::ZERO;
+        self.traces.clear();
+    }
+
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.step_count
+    }
+
+    /// Immutable view of the processor states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of the processor states (for initialization).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the machine, returning the final states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// The per-superstep traces collected so far.
+    pub fn traces(&self) -> &[SuperstepTrace] {
+        &self.traces
+    }
+
+    /// Aggregated compute/communication breakdown of the run.
+    pub fn breakdown(&self) -> RunBreakdown {
+        RunBreakdown::from_traces(&self.traces)
+    }
+
+    /// The platform's compute model.
+    pub fn compute_model(&self) -> &dyn ComputeModel {
+        &*self.compute
+    }
+
+    /// Executes one superstep: runs `f` on every processor, prices the
+    /// resulting communication pattern, advances the simulated clock and
+    /// delivers the messages for the next superstep.
+    pub fn superstep<F>(&mut self, f: F)
+    where
+        F: Fn(&mut Ctx<'_, S>) + Sync,
+    {
+        let p = self.p;
+        let step = self.step_count;
+        let seed = self.seed;
+        let compute: &dyn ComputeModel = &*self.compute;
+
+        let run_one = |pid: usize, state: &mut S, inbox: &Vec<Message>| {
+            let rng = StdRng::seed_from_u64(child_seed(seed, (step * p + pid) as u64));
+            let mut ctx = Ctx::new(pid, p, state, inbox, compute, rng);
+            f(&mut ctx);
+            ctx.finish()
+        };
+
+        let results: Vec<(Vec<Message>, f64)> = if self.parallel && p > 1 {
+            self.states
+                .par_iter_mut()
+                .zip(self.inboxes.par_iter())
+                .enumerate()
+                .map(|(pid, (state, inbox))| run_one(pid, state, inbox))
+                .collect()
+        } else {
+            self.states
+                .iter_mut()
+                .zip(self.inboxes.iter())
+                .enumerate()
+                .map(|(pid, (state, inbox))| run_one(pid, state, inbox))
+                .collect()
+        };
+
+        let mut outboxes: Vec<Vec<Message>> = Vec::with_capacity(p);
+        let mut max_compute = 0.0f64;
+        for (outbox, us) in results {
+            max_compute = max_compute.max(us);
+            outboxes.push(outbox);
+        }
+
+        let pattern = CommPattern::from_outboxes(p, &outboxes);
+        let comm = if pattern.is_empty() {
+            self.net.barrier()
+        } else {
+            self.net.route(&pattern, &mut self.net_rng)
+        };
+        let compute_time = SimTime::from_micros(max_compute);
+        self.clock += compute_time + comm;
+
+        if self.tracing {
+            let mut block_steps = 0usize;
+            let mut block_bytes_sum = 0usize;
+            for round in pattern.block_rounds().iter().chain(pattern.xnet_rounds().iter()) {
+                block_steps += 1;
+                block_bytes_sum += round.max_bytes();
+            }
+            self.traces.push(SuperstepTrace {
+                index: step,
+                compute: compute_time,
+                comm,
+                messages: pattern.total_messages(),
+                bytes: pattern.total_bytes(),
+                h_send: pattern.h_send(),
+                h_recv: pattern.h_recv(),
+                active: pattern.active_processors(),
+                block_steps,
+                block_bytes_sum,
+            });
+        }
+
+        // Deliver: clear inboxes, then append in (src, send-order) order so
+        // receivers observe a deterministic sequence.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        for outbox in outboxes {
+            for msg in outbox {
+                self.inboxes[msg.dst].push(msg);
+            }
+        }
+
+        self.step_count += 1;
+    }
+
+    /// A barrier-only superstep.
+    pub fn sync(&mut self) {
+        self.superstep(|_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::UniformCompute;
+    use crate::network::{IdealNetwork, TextbookBspNetwork};
+
+    fn test_machine(p: usize) -> Machine<Vec<u32>> {
+        Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            (0..p).map(|i| vec![i as u32]).collect(),
+            7,
+        )
+    }
+
+    #[test]
+    fn messages_are_delivered_next_superstep() {
+        let mut m = test_machine(4);
+        m.superstep(|ctx| {
+            let dst = (ctx.pid() + 1) % ctx.nprocs();
+            let v = ctx.state[0];
+            ctx.send_word_u32(dst, v * 10);
+        });
+        m.superstep(|ctx| {
+            assert_eq!(ctx.msgs().len(), 1);
+            let prev = (ctx.pid() + ctx.nprocs() - 1) % ctx.nprocs();
+            assert_eq!(ctx.msgs()[0].src, prev);
+            ctx.state.push(ctx.msgs()[0].word_u32());
+        });
+        assert_eq!(m.states()[0], vec![0, 30]);
+        assert_eq!(m.states()[2], vec![2, 10]);
+    }
+
+    #[test]
+    fn inbox_is_cleared_between_supersteps() {
+        let mut m = test_machine(2);
+        m.superstep(|ctx| {
+            if ctx.pid() == 0 {
+                ctx.send_word_u32(1, 5);
+            }
+        });
+        m.superstep(|ctx| {
+            if ctx.pid() == 1 {
+                assert_eq!(ctx.msgs().len(), 1);
+            }
+        });
+        m.superstep(|ctx| {
+            assert!(ctx.msgs().is_empty(), "stale messages must not survive");
+        });
+    }
+
+    #[test]
+    fn delivery_order_is_deterministic_by_source() {
+        let mut m = test_machine(8);
+        m.superstep(|ctx| {
+            let pid = ctx.pid() as u32;
+            ctx.send_words_u32(0, &[pid, pid + 100]);
+        });
+        m.superstep(|ctx| {
+            if ctx.pid() == 0 {
+                let srcs: Vec<usize> = ctx.msgs().iter().map(|m| m.src).collect();
+                assert_eq!(srcs, (0..8).collect::<Vec<_>>());
+            }
+        });
+    }
+
+    #[test]
+    fn clock_accumulates_compute_and_comm() {
+        let mut m = Machine::new(
+            Box::new(TextbookBspNetwork {
+                g: 2.0,
+                l: 10.0,
+                sigma: 0.0,
+                ell: 0.0,
+            }),
+            Arc::new(UniformCompute::test_model()),
+            vec![(); 4],
+            1,
+        );
+        m.superstep(|ctx| {
+            ctx.charge(5.0);
+            let dst = (ctx.pid() + 1) % 4;
+            ctx.send_words_u32(dst, &[1, 2, 3]);
+        });
+        // compute 5 + g·3 + L = 5 + 6 + 10 = 21
+        assert!((m.time().as_micros() - 21.0).abs() < 1e-9);
+        m.sync(); // barrier only: +L
+        assert!((m.time().as_micros() - 31.0).abs() < 1e-9);
+        assert_eq!(m.supersteps(), 2);
+    }
+
+    #[test]
+    fn compute_time_is_the_maximum_over_processors() {
+        let mut m = test_machine(4);
+        m.superstep(|ctx| {
+            ctx.charge(ctx.pid() as f64 * 10.0);
+        });
+        assert!((m.time().as_micros() - 30.0).abs() < 1e-9);
+        let b = m.breakdown();
+        assert!((b.compute.as_micros() - 30.0).abs() < 1e-9);
+        assert_eq!(b.comm, SimTime::ZERO);
+    }
+
+    #[test]
+    fn traces_capture_pattern_statistics() {
+        let mut m = test_machine(4);
+        m.superstep(|ctx| {
+            if ctx.pid() < 2 {
+                ctx.send_words_u32(3, &[1, 2]);
+            }
+        });
+        let t = &m.traces()[0];
+        assert_eq!(t.messages, 4);
+        assert_eq!(t.h_send, 2);
+        assert_eq!(t.h_recv, 4);
+        assert_eq!(t.active, 3, "procs 0, 1 and 3 participate");
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree() {
+        let run = |parallel: bool| {
+            let mut m = test_machine(16);
+            m.set_parallel(parallel);
+            m.superstep(|ctx| {
+                ctx.charge(1.5);
+                let dst = (ctx.pid() * 5 + 3) % 16;
+                ctx.send_word_u32(dst, ctx.pid() as u32);
+            });
+            m.superstep(|ctx| {
+                let sum: u32 = ctx.msgs().iter().map(|m| m.word_u32()).sum();
+                ctx.state.push(sum);
+            });
+            (m.time(), m.into_states())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn per_proc_rng_is_deterministic_and_distinct() {
+        let mut m = test_machine(4);
+        m.superstep(|ctx| {
+            let v: u32 = { use rand::RngExt; ctx.rng().random() };
+            ctx.state.push(v);
+        });
+        let first: Vec<u32> = m.states().iter().map(|s| s[1]).collect();
+        let mut m2 = test_machine(4);
+        m2.superstep(|ctx| {
+            let v: u32 = { use rand::RngExt; ctx.rng().random() };
+            ctx.state.push(v);
+        });
+        let second: Vec<u32> = m2.states().iter().map(|s| s[1]).collect();
+        assert_eq!(first, second, "same seed, same draws");
+        assert!(
+            first.windows(2).any(|w| w[0] != w[1]),
+            "different procs draw differently"
+        );
+    }
+
+    #[test]
+    fn reset_clock_keeps_state() {
+        let mut m = test_machine(2);
+        m.superstep(|ctx| ctx.charge(10.0));
+        m.reset_clock();
+        assert_eq!(m.time(), SimTime::ZERO);
+        assert!(m.traces().is_empty());
+        assert_eq!(m.states()[1], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Machine::<u32>::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![],
+            0,
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Messages exchanged between virtual processors.
+//!
+//! Two kinds of messages exist, mirroring the two families of cost models in
+//! the paper:
+//!
+//! * **word streams** ([`MsgKind::Words`]) — a sequence of fixed-size
+//!   machine words, each of which is an independent network message. BSP and
+//!   MP-BSP algorithms communicate this way. A single [`Message`] value can
+//!   carry many words; the cost models still charge per word, but the
+//!   simulator avoids allocating millions of tiny messages.
+//! * **blocks** ([`MsgKind::Block`]) — one bulk transfer of arbitrary
+//!   length, paying one startup cost `ell`. MP-BPRAM algorithms use these.
+//!
+//! Payload bytes store the *values* (used for algorithm correctness) and are
+//! decoupled from *logical size accounting*: a message of `n` logical words
+//! costs `n · w` bytes on the wire, where `w` is the platform word size,
+//! regardless of how the simulator chose to represent the values in memory.
+
+/// Identifier of a virtual processor.
+pub type ProcId = usize;
+
+/// How a message is priced by the network model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A stream of `logical_words` fixed-size words; each word is an
+    /// independent network message occupying one communication round.
+    Words,
+    /// One bulk transfer with a single startup cost.
+    Block,
+    /// One bulk transfer over the neighbour (xnet) grid — the MasPar's
+    /// second communication fabric, used by the vendor `matmul` intrinsic.
+    /// Machines without an xnet price it like a [`MsgKind::Block`].
+    Xnet,
+}
+
+/// A message in flight between two virtual processors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Receiving processor.
+    pub dst: ProcId,
+    /// Free-form tag for the algorithm's own bookkeeping (phase, bucket id).
+    pub tag: u32,
+    /// Pricing kind.
+    pub kind: MsgKind,
+    /// Number of logical machine words this message represents.
+    pub logical_words: usize,
+    /// Number of bytes on the (simulated) wire: `logical_words · w`.
+    pub logical_bytes: usize,
+    /// The actual values, for algorithm correctness.
+    pub data: Box<[u8]>,
+}
+
+impl Message {
+    /// Interprets the payload as `u32` values.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of 4.
+    pub fn as_u32s(&self) -> Vec<u32> {
+        assert!(self.data.len().is_multiple_of(4), "payload is not u32-aligned");
+        self.data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Interprets the payload as `u64` values.
+    pub fn as_u64s(&self) -> Vec<u64> {
+        assert!(self.data.len().is_multiple_of(8), "payload is not u64-aligned");
+        self.data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Interprets the payload as `f64` values.
+    pub fn as_f64s(&self) -> Vec<f64> {
+        assert!(self.data.len().is_multiple_of(8), "payload is not f64-aligned");
+        self.data
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// The first `u32` of the payload — convenient for single-word messages.
+    pub fn word_u32(&self) -> u32 {
+        u32::from_le_bytes(self.data[..4].try_into().expect("payload too short"))
+    }
+
+    /// The first `f64` of the payload.
+    pub fn word_f64(&self) -> f64 {
+        f64::from_le_bytes(self.data[..8].try_into().expect("payload too short"))
+    }
+}
+
+/// Encodes `u32` values to little-endian bytes.
+pub fn encode_u32s(vals: &[u32]) -> Box<[u8]> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.into_boxed_slice()
+}
+
+/// Encodes `u64` values to little-endian bytes.
+pub fn encode_u64s(vals: &[u64]) -> Box<[u8]> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.into_boxed_slice()
+}
+
+/// Encodes `f64` values to little-endian bytes.
+pub fn encode_f64s(vals: &[f64]) -> Box<[u8]> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(data: Box<[u8]>) -> Message {
+        Message {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            kind: MsgKind::Block,
+            logical_words: 1,
+            logical_bytes: 4,
+            data,
+        }
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let vals = [1u32, 0xDEAD_BEEF, u32::MAX];
+        let m = msg(encode_u32s(&vals));
+        assert_eq!(m.as_u32s(), vals);
+        assert_eq!(m.word_u32(), 1);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let vals = [42u64, u64::MAX];
+        let m = msg(encode_u64s(&vals));
+        assert_eq!(m.as_u64s(), vals);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let vals = [1.5f64, -0.25, f64::MAX];
+        let m = msg(encode_f64s(&vals));
+        assert_eq!(m.as_f64s(), vals);
+        assert_eq!(m.word_f64(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_payload_panics() {
+        let m = msg(vec![1u8, 2, 3].into_boxed_slice());
+        m.as_u32s();
+    }
+}

@@ -1,0 +1,269 @@
+//! Network model interface and reference implementations.
+//!
+//! A [`NetworkModel`] prices the communication pattern of a superstep in
+//! simulated microseconds, including the barrier synchronization that ends
+//! the superstep. The three machine models in `pcm-machines` implement this
+//! trait; the reference models here are used for unit tests and for the
+//! "what would an ideal textbook BSP machine do" comparisons.
+
+use pcm_core::SimTime;
+use rand::rngs::StdRng;
+
+use crate::pattern::CommPattern;
+
+/// Prices superstep communication for a particular machine.
+pub trait NetworkModel: Send {
+    /// Simulated time for routing `pattern` followed by a barrier.
+    ///
+    /// Network models may keep internal state (memoization caches, drift
+    /// accumulators) and may draw jitter from `rng`.
+    fn route(&mut self, pattern: &CommPattern, rng: &mut StdRng) -> SimTime;
+
+    /// Cost of a barrier with no communication.
+    fn barrier(&mut self) -> SimTime;
+
+    /// Human-readable model name.
+    fn name(&self) -> &str;
+}
+
+/// A zero-cost network: communication and barriers are free. Useful for
+/// testing algorithm correctness in isolation from timing.
+#[derive(Debug, Default, Clone)]
+pub struct IdealNetwork;
+
+impl NetworkModel for IdealNetwork {
+    fn route(&mut self, _pattern: &CommPattern, _rng: &mut StdRng) -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn barrier(&mut self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn name(&self) -> &str {
+        "ideal"
+    }
+}
+
+/// A textbook BSP network: every superstep costs exactly
+/// `g · max{h_s, h_r} + L` for word traffic plus
+/// `sigma · max_bytes + ell` per block round — i.e. the *model* used as a
+/// *machine*. Experiments use it to show what a perfectly BSP-behaved
+/// machine would measure.
+#[derive(Debug, Clone)]
+pub struct TextbookBspNetwork {
+    /// Time per word message (µs).
+    pub g: f64,
+    /// Barrier/latency cost (µs).
+    pub l: f64,
+    /// Time per block byte (µs).
+    pub sigma: f64,
+    /// Block startup (µs).
+    pub ell: f64,
+}
+
+impl NetworkModel for TextbookBspNetwork {
+    fn route(&mut self, pattern: &CommPattern, _rng: &mut StdRng) -> SimTime {
+        let h = pattern.h_send().max(pattern.h_recv());
+        let mut t = self.g * h as f64 + self.l;
+        for round in pattern.block_rounds() {
+            t += self.sigma * round.max_bytes() as f64 + self.ell;
+        }
+        SimTime::from_micros(t)
+    }
+
+    fn barrier(&mut self) -> SimTime {
+        SimTime::from_micros(self.l)
+    }
+
+    fn name(&self) -> &str {
+        "textbook-bsp"
+    }
+}
+
+/// A LogP-style reference network: per-message overhead/gap at the
+/// sender, finite per-destination capacity `ceil(L/g)`, and a logarithmic
+/// software barrier. Unlike [`TextbookBspNetwork`], this model is
+/// *schedule-sensitive*: rounds whose in-degree exceeds the capacity stall
+/// their senders — the effect the paper credits the LogP model with
+/// capturing (the unstaggered CM-5 matrix multiplication, Fig. 4).
+#[derive(Debug, Clone)]
+pub struct LogPNetwork {
+    /// Network latency for a small message (µs).
+    pub latency: f64,
+    /// CPU overhead per send or receive (µs).
+    pub overhead: f64,
+    /// Gap between consecutive messages of one processor (µs).
+    pub gap: f64,
+    /// Per-byte gap for bulk transfers (the LogGP `G`), µs/byte.
+    pub big_gap: f64,
+    /// Number of processors (for the barrier tree).
+    pub p: usize,
+}
+
+impl LogPNetwork {
+    /// The capacity constraint: at most `ceil(L/g)` messages in flight to
+    /// one destination.
+    pub fn capacity(&self) -> usize {
+        (self.latency / self.gap).ceil().max(1.0) as usize
+    }
+
+    fn barrier_us(&self) -> f64 {
+        let rounds = (self.p.max(2) as f64).log2().ceil();
+        rounds * (self.latency + 2.0 * self.overhead)
+    }
+}
+
+impl NetworkModel for LogPNetwork {
+    fn route(&mut self, pattern: &CommPattern, _rng: &mut StdRng) -> SimTime {
+        let per_msg = self.gap.max(self.overhead);
+        let capacity = self.capacity() as f64;
+        let mut t = 0.0;
+        for seg in pattern.word_segments() {
+            // Senders issue one message per `per_msg`; once more than
+            // `capacity` messages head for one destination, the extra
+            // senders stall behind the receiver.
+            let stall = (seg.max_in_degree() as f64 / capacity).max(1.0);
+            t += seg.rounds as f64 * per_msg * stall;
+        }
+        for round in pattern.block_rounds() {
+            let stall = (round.max_in_degree() as f64 / capacity).max(1.0);
+            t += 2.0 * self.overhead
+                + self.latency
+                + round.max_bytes() as f64 * self.big_gap * stall;
+        }
+        if pattern.h_send() > 0 || pattern.h_recv() > 0 {
+            t += self.latency + 2.0 * self.overhead;
+        }
+        SimTime::from_micros(t + self.barrier_us())
+    }
+
+    fn barrier(&mut self) -> SimTime {
+        SimTime::from_micros(self.barrier_us())
+    }
+
+    fn name(&self) -> &str {
+        "logp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+    use crate::pattern::SendRecord;
+    use pcm_core::rng::seeded;
+
+    fn pattern() -> CommPattern {
+        CommPattern {
+            p: 4,
+            sends: vec![
+                vec![SendRecord {
+                    dst: 1,
+                    words: 10,
+                    bytes: 40,
+                    kind: MsgKind::Words,
+                }],
+                vec![SendRecord {
+                    dst: 0,
+                    words: 4,
+                    bytes: 16,
+                    kind: MsgKind::Words,
+                }],
+                vec![SendRecord {
+                    dst: 3,
+                    words: 25,
+                    bytes: 100,
+                    kind: MsgKind::Block,
+                }],
+                vec![],
+            ],
+        }
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let mut net = IdealNetwork;
+        let mut rng = seeded(0);
+        assert_eq!(net.route(&pattern(), &mut rng), SimTime::ZERO);
+        assert_eq!(net.barrier(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn logp_network_is_schedule_sensitive() {
+        // Two schedules of the same h-relation: staggered (permutation
+        // rounds) vs naive (all senders hit one destination per round).
+        let make = |staggered: bool| -> CommPattern {
+            let sends = (0..4usize)
+                .map(|src| {
+                    (0..4usize)
+                        .map(|t| {
+                            let dst = if staggered { 4 + (src + t) % 4 } else { 4 + t };
+                            SendRecord {
+                                dst,
+                                words: 50,
+                                bytes: 400,
+                                kind: MsgKind::Words,
+                            }
+                        })
+                        .collect()
+                })
+                .chain((4..8).map(|_| Vec::new()))
+                .collect();
+            CommPattern { p: 8, sends }
+        };
+        let mut net = LogPNetwork {
+            latency: 22.5,
+            overhead: 4.55,
+            gap: 9.1,
+            big_gap: 0.27,
+            p: 8,
+        };
+        let mut rng = seeded(1);
+        let stag = net.route(&make(true), &mut rng);
+        let naive = net.route(&make(false), &mut rng);
+        assert!(
+            naive > stag,
+            "LogP's capacity constraint must punish the naive schedule: {naive} vs {stag}"
+        );
+        // A textbook BSP machine cannot tell them apart.
+        let mut bsp = TextbookBspNetwork {
+            g: 9.1,
+            l: 45.0,
+            sigma: 0.27,
+            ell: 75.0,
+        };
+        assert_eq!(bsp.route(&make(true), &mut rng), bsp.route(&make(false), &mut rng));
+    }
+
+    #[test]
+    fn logp_capacity_and_barrier() {
+        let mut net = LogPNetwork {
+            latency: 22.5,
+            overhead: 4.55,
+            gap: 9.1,
+            big_gap: 0.27,
+            p: 64,
+        };
+        assert_eq!(net.capacity(), 3);
+        // Tree barrier: 6 rounds of (L + 2o).
+        let b = net.barrier().as_micros();
+        assert!((b - 6.0 * (22.5 + 9.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_bsp_charges_the_formula() {
+        let mut net = TextbookBspNetwork {
+            g: 2.0,
+            l: 100.0,
+            sigma: 0.5,
+            ell: 30.0,
+        };
+        let mut rng = seeded(0);
+        // h = max(h_s, h_r) = 10 words; one block round with max 100 bytes.
+        let t = net.route(&pattern(), &mut rng);
+        let expect = 2.0 * 10.0 + 100.0 + 0.5 * 100.0 + 30.0;
+        assert!((t.as_micros() - expect).abs() < 1e-9);
+        assert_eq!(net.barrier().as_micros(), 100.0);
+    }
+}

@@ -1,0 +1,547 @@
+//! Communication patterns.
+//!
+//! At the end of each superstep the machine collects every processor's
+//! *ordered* send list into a [`CommPattern`] and hands it to the network
+//! model for pricing. Order matters: the `r`-th word sent by each processor
+//! forms communication *round* `r`, which is how a staggered schedule and a
+//! naive schedule of the same h-relation end up with different costs
+//! (Section 5.1 of the paper, Fig. 4).
+//!
+//! Because algorithms usually send long runs of words to the same
+//! destination, the round structure is piecewise-constant. The
+//! [`CommPattern::word_segments`] view exploits this: it splits the round
+//! axis into maximal *segments* during which the (src → dst) round pattern
+//! does not change, so a network model can price one round and multiply —
+//! which is what makes simulating a 10⁶-round bitonic exchange affordable.
+
+use crate::message::{Message, MsgKind, ProcId};
+
+/// One entry of a processor's ordered send list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendRecord {
+    /// Destination processor.
+    pub dst: ProcId,
+    /// Logical words in this record (1 word = 1 network message for
+    /// [`MsgKind::Words`]; for blocks this is the block length in words).
+    pub words: usize,
+    /// Logical bytes (`words · w`).
+    pub bytes: usize,
+    /// Word stream or bulk block.
+    pub kind: MsgKind,
+}
+
+/// The complete communication pattern of one superstep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommPattern {
+    /// Number of processors.
+    pub p: usize,
+    /// Per-source ordered send records.
+    pub sends: Vec<Vec<SendRecord>>,
+}
+
+/// A maximal run of rounds during which every processor keeps sending to
+/// the same destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Number of identical rounds in this segment.
+    pub rounds: usize,
+    /// The active (src, dst) pairs of each round, sorted by src.
+    pub sends: Vec<(ProcId, ProcId)>,
+    /// The largest per-message payload in the segment, in bytes (equals
+    /// the machine word size for ordinary word traffic; larger for the
+    /// fixed-size packets of the Section 8 granularity study).
+    pub msg_bytes: usize,
+}
+
+impl Segment {
+    /// Maximum number of senders targeting a single destination in one
+    /// round of this segment (1 for a permutation round).
+    pub fn max_in_degree(&self) -> usize {
+        let mut counts = std::collections::HashMap::new();
+        for &(_, dst) in &self.sends {
+            *counts.entry(dst).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// `true` when each round of the segment is a (partial) permutation:
+    /// no destination receives more than one word per round.
+    pub fn is_permutation(&self) -> bool {
+        self.max_in_degree() <= 1
+    }
+}
+
+/// One round of block transfers: the `r`-th block of each processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRound {
+    /// `(src, dst, bytes)` triples active in this round, sorted by src.
+    pub sends: Vec<(ProcId, ProcId, usize)>,
+}
+
+impl BlockRound {
+    /// Largest block in the round, in bytes.
+    pub fn max_bytes(&self) -> usize {
+        self.sends.iter().map(|&(_, _, b)| b).max().unwrap_or(0)
+    }
+
+    /// Total bytes received by the most loaded destination.
+    pub fn max_recv_bytes(&self) -> usize {
+        let mut counts = std::collections::HashMap::new();
+        for &(_, dst, b) in &self.sends {
+            *counts.entry(dst).or_insert(0usize) += b;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of blocks converging on one destination.
+    pub fn max_in_degree(&self) -> usize {
+        let mut counts = std::collections::HashMap::new();
+        for &(_, dst, _) in &self.sends {
+            *counts.entry(dst).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl CommPattern {
+    /// Builds the pattern from the per-processor outboxes of a superstep.
+    pub fn from_outboxes(p: usize, outboxes: &[Vec<Message>]) -> Self {
+        let sends = outboxes
+            .iter()
+            .map(|out| {
+                out.iter()
+                    .map(|m| SendRecord {
+                        dst: m.dst,
+                        words: m.logical_words,
+                        bytes: m.logical_bytes,
+                        kind: m.kind,
+                    })
+                    .collect()
+            })
+            .collect();
+        CommPattern { p, sends }
+    }
+
+    /// `true` when nothing is sent.
+    pub fn is_empty(&self) -> bool {
+        self.sends.iter().all(|s| s.is_empty())
+    }
+
+    /// Total number of logical messages `M` being routed (each word counts
+    /// once, each block counts once) — the `M` of an `(M, h1, h2)`-relation.
+    pub fn total_messages(&self) -> usize {
+        self.sends
+            .iter()
+            .flatten()
+            .map(|r| match r.kind {
+                MsgKind::Words => r.words,
+                MsgKind::Block | MsgKind::Xnet => 1,
+            })
+            .sum()
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> usize {
+        self.sends.iter().flatten().map(|r| r.bytes).sum()
+    }
+
+    /// Words sent per processor (blocks excluded).
+    pub fn words_sent(&self) -> Vec<usize> {
+        self.sends
+            .iter()
+            .map(|recs| {
+                recs.iter()
+                    .filter(|r| r.kind == MsgKind::Words)
+                    .map(|r| r.words)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Words received per processor (blocks excluded).
+    pub fn words_received(&self) -> Vec<usize> {
+        let mut recv = vec![0usize; self.p];
+        for recs in &self.sends {
+            for r in recs {
+                if r.kind == MsgKind::Words {
+                    recv[r.dst] += r.words;
+                }
+            }
+        }
+        recv
+    }
+
+    /// `h_s`: the maximum number of words sent by any processor.
+    pub fn h_send(&self) -> usize {
+        self.words_sent().into_iter().max().unwrap_or(0)
+    }
+
+    /// `h_r`: the maximum number of words received by any processor.
+    pub fn h_recv(&self) -> usize {
+        self.words_received().into_iter().max().unwrap_or(0)
+    }
+
+    /// Bytes sent per processor, including blocks.
+    pub fn bytes_sent(&self) -> Vec<usize> {
+        self.sends
+            .iter()
+            .map(|recs| recs.iter().map(|r| r.bytes).sum())
+            .collect()
+    }
+
+    /// Bytes received per processor, including blocks.
+    pub fn bytes_received(&self) -> Vec<usize> {
+        let mut recv = vec![0usize; self.p];
+        for recs in &self.sends {
+            for r in recs {
+                recv[r.dst] += r.bytes;
+            }
+        }
+        recv
+    }
+
+    /// Number of processors that send or receive at least one message —
+    /// the "active PEs" count of the paper's partial-permutation study.
+    pub fn active_processors(&self) -> usize {
+        let mut active = vec![false; self.p];
+        for (src, recs) in self.sends.iter().enumerate() {
+            for r in recs {
+                if r.words > 0 {
+                    active[src] = true;
+                    active[r.dst] = true;
+                }
+            }
+        }
+        active.iter().filter(|&&a| a).count()
+    }
+
+    /// Splits the word rounds into maximal constant-pattern segments.
+    /// Block records are ignored here (see [`CommPattern::block_rounds`]).
+    pub fn word_segments(&self) -> Vec<Segment> {
+        // Per-proc cumulative record boundaries over the word-round axis.
+        let mut boundaries: Vec<usize> = vec![0];
+        let mut per_proc: Vec<Vec<(usize, usize, ProcId, usize)>> = Vec::with_capacity(self.p);
+        for recs in &self.sends {
+            let mut pos = 0usize;
+            let mut spans = Vec::new();
+            for r in recs {
+                if r.kind != MsgKind::Words || r.words == 0 {
+                    continue;
+                }
+                let per_msg = r.bytes.div_ceil(r.words);
+                spans.push((pos, pos + r.words, r.dst, per_msg));
+                pos += r.words;
+                boundaries.push(pos);
+            }
+            per_proc.push(spans);
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        if boundaries.len() <= 1 {
+            return Vec::new();
+        }
+
+        let mut segments = Vec::with_capacity(boundaries.len() - 1);
+        // Per-proc cursor into its span list, advanced monotonically.
+        let mut cursors = vec![0usize; self.p];
+        for win in boundaries.windows(2) {
+            let (start, end) = (win[0], win[1]);
+            let mut sends = Vec::new();
+            let mut msg_bytes = 0usize;
+            for (src, spans) in per_proc.iter().enumerate() {
+                let cur = &mut cursors[src];
+                while *cur < spans.len() && spans[*cur].1 <= start {
+                    *cur += 1;
+                }
+                if *cur < spans.len() && spans[*cur].0 <= start && start < spans[*cur].1 {
+                    sends.push((src, spans[*cur].2));
+                    msg_bytes = msg_bytes.max(spans[*cur].3);
+                }
+            }
+            if !sends.is_empty() {
+                segments.push(Segment {
+                    rounds: end - start,
+                    sends,
+                    msg_bytes,
+                });
+            }
+        }
+        segments
+    }
+
+    /// Groups block records into rounds: the `r`-th block of each
+    /// processor forms round `r` (MP-BPRAM single-port semantics).
+    pub fn block_rounds(&self) -> Vec<BlockRound> {
+        self.rounds_of(MsgKind::Block)
+    }
+
+    /// Rounds of explicit xnet (neighbour-grid) transfers.
+    pub fn xnet_rounds(&self) -> Vec<BlockRound> {
+        self.rounds_of(MsgKind::Xnet)
+    }
+
+    fn rounds_of(&self, kind: MsgKind) -> Vec<BlockRound> {
+        let max_blocks = self
+            .sends
+            .iter()
+            .map(|recs| recs.iter().filter(|r| r.kind == kind).count())
+            .max()
+            .unwrap_or(0);
+        let mut rounds = Vec::with_capacity(max_blocks);
+        for r in 0..max_blocks {
+            let mut sends = Vec::new();
+            for (src, recs) in self.sends.iter().enumerate() {
+                if let Some(rec) = recs.iter().filter(|x| x.kind == kind).nth(r) {
+                    sends.push((src, rec.dst, rec.bytes));
+                }
+            }
+            rounds.push(BlockRound { sends });
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(dst: ProcId, words: usize) -> SendRecord {
+        SendRecord {
+            dst,
+            words,
+            bytes: words * 4,
+            kind: MsgKind::Words,
+        }
+    }
+
+    fn block(dst: ProcId, bytes: usize) -> SendRecord {
+        SendRecord {
+            dst,
+            words: bytes / 4,
+            bytes,
+            kind: MsgKind::Block,
+        }
+    }
+
+    #[test]
+    fn h_relation_statistics() {
+        // 0 -> 1 (3 words), 1 -> 0 (1 word), 2 -> 1 (2 words)
+        let p = CommPattern {
+            p: 3,
+            sends: vec![vec![words(1, 3)], vec![words(0, 1)], vec![words(1, 2)]],
+        };
+        assert_eq!(p.h_send(), 3);
+        assert_eq!(p.h_recv(), 5, "proc 1 receives 3 + 2 words");
+        assert_eq!(p.total_messages(), 6);
+        assert_eq!(p.total_bytes(), 24);
+        assert_eq!(p.active_processors(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let p = CommPattern {
+            p: 4,
+            sends: vec![vec![]; 4],
+        };
+        assert!(p.is_empty());
+        assert_eq!(p.h_send(), 0);
+        assert_eq!(p.h_recv(), 0);
+        assert!(p.word_segments().is_empty());
+        assert!(p.block_rounds().is_empty());
+        assert_eq!(p.active_processors(), 0);
+    }
+
+    #[test]
+    fn single_segment_for_uniform_exchange() {
+        // Pairwise exchange of 100 words — the bitonic pattern.
+        let p = CommPattern {
+            p: 4,
+            sends: vec![
+                vec![words(1, 100)],
+                vec![words(0, 100)],
+                vec![words(3, 100)],
+                vec![words(2, 100)],
+            ],
+        };
+        let segs = p.word_segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].rounds, 100);
+        assert!(segs[0].is_permutation());
+        assert_eq!(segs[0].sends.len(), 4);
+    }
+
+    #[test]
+    fn staggered_schedule_produces_permutation_segments() {
+        // Two procs send to two destinations in opposite (staggered) order.
+        let p = CommPattern {
+            p: 4,
+            sends: vec![
+                vec![words(2, 10), words(3, 10)],
+                vec![words(3, 10), words(2, 10)],
+                vec![],
+                vec![],
+            ],
+        };
+        let segs = p.word_segments();
+        assert_eq!(segs.len(), 2);
+        for s in &segs {
+            assert_eq!(s.rounds, 10);
+            assert!(s.is_permutation(), "staggering avoids conflicts");
+        }
+    }
+
+    #[test]
+    fn naive_schedule_produces_contended_segments() {
+        // Both procs hit destination 2 first: in-degree 2 in segment 1.
+        let p = CommPattern {
+            p: 4,
+            sends: vec![
+                vec![words(2, 10), words(3, 10)],
+                vec![words(2, 10), words(3, 10)],
+                vec![],
+                vec![],
+            ],
+        };
+        let segs = p.word_segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].max_in_degree(), 2);
+        assert!(!segs[0].is_permutation());
+    }
+
+    #[test]
+    fn unequal_word_counts_split_segments() {
+        let p = CommPattern {
+            p: 3,
+            sends: vec![vec![words(1, 5)], vec![words(2, 2)], vec![]],
+        };
+        let segs = p.word_segments();
+        // Rounds 0..2 have both senders; rounds 2..5 only proc 0.
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].rounds, 2);
+        assert_eq!(segs[0].sends.len(), 2);
+        assert_eq!(segs[1].rounds, 3);
+        assert_eq!(segs[1].sends, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn block_rounds_group_by_rank() {
+        let p = CommPattern {
+            p: 3,
+            sends: vec![
+                vec![block(1, 400), block(2, 100)],
+                vec![block(2, 400)],
+                vec![],
+            ],
+        };
+        let rounds = p.block_rounds();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].sends.len(), 2);
+        assert_eq!(rounds[0].max_bytes(), 400);
+        assert_eq!(rounds[0].max_in_degree(), 1);
+        assert_eq!(rounds[1].sends, vec![(0, 2, 100)]);
+        // Round 0: proc1 and proc0 both send 400B? proc0->1: 400, proc1->2: 400.
+        assert_eq!(rounds[0].max_recv_bytes(), 400);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The segment view partitions the round axis exactly: the sum of
+        /// segment lengths equals the longest word stream, and each
+        /// processor appears in precisely the rounds its records span.
+        #[test]
+        fn segments_partition_the_round_axis(
+            word_counts in proptest::collection::vec(
+                proptest::collection::vec(0usize..20, 0..4), 1..8)
+        ) {
+            let p = word_counts.len();
+            let sends: Vec<Vec<SendRecord>> = word_counts
+                .iter()
+                .enumerate()
+                .map(|(src, recs)| {
+                    recs.iter()
+                        .enumerate()
+                        .map(|(i, &wcount)| SendRecord {
+                            dst: (src + i + 1) % p,
+                            words: wcount,
+                            bytes: wcount * 4,
+                            kind: MsgKind::Words,
+                        })
+                        .collect()
+                })
+                .collect();
+            let pattern = CommPattern { p, sends };
+            let segs = pattern.word_segments();
+            let max_words = pattern.words_sent().into_iter().max().unwrap_or(0);
+            let total_rounds: usize = segs.iter().map(|s| s.rounds).sum();
+            proptest::prop_assert_eq!(total_rounds, max_words);
+            // Per-processor coverage: the rounds a processor participates
+            // in must equal its total word count.
+            for src in 0..p {
+                let mine = pattern.words_sent()[src];
+                let mut covered = 0usize;
+                for seg in &segs {
+                    if seg.sends.iter().any(|&(s, _)| s == src) {
+                        covered += seg.rounds;
+                    }
+                }
+                proptest::prop_assert_eq!(covered, mine, "proc {}", src);
+            }
+            // Segment sends are sorted by src and unique.
+            for seg in &segs {
+                proptest::prop_assert!(seg.sends.windows(2).all(|w| w[0].0 < w[1].0));
+                proptest::prop_assert!(seg.rounds > 0);
+            }
+        }
+
+        /// Block rounds respect per-processor order and cover every block.
+        #[test]
+        fn block_rounds_cover_all_blocks(
+            blocks in proptest::collection::vec(
+                proptest::collection::vec(1usize..200, 0..5), 1..8)
+        ) {
+            let p = blocks.len();
+            let sends: Vec<Vec<SendRecord>> = blocks
+                .iter()
+                .enumerate()
+                .map(|(src, bs)| {
+                    bs.iter()
+                        .map(|&bytes| SendRecord {
+                            dst: (src + 1) % p,
+                            words: bytes.div_ceil(4),
+                            bytes,
+                            kind: MsgKind::Block,
+                        })
+                        .collect()
+                })
+                .collect();
+            let pattern = CommPattern { p, sends };
+            let rounds = pattern.block_rounds();
+            let total: usize = rounds.iter().map(|r| r.sends.len()).sum();
+            let expect: usize = blocks.iter().map(|b| b.len()).sum();
+            proptest::prop_assert_eq!(total, expect);
+            let max_per_proc = blocks.iter().map(|b| b.len()).max().unwrap_or(0);
+            proptest::prop_assert_eq!(rounds.len(), max_per_proc);
+            // Single-port on the send side: each processor appears at most
+            // once per round.
+            for round in &rounds {
+                let mut srcs: Vec<usize> = round.sends.iter().map(|&(s, _, _)| s).collect();
+                srcs.dedup();
+                proptest::prop_assert_eq!(srcs.len(), round.sends.len());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_words_and_blocks_are_separated() {
+        let p = CommPattern {
+            p: 2,
+            sends: vec![vec![words(1, 3), block(1, 40)], vec![]],
+        };
+        assert_eq!(p.word_segments().len(), 1);
+        assert_eq!(p.block_rounds().len(), 1);
+        assert_eq!(p.total_messages(), 4, "3 words + 1 block");
+        assert_eq!(p.bytes_received()[1], 3 * 4 + 40);
+    }
+}

@@ -1,0 +1,165 @@
+//! Processor-addressing helpers for the layouts the algorithms use:
+//! `q x q x q` cubes (matrix multiplication), `sqrt(P) x sqrt(P)` grids
+//! (APSP, sample-sort transposes) and hypercube bit-partners (bitonic sort).
+
+use pcm_core::units::{cube_root_exact, sqrt_exact};
+
+/// A `q x q x q` processor cube for the 3D matrix-multiplication layout:
+/// processor `<i, j, k>` has linear id `(i·q + j)·q + k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cube {
+    /// Side length `q`.
+    pub q: usize,
+}
+
+impl Cube {
+    /// Builds a cube over `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a perfect cube.
+    pub fn new(p: usize) -> Self {
+        let q = cube_root_exact(p)
+            .unwrap_or_else(|| panic!("{p} processors do not form a cube"));
+        Cube { q }
+    }
+
+    /// Total processors `q³`.
+    pub fn p(&self) -> usize {
+        self.q * self.q * self.q
+    }
+
+    /// Linear id of `<i, j, k>`.
+    pub fn id(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.q && j < self.q && k < self.q);
+        (i * self.q + j) * self.q + k
+    }
+
+    /// Coordinates `<i, j, k>` of a linear id.
+    pub fn coords(&self, id: usize) -> (usize, usize, usize) {
+        debug_assert!(id < self.p());
+        let k = id % self.q;
+        let j = (id / self.q) % self.q;
+        let i = id / (self.q * self.q);
+        (i, j, k)
+    }
+}
+
+/// A `side x side` processor grid: processor `<r, c>` has id `r·side + c`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    /// Side length `sqrt(P)`.
+    pub side: usize,
+}
+
+impl Grid {
+    /// Builds a square grid over `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a perfect square.
+    pub fn new(p: usize) -> Self {
+        let side = sqrt_exact(p)
+            .unwrap_or_else(|| panic!("{p} processors do not form a square grid"));
+        Grid { side }
+    }
+
+    /// Total processors.
+    pub fn p(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Linear id of `<row, col>`.
+    pub fn id(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.side && col < self.side);
+        row * self.side + col
+    }
+
+    /// `(row, col)` of a linear id.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.p());
+        (id / self.side, id % self.side)
+    }
+}
+
+/// The hypercube partner of `pid` across dimension `bit`: identical address
+/// except in the `bit`-th bit — the exchange partner of bitonic sort.
+pub fn hypercube_partner(pid: usize, bit: u32) -> usize {
+    pid ^ (1usize << bit)
+}
+
+/// `true` if the destination map `dest[i]` is a bit-permute pattern on the
+/// high (cluster-selecting) bits — used by tests to recognize the
+/// conflict-free MasPar router patterns.
+pub fn is_bit_flip_permutation(dest: &[usize]) -> Option<u32> {
+    let n = dest.len();
+    if !n.is_power_of_two() {
+        return None;
+    }
+    (0..n.trailing_zeros()).find(|&bit| {
+        dest.iter()
+            .enumerate()
+            .all(|(i, &d)| d == hypercube_partner(i, bit))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_round_trip() {
+        let c = Cube::new(64);
+        assert_eq!(c.q, 4);
+        assert_eq!(c.p(), 64);
+        for id in 0..64 {
+            let (i, j, k) = c.coords(id);
+            assert_eq!(c.id(i, j, k), id);
+        }
+        assert_eq!(c.id(0, 0, 0), 0);
+        assert_eq!(c.id(3, 3, 3), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "cube")]
+    fn cube_rejects_non_cubes() {
+        Cube::new(100);
+    }
+
+    #[test]
+    fn grid_round_trip() {
+        let g = Grid::new(64);
+        assert_eq!(g.side, 8);
+        for id in 0..64 {
+            let (r, c) = g.coords(id);
+            assert_eq!(g.id(r, c), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn grid_rejects_non_squares() {
+        Grid::new(48);
+    }
+
+    #[test]
+    fn hypercube_partner_flips_one_bit() {
+        assert_eq!(hypercube_partner(0b1010, 0), 0b1011);
+        assert_eq!(hypercube_partner(0b1010, 3), 0b0010);
+        // Involution:
+        for pid in 0..16 {
+            for bit in 0..4 {
+                assert_eq!(hypercube_partner(hypercube_partner(pid, bit), bit), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_detection() {
+        let n = 16usize;
+        let flip2: Vec<usize> = (0..n).map(|i| hypercube_partner(i, 2)).collect();
+        assert_eq!(is_bit_flip_permutation(&flip2), Some(2));
+        let identity: Vec<usize> = (0..n).collect();
+        assert_eq!(is_bit_flip_permutation(&identity), None);
+        let rotate: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        assert_eq!(is_bit_flip_permutation(&rotate), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Superstep traces: per-superstep cost breakdown.
+//!
+//! The evaluation figures need more than a total running time — e.g.
+//! Fig. 16 reports Mflops, which requires knowing compute vs. communication
+//! split, and the E-BSP analysis inspects per-superstep pattern shapes.
+
+use pcm_core::SimTime;
+
+/// Cost breakdown of one executed superstep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuperstepTrace {
+    /// Superstep index.
+    pub index: usize,
+    /// Maximum local computation time over all processors.
+    pub compute: SimTime,
+    /// Communication + barrier time charged by the network model.
+    pub comm: SimTime,
+    /// Total logical messages routed.
+    pub messages: usize,
+    /// Total bytes routed.
+    pub bytes: usize,
+    /// `h_s` — maximum words sent by any processor.
+    pub h_send: usize,
+    /// `h_r` — maximum words received by any processor.
+    pub h_recv: usize,
+    /// Number of processors that sent or received anything.
+    pub active: usize,
+    /// Number of block-transfer rounds (MP-BPRAM steps) in the superstep.
+    pub block_steps: usize,
+    /// Sum over the block rounds of the longest transfer, in bytes — the
+    /// quantity an MP-BPRAM accountant multiplies by `sigma`.
+    pub block_bytes_sum: usize,
+}
+
+/// Aggregate of a full run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunBreakdown {
+    /// Sum of per-superstep compute maxima.
+    pub compute: SimTime,
+    /// Sum of communication + synchronization time.
+    pub comm: SimTime,
+    /// Number of supersteps.
+    pub supersteps: usize,
+    /// Total messages.
+    pub messages: usize,
+    /// Total bytes.
+    pub bytes: usize,
+}
+
+impl RunBreakdown {
+    /// Folds a sequence of traces into totals.
+    pub fn from_traces(traces: &[SuperstepTrace]) -> Self {
+        let mut b = RunBreakdown::default();
+        for t in traces {
+            b.compute += t.compute;
+            b.comm += t.comm;
+            b.supersteps += 1;
+            b.messages += t.messages;
+            b.bytes += t.bytes;
+        }
+        b
+    }
+
+    /// Total simulated time.
+    pub fn total(&self) -> SimTime {
+        self.compute + self.comm
+    }
+
+    /// Fraction of time spent communicating, in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            0.0
+        } else {
+            self.comm / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_traces() {
+        let traces = vec![
+            SuperstepTrace {
+                index: 0,
+                compute: SimTime::from_micros(10.0),
+                comm: SimTime::from_micros(5.0),
+                messages: 3,
+                bytes: 12,
+                h_send: 1,
+                h_recv: 1,
+                active: 4,
+                block_steps: 0,
+                block_bytes_sum: 0,
+            },
+            SuperstepTrace {
+                index: 1,
+                compute: SimTime::from_micros(20.0),
+                comm: SimTime::from_micros(15.0),
+                messages: 7,
+                bytes: 28,
+                h_send: 2,
+                h_recv: 3,
+                active: 4,
+                block_steps: 1,
+                block_bytes_sum: 16,
+            },
+        ];
+        let b = RunBreakdown::from_traces(&traces);
+        assert_eq!(b.compute.as_micros(), 30.0);
+        assert_eq!(b.comm.as_micros(), 20.0);
+        assert_eq!(b.supersteps, 2);
+        assert_eq!(b.messages, 10);
+        assert_eq!(b.bytes, 40);
+        assert_eq!(b.total().as_micros(), 50.0);
+        assert!((b.comm_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = RunBreakdown::from_traces(&[]);
+        assert_eq!(b.total(), SimTime::ZERO);
+        assert_eq!(b.comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's comparison question (Section 6): what does grouping data
+//! into long messages buy, per algorithm and per architecture?
+
+use pcm::algos::sort::bitonic::{self, ExchangeMode};
+use pcm::experiments::{paper, sort_figs, matmul_figs, Output, Scale};
+use pcm::Platform;
+
+const SEED: u64 = 1996;
+
+fn fig(out: Output) -> pcm::Figure {
+    match out {
+        Output::Fig(f) => f,
+        Output::Tab(_) => panic!("expected a figure"),
+    }
+}
+
+#[test]
+fn fig16_block_transfers_win_matmul_on_the_cm5() {
+    let f = fig(matmul_figs::fig16(Scale::Quick, SEED));
+    let bsp = f.series_named("BSP (staggered, short messages)").unwrap();
+    let bpram = f.series_named("MP-BPRAM (block transfers)").unwrap();
+    assert!(bsp.dominated_by(bpram), "block transfers reach higher Mflops");
+
+    // "the measured performance is 366 Mflops for the long message version
+    // and 256 Mflops for the staggered BSP variant, corresponding to an
+    // improvement of 43%" — at N = 512, where local compute carries more
+    // of the total (at smaller N the communication share, and hence the
+    // improvement, is larger).
+    let plat = Platform::cm5();
+    let rs =
+        pcm::algos::matmul::run(&plat, 512, pcm::algos::matmul::MatmulVariant::BspStaggered, SEED);
+    let rb = pcm::algos::matmul::run(&plat, 512, pcm::algos::matmul::MatmulVariant::Bpram, SEED);
+    assert!(rs.verified && rb.verified);
+    assert!(
+        (rs.stats.mflops - paper::FIG16_BSP_MFLOPS).abs() < 40.0,
+        "BSP at N=512: {:.0} Mflops (paper 256)",
+        rs.stats.mflops
+    );
+    assert!(
+        (rb.stats.mflops - paper::FIG16_BPRAM_MFLOPS).abs() < 50.0,
+        "BPRAM at N=512: {:.0} Mflops (paper 366)",
+        rb.stats.mflops
+    );
+    let improvement = rb.stats.mflops / rs.stats.mflops - 1.0;
+    assert!(
+        improvement > 0.25 && improvement < 0.65,
+        "improvement at N=512 = {improvement:.2} (paper: 0.43)"
+    );
+}
+
+#[test]
+fn fig17_maspar_bulk_gain_is_bounded_by_3_3() {
+    let f = fig(sort_figs::fig17(Scale::Quick, SEED));
+    let words = f.series_named("MP-BSP (words)").unwrap();
+    let blocks = f.series_named("MP-BPRAM (blocks)").unwrap();
+    for &m in &[64.0, 256.0] {
+        let gain = words.y_at(m).unwrap() / blocks.y_at(m).unwrap();
+        assert!(
+            gain > 1.2 && gain < paper::FIG17_BOUND,
+            "gain at M = {m}: {gain:.2} (bound {})",
+            paper::FIG17_BOUND
+        );
+    }
+}
+
+#[test]
+fn gcel_bitonic_gains_almost_two_orders_of_magnitude() {
+    // Section 6: 86.1 ms/key (synchronized BSP) vs 1.36 ms/key (MP-BPRAM)
+    // with 4K keys per processor.
+    let plat = Platform::gcel();
+    let m = 4096;
+    let words = bitonic::run(&plat, m, ExchangeMode::WordsResync { interval: 256 }, SEED);
+    let blocks = bitonic::run(&plat, m, ExchangeMode::Block, SEED);
+    assert!(words.verified && blocks.verified);
+    let words_per_key = words.time.as_millis() / m as f64;
+    let blocks_per_key = blocks.time.as_millis() / m as f64;
+    assert!(
+        (words_per_key - paper::GCEL_BITONIC_BSP_MS_PER_KEY).abs()
+            < 0.3 * paper::GCEL_BITONIC_BSP_MS_PER_KEY,
+        "BSP per key = {words_per_key:.1} ms (paper: 86.1)"
+    );
+    assert!(
+        (blocks_per_key - paper::GCEL_BITONIC_BPRAM_MS_PER_KEY).abs()
+            < 0.3 * paper::GCEL_BITONIC_BPRAM_MS_PER_KEY,
+        "BPRAM per key = {blocks_per_key:.2} ms (paper: 1.36)"
+    );
+    let ratio = words_per_key / blocks_per_key;
+    assert!(ratio > 40.0, "almost two orders of magnitude, got {ratio:.0}x");
+}
+
+#[test]
+fn fig18_sample_sort_disappoints_on_the_gcel() {
+    let f = fig(sort_figs::fig18(Scale::Quick, SEED));
+    let bitonic_s = f.series_named("Bitonic (MP-BPRAM)").unwrap();
+    let sample_s = f.series_named("Sample sort (MP-BPRAM)").unwrap();
+    let staggered_s = f.series_named("Sample sort (staggered direct)").unwrap();
+    // "Although it is the most efficient sorting algorithm in theory, it
+    // does not outperform bitonic sort."
+    let m = 512.0;
+    assert!(
+        sample_s.y_at(m).unwrap() > bitonic_s.y_at(m).unwrap(),
+        "single-port sample sort must not beat bitonic"
+    );
+    // "...yields an improvement by a factor of approximately 2." The
+    // packing advantage needs the byte costs to dominate the startups, so
+    // it shows from ~1K keys per processor upward (and reaches ~2x by 4K,
+    // covered by the algorithm-level tests).
+    let speedup = sample_s.y_at(1024.0).unwrap() / staggered_s.y_at(1024.0).unwrap();
+    assert!(
+        speedup > 1.1 && speedup < 4.5,
+        "staggered speedup = {speedup:.2}"
+    );
+}
+
+#[test]
+fn bulk_gain_is_architecture_dependent() {
+    // Section 8: huge on the GCel (~120), modest on the CM-5 (4.2) and
+    // MasPar (3.3).
+    let gains = [
+        (Platform::gcel().model_params().bulk_gain(), 120.0, 5.0),
+        (Platform::cm5().model_params().bulk_gain(), 4.2, 0.1),
+        (Platform::maspar().model_params().bulk_gain_mp(), 3.3, 0.1),
+    ];
+    for (got, want, tol) in gains {
+        assert!((got - want).abs() < tol, "gain {got:.1} vs paper {want}");
+    }
+}

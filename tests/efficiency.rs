@@ -1,0 +1,90 @@
+//! The paper's efficiency-validation question (Section 7): how do the
+//! model-derived algorithms compare with machine-specific library
+//! routines?
+
+use pcm::experiments::{matmul_figs, paper, Output, Scale};
+
+const SEED: u64 = 1996;
+
+fn fig(out: Output) -> pcm::Figure {
+    match out {
+        Output::Fig(f) => f,
+        Output::Tab(_) => panic!("expected a figure"),
+    }
+}
+
+#[test]
+fn fig19_the_matmul_intrinsic_wins_on_the_maspar() {
+    let f = fig(matmul_figs::fig19(Scale::Quick, SEED));
+    let bpram = f.series_named("MP-BPRAM (blocks)").unwrap();
+    let intrinsic = f.series_named("matmul intrinsic (xnet Cannon)").unwrap();
+    // "Evidently, the intrinsic is more efficient than our implementations
+    // for all measured data points."
+    assert!(bpram.dominated_by(intrinsic));
+    // The penalty is acceptable — roughly the paper's 35% at the largest
+    // common size.
+    let n = 300.0;
+    let penalty = 1.0 - bpram.y_at(n).unwrap() / intrinsic.y_at(n).unwrap();
+    assert!(
+        penalty > 0.15 && penalty < 0.55,
+        "portability penalty = {penalty:.2} (paper: ~0.35)"
+    );
+}
+
+#[test]
+fn fig20_the_model_versions_beat_cmssl_on_the_cm5() {
+    let f = fig(matmul_figs::fig20(Scale::Quick, SEED));
+    let bpram = f.series_named("MP-BPRAM").unwrap();
+    let cmssl = f.series_named("gen_matrix_mult (CMSSL)").unwrap();
+    // "Surprisingly, the model versions are much faster than the
+    // implementation that uses gen_matrix_mult."
+    assert!(cmssl.dominated_by(bpram));
+    // "gen_matrix_mult never achieves more than 151 Mflops."
+    let cmssl_max = cmssl.ys().into_iter().fold(0.0f64, f64::max);
+    assert!(
+        cmssl_max < paper::FIG20_CMSSL_MAX_MFLOPS * 1.15,
+        "CMSSL peak = {cmssl_max:.0} Mflops"
+    );
+}
+
+#[test]
+fn maspar_intrinsic_mflops_are_in_the_papers_range() {
+    // Full-scale check at one point: N = 700, where the paper reports
+    // 39.9 Mflops (MP-BPRAM) vs 61.7 Mflops (intrinsic).
+    let plat = pcm::Platform::maspar();
+    let model = pcm::algos::matmul::run(
+        &plat,
+        700,
+        pcm::algos::matmul::MatmulVariant::Bpram,
+        SEED,
+    );
+    let intrinsic = pcm::algos::vendor::maspar_matmul(&plat, 700, SEED);
+    assert!(model.verified && intrinsic.verified);
+    assert!(
+        (model.stats.mflops - paper::FIG19_MODEL_MFLOPS).abs() < 8.0,
+        "model = {:.1} Mflops (paper 39.9)",
+        model.stats.mflops
+    );
+    assert!(
+        (intrinsic.stats.mflops - paper::FIG19_INTRINSIC_MFLOPS).abs() < 10.0,
+        "intrinsic = {:.1} Mflops (paper 61.7)",
+        intrinsic.stats.mflops
+    );
+}
+
+#[test]
+fn cm5_bpram_peaks_near_the_papers_372_mflops() {
+    let plat = pcm::Platform::cm5();
+    let r = pcm::algos::matmul::run(
+        &plat,
+        512,
+        pcm::algos::matmul::MatmulVariant::Bpram,
+        SEED,
+    );
+    assert!(r.verified);
+    assert!(
+        (r.stats.mflops - paper::FIG20_MODEL_PEAK_MFLOPS).abs() < 60.0,
+        "MP-BPRAM at N = 512: {:.0} Mflops (paper peak 372)",
+        r.stats.mflops
+    );
+}

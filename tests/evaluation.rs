@@ -1,0 +1,147 @@
+//! The paper's evaluation question (Section 5): do the models predict the
+//! measured execution times — and do they fail exactly where the paper
+//! says they fail?
+
+use pcm::experiments::{paper, Output, Scale};
+use pcm::experiments::{apsp_figs, matmul_figs, sort_figs};
+
+const SEED: u64 = 1996;
+
+fn fig(out: Output) -> pcm::Figure {
+    match out {
+        Output::Fig(f) => f,
+        Output::Tab(_) => panic!("expected a figure"),
+    }
+}
+
+#[test]
+fn fig03_mp_bsp_matmul_prediction_is_close_on_the_maspar() {
+    let f = fig(matmul_figs::fig03(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let predicted = f.series_named("Predicted (MP-BSP)").unwrap();
+    // "For all measured data points, the deviation is less than 14%" —
+    // we allow a little extra for simulator jitter.
+    let dev = predicted.max_relative_deviation(measured);
+    assert!(dev < paper::FIG3_MAX_DEVIATION + 0.08, "deviation = {dev:.3}");
+}
+
+#[test]
+fn fig04_contention_error_matches_the_21_percent_story() {
+    let f = fig(matmul_figs::fig04(Scale::Quick, SEED));
+    let naive = f.series_named("Measured (naive)").unwrap();
+    let stag = f.series_named("Staggered").unwrap();
+    let pred = f.series_named("Predicted (BSP)").unwrap();
+    // Naive at N = 256 overshoots the prediction by roughly the paper's
+    // 21% (227 vs 188 ms).
+    let err =
+        (naive.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap()) / pred.y_at(256.0).unwrap();
+    assert!(
+        (err - paper::FIG4_CONTENTION_ERROR).abs() < 0.12,
+        "contention error = {err:.2}"
+    );
+    // The staggered version matches the prediction closely at mid sizes.
+    let stag_err =
+        (stag.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap()).abs() / pred.y_at(256.0).unwrap();
+    assert!(stag_err < 0.10, "staggered error = {stag_err:.2}");
+}
+
+#[test]
+fn fig05_mp_bsp_overestimates_maspar_bitonic_by_about_two() {
+    let f = fig(sort_figs::fig05(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let predicted = f.series_named("Predicted (MP-BSP)").unwrap();
+    for &m in &[64.0, 256.0] {
+        let ratio = predicted.y_at(m).unwrap() / measured.y_at(m).unwrap();
+        assert!(
+            (ratio - paper::FIG5_OVERESTIMATE).abs() < 0.8,
+            "overestimate at M = {m}: {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig06_drift_and_resync_on_the_gcel() {
+    let f = fig(sort_figs::fig06(Scale::Quick, SEED));
+    let unsynced = f.series_named("Measured (no resync)").unwrap();
+    let synced = f.series_named("Measured (barrier every 256)").unwrap();
+    let predicted = f.series_named("Predicted (BSP)").unwrap();
+    // Unsynchronized drifts above the prediction at large M...
+    assert!(unsynced.y_at(1024.0).unwrap() > 1.2 * predicted.y_at(1024.0).unwrap());
+    // ...the resynchronized version tracks it.
+    assert!(predicted.max_relative_deviation(synced) < 0.2);
+}
+
+#[test]
+fn fig08_bpram_matmul_is_accurate_on_the_maspar() {
+    let f = fig(matmul_figs::fig08(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let predicted = f.series_named("Predicted (MP-BPRAM)").unwrap();
+    let dev = predicted.max_relative_deviation(measured);
+    assert!(dev < paper::FIG8_MAX_DEVIATION, "deviation = {dev:.3}");
+}
+
+#[test]
+fn fig09_cache_aware_prediction_is_at_least_as_good() {
+    let f = fig(matmul_figs::fig09(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let nominal = f.series_named("Predicted (alpha = 0.29)").unwrap();
+    let precise = f.series_named("Predicted (measured kernel)").unwrap();
+    let dev_nominal = nominal.max_relative_deviation(measured);
+    let dev_precise = precise.max_relative_deviation(measured);
+    assert!(
+        dev_precise <= dev_nominal + 0.02,
+        "kernel-aware {dev_precise:.3} vs nominal {dev_nominal:.3}"
+    );
+    assert!(dev_precise < 0.15, "kernel-aware deviation = {dev_precise:.3}");
+}
+
+#[test]
+fn fig10_bpram_bitonic_overestimate_is_smaller_than_bsp_on_maspar() {
+    let f5 = fig(sort_figs::fig05(Scale::Quick, SEED));
+    let f10 = fig(sort_figs::fig10(Scale::Quick, SEED));
+    let over5 = f5.series_named("Predicted (MP-BSP)").unwrap().y_at(256.0).unwrap()
+        / f5.series_named("Measured").unwrap().y_at(256.0).unwrap();
+    let over10 = f10
+        .series_named("Predicted (MP-BPRAM)")
+        .unwrap()
+        .y_at(256.0)
+        .unwrap()
+        / f10.series_named("Measured").unwrap().y_at(256.0).unwrap();
+    // "The MP-BPRAM predictions are slightly more precise than the times
+    // predicted by BSP."
+    assert!(over10 > 1.0, "still an overestimate: {over10:.2}");
+    assert!(over10 < over5, "BPRAM {over10:.2} should beat BSP {over5:.2}");
+}
+
+#[test]
+fn fig12_unbalanced_communication_on_the_maspar() {
+    let f = fig(apsp_figs::fig12(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let mp_bsp = f.series_named("Predicted (MP-BSP)").unwrap();
+    let ebsp = f.series_named("Predicted (E-BSP)").unwrap();
+    let mp_err = mp_bsp.max_relative_deviation(measured);
+    let eb_err = ebsp.max_relative_deviation(measured);
+    // The paper: 78% error for MP-BSP at N = 512; E-BSP "much better".
+    assert!(mp_err > 0.5, "MP-BSP error = {mp_err:.2}");
+    assert!(eb_err < 0.2, "E-BSP error = {eb_err:.2}");
+}
+
+#[test]
+fn fig13_gcel_scatter_refinement() {
+    let f = fig(apsp_figs::fig13(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let bsp = f.series_named("Predicted (BSP)").unwrap();
+    let refined = f.series_named("Predicted (g_mscat refined)").unwrap();
+    assert!(
+        bsp.max_relative_deviation(measured) > 2.0 * refined.max_relative_deviation(measured),
+        "refinement should at least halve the error"
+    );
+}
+
+#[test]
+fn fig15_bsp_is_accurate_on_the_cm5() {
+    let f = fig(apsp_figs::fig15(Scale::Quick, SEED));
+    let measured = f.series_named("Measured").unwrap();
+    let bsp = f.series_named("Predicted (BSP)").unwrap();
+    assert!(bsp.max_relative_deviation(measured) < 0.25);
+}
