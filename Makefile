@@ -1,0 +1,20 @@
+# Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
+
+.PHONY: ci build test sanitize fmt clippy
+
+ci: build test fmt clippy
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+sanitize:
+	cargo test -q --test sanitizer
+
+fmt:
+	cargo fmt --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings

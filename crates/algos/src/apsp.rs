@@ -19,7 +19,7 @@
 //!   ring rotation over the piece holders (`M` communication steps — the
 //!   `M·T_unb(P)` term of Fig. 12).
 
-use pcm_core::units::{log2_exact, sqrt_exact};
+use pcm_core::units::{log2_exact, sqrt_exact, tag_u32};
 use pcm_machines::Platform;
 use pcm_sim::topology::Grid;
 
@@ -135,7 +135,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                     if dst == pid {
                         ctx.state.x_piece = Some((t, piece.to_vec()));
                     } else {
-                        send(ctx, variant, dst, 2 * t as u32, piece);
+                        send(ctx, variant, dst, 2 * tag_u32(t), piece);
                     }
                 }
             }
@@ -150,7 +150,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                     if dst == pid {
                         ctx.state.y_piece = Some((t, piece.to_vec()));
                     } else {
-                        send(ctx, variant, dst, 2 * t as u32 + 1, piece);
+                        send(ctx, variant, dst, 2 * tag_u32(t) + 1, piece);
                     }
                 }
             }
@@ -184,7 +184,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                     for t in staggered(c, side) {
                         let dst = embed.to_machine(grid.id(r, t));
                         if dst != pid {
-                            send(ctx, variant, dst, 2 * idx as u32, &vals);
+                            send(ctx, variant, dst, 2 * tag_u32(idx), &vals);
                         }
                     }
                 }
@@ -193,7 +193,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                     for t in staggered(r, side) {
                         let dst = embed.to_machine(grid.id(t, c));
                         if dst != pid {
-                            send(ctx, variant, dst, 2 * idx as u32 + 1, &vals);
+                            send(ctx, variant, dst, 2 * tag_u32(idx) + 1, &vals);
                         }
                     }
                 }
@@ -223,7 +223,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                                 ctx,
                                 variant,
                                 embed.to_machine(grid.id(r, c + span)),
-                                2 * idx as u32,
+                                2 * tag_u32(idx),
                                 &vals,
                             );
                         }
@@ -235,7 +235,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                                 ctx,
                                 variant,
                                 embed.to_machine(grid.id(r + span, c)),
-                                2 * idx as u32 + 1,
+                                2 * tag_u32(idx) + 1,
                                 &vals,
                             );
                         }
@@ -258,7 +258,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                             ctx,
                             variant,
                             embed.to_machine(grid.id(r, next_c)),
-                            2 * idx as u32,
+                            2 * tag_u32(idx),
                             &vals,
                         );
                     }
@@ -270,7 +270,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
                             ctx,
                             variant,
                             embed.to_machine(grid.id(next_r, c)),
-                            2 * idx as u32 + 1,
+                            2 * tag_u32(idx) + 1,
                             &vals,
                         );
                     }
@@ -292,8 +292,7 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
         let (r, c) = grid.coords(embed.to_logical(pid));
         for i in 0..m {
             let gr = r * m + i;
-            result[gr * n + c * m..gr * n + c * m + m]
-                .copy_from_slice(&st.d[i * m..(i + 1) * m]);
+            result[gr * n + c * m..gr * n + c * m + m].copy_from_slice(&st.d[i * m..(i + 1) * m]);
         }
     }
     let expect = floyd_reference(&d0, n);

@@ -96,7 +96,10 @@ pub fn dominant_matrix(n: usize, seed: u64) -> Vec<f64> {
 pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunResult {
     let p = platform.p();
     let side = sqrt_exact(p).expect("LU needs a square processor grid");
-    assert!(n.is_multiple_of(side), "matrix side {n} must be a multiple of sqrt(P)");
+    assert!(
+        n.is_multiple_of(side),
+        "matrix side {n} must be a multiple of sqrt(P)"
+    );
     let grid = Grid { side };
     let m = n / side;
 
@@ -248,8 +251,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
         let (r, c) = grid.coords(pid);
         for i in 0..m {
             let gr = r * m + i;
-            result[gr * n + c * m..gr * n + c * m + m]
-                .copy_from_slice(&st.a[i * m..(i + 1) * m]);
+            result[gr * n + c * m..gr * n + c * m + m].copy_from_slice(&st.a[i * m..(i + 1) * m]);
         }
     }
     let expect = lu_reference(&a0, n);
@@ -292,10 +294,7 @@ mod tests {
                     exact += l * u;
                 }
                 let _ = s;
-                assert!(
-                    (exact - a[i * n + j]).abs() < 1e-8,
-                    "A[{i}][{j}] mismatch"
-                );
+                assert!((exact - a[i * n + j]).abs() < 1e-8, "A[{i}][{j}] mismatch");
             }
         }
     }
@@ -330,7 +329,10 @@ mod tests {
         let apsp = crate::apsp::run(&plat, 32, crate::apsp::ApspVariant::Words, 5);
         assert!(lu.verified && apsp.verified);
         let ratio = lu.time / apsp.time;
-        assert!(ratio > 0.3 && ratio < 3.0, "LU/APSP time ratio = {ratio:.2}");
+        assert!(
+            ratio > 0.3 && ratio < 3.0,
+            "LU/APSP time ratio = {ratio:.2}"
+        );
     }
 
     #[test]

@@ -73,10 +73,10 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
     let cube = Cube { q };
     let bn = n / q; // block side
     let sn = n / (q * q); // subblock rows
-    // On the MasPar the cube layout does not align with router clusters
-    // (MPL virtual-processor addressing) — a scrambled embedding makes the
-    // superstep patterns cost what the paper measured. See
-    // `primitives::embed`.
+                          // On the MasPar the cube layout does not align with router clusters
+                          // (MPL virtual-processor addressing) — a scrambled embedding makes the
+                          // superstep patterns cost what the paper measured. See
+                          // `primitives::embed`.
     let embed = if platform.model_params().memory_pipelining {
         Embedding::identity(p)
     } else {
@@ -100,7 +100,13 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
     // The block variant issues all q transfers per phase in lockstep
     // (including the self-copy), exactly as the `3·q·(sigma·w·N²/P + ell)`
     // cost expression charges and as a SIMD pp_rsend loop executes. The
-    // word variants skip the self-copy (it is a local move).
+    // word variants skip only the A self-copy: every processor skips slot
+    // `l == k`, the *first* slot of its staggered order, so the remaining
+    // rounds stay aligned. The B and C self-copies travel through the
+    // machine even in the word variants — only some processors have one,
+    // and skipping it would compress their staggered schedule by a round,
+    // colliding with a neighbour's sends (a concurrent-write hazard under
+    // MP-BSP).
     let include_self = variant == MatmulVariant::Bpram;
 
     // Superstep 1: replicate A^k_ij over <i,j,*> and B^k_ij over <*,i,j>.
@@ -118,16 +124,21 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
         };
         for &l in &order {
             if include_self || l != k {
-                send(ctx, variant, embed.to_machine(cube.id(i, j, l)), TAG_A, &a_sub);
+                send(
+                    ctx,
+                    variant,
+                    embed.to_machine(cube.id(i, j, l)),
+                    TAG_A,
+                    &a_sub,
+                );
             }
         }
         for &l in &order {
             let dst = embed.to_machine(cube.id(l, i, j));
-            if include_self || dst != ctx.pid() {
-                send(ctx, variant, dst, TAG_B, &b_sub);
-            }
+            send(ctx, variant, dst, TAG_B, &b_sub);
         }
-        // The local copies stay in place (no self-messages).
+        // The A copy stays in place; the B self-copy (diagonal processors
+        // only) was routed through the machine above.
         ctx.state.a_sub = a_sub;
         ctx.state.b_sub = b_sub;
     });
@@ -141,17 +152,18 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
         let (i, j, k) = cube.coords(lid);
         let mut a_full = vec![0.0f64; bn * bn];
         let mut b_full = vec![0.0f64; bn * bn];
-        // Own subblocks (not sent over the network).
+        // Own A subblock (not sent over the network); B arrives entirely
+        // through the inbox, self-copies included.
         a_full[k * sn * bn..(k + 1) * sn * bn].copy_from_slice(&ctx.state.a_sub);
-        if j == i && k == j {
-            // <i,i,i> keeps its own B subblock too.
-            b_full[k * sn * bn..(k + 1) * sn * bn].copy_from_slice(&ctx.state.b_sub);
-        }
         for msg in ctx.msgs() {
             let (_, _, l) = cube.coords(embed.to_logical(msg.src));
             let vals = msg.as_f64s();
             debug_assert_eq!(vals.len(), sn * bn);
-            let dstmat = if msg.tag == TAG_A { &mut a_full } else { &mut b_full };
+            let dstmat = if msg.tag == TAG_A {
+                &mut a_full
+            } else {
+                &mut b_full
+            };
             dstmat[l * sn * bn..(l + 1) * sn * bn].copy_from_slice(&vals);
         }
         ctx.charge_copy_words(2 * (bn * bn) as u64);
@@ -171,17 +183,13 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
         };
         for &l in &order {
             let dst = embed.to_machine(cube.id(i, k, l));
-            if !include_self && dst == ctx.pid() {
-                ctx.state.c_sub = c_hat[l * sn * bn..(l + 1) * sn * bn].to_vec();
-            } else {
-                send(
-                    ctx,
-                    variant,
-                    dst,
-                    TAG_C,
-                    &c_hat[l * sn * bn..(l + 1) * sn * bn],
-                );
-            }
+            send(
+                ctx,
+                variant,
+                dst,
+                TAG_C,
+                &c_hat[l * sn * bn..(l + 1) * sn * bn],
+            );
         }
     });
 
@@ -245,7 +253,15 @@ fn extract(m: &[f64], n: usize, r0: usize, c0: usize, rows: usize, cols: usize) 
 }
 
 /// Writes a rectangle back into a row-major `n x n` matrix.
-fn scatter_into(m: &mut [f64], n: usize, r0: usize, c0: usize, rows: usize, cols: usize, v: &[f64]) {
+fn scatter_into(
+    m: &mut [f64],
+    n: usize,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    v: &[f64],
+) {
     for r in 0..rows {
         let base = (r0 + r) * n + c0;
         m[base..base + cols].copy_from_slice(&v[r * cols..(r + 1) * cols]);
@@ -319,6 +335,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // determinism means bit-exact
     fn deterministic_across_runs() {
         let plat = Platform::cm5_with(8);
         let a = run(&plat, 16, MatmulVariant::Bpram, 7);
@@ -328,6 +345,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // round trip copies values verbatim
     fn extract_scatter_round_trip() {
         let n = 6;
         let m: Vec<f64> = (0..36).map(|x| x as f64).collect();

@@ -7,6 +7,7 @@
 //! versions exist so the primitives can be measured and tested in
 //! isolation (and they power the `model_shootout` example).
 
+use pcm_core::units::tag_u32;
 use pcm_machines::Platform;
 use pcm_sim::Machine;
 
@@ -64,7 +65,7 @@ pub fn broadcast(machine: &mut Machine<CollState>, root: usize) {
         };
         for t in staggered(pid, p) {
             if t != pid && !piece.is_empty() {
-                ctx.send_words_u32_tagged(t, pid as u32, &piece);
+                ctx.send_words_u32_tagged(t, tag_u32(pid), &piece);
             }
         }
         ctx.state.out = piece;
@@ -93,17 +94,14 @@ pub fn all_gather(machine: &mut Machine<CollState>) {
         let data = ctx.state.data.clone();
         for t in staggered(pid, p) {
             if t != pid && !data.is_empty() {
-                ctx.send_words_u32_tagged(t, pid as u32, &data);
+                ctx.send_words_u32_tagged(t, tag_u32(pid), &data);
             }
         }
     });
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
-        let mut pieces: Vec<(usize, Vec<u32>)> = ctx
-            .msgs()
-            .iter()
-            .map(|m| (m.src, m.as_u32s()))
-            .collect();
+        let mut pieces: Vec<(usize, Vec<u32>)> =
+            ctx.msgs().iter().map(|m| (m.src, m.as_u32s())).collect();
         pieces.push((pid, ctx.state.data.clone()));
         pieces.sort_by_key(|(idx, _)| *idx);
         ctx.state.out = pieces.into_iter().flat_map(|(_, v)| v).collect();
@@ -172,7 +170,13 @@ mod tests {
     fn broadcast_delivers_roots_vector() {
         let p = 8;
         let data: Vec<Vec<u32>> = (0..p)
-            .map(|i| if i == 3 { (100..116).collect() } else { vec![0; 16] })
+            .map(|i| {
+                if i == 3 {
+                    (100..116).collect()
+                } else {
+                    vec![0; 16]
+                }
+            })
             .collect();
         let mut m = machine_with(&plat(), data, 1);
         broadcast(&mut m, 3);
@@ -212,13 +216,13 @@ mod tests {
         let p = 8usize;
         // v_i[j] = i + j
         let data: Vec<Vec<u32>> = (0..p)
-            .map(|i| (0..p).map(|j| (i + j) as u32).collect())
+            .map(|i| (0..p).map(|j| tag_u32(i + j)).collect())
             .collect();
         let mut m = machine_with(&plat(), data, 4);
         multi_scan(&mut m);
         for (i, st) in m.states().iter().enumerate() {
             for j in 0..p {
-                let expect: u32 = (0..i).map(|ip| (ip + j) as u32).sum();
+                let expect: u32 = (0..i).map(|ip| tag_u32(ip + j)).sum();
                 assert_eq!(st.out[j], expect, "i={i} j={j}");
             }
         }

@@ -68,8 +68,9 @@ mod tests {
         // In round t, processors with distinct offsets hit distinct targets.
         let q = 7;
         for t in 0..q {
-            let mut targets: Vec<usize> =
-                (0..q).map(|pid| staggered(pid, q).nth(t).unwrap()).collect();
+            let mut targets: Vec<usize> = (0..q)
+                .map(|pid| staggered(pid, q).nth(t).unwrap())
+                .collect();
             targets.sort_unstable();
             assert_eq!(targets, (0..q).collect::<Vec<_>>());
         }
@@ -95,6 +96,67 @@ mod tests {
                 let owner = chunk_owner(n, p, idx);
                 assert!(chunk(n, p, owner).contains(&idx), "n={n} p={p} idx={idx}");
             }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Round trip across the full (n, p) grid, including p > n (where
+        /// trailing chunks are empty): every item is owned by exactly the
+        /// chunk whose range contains it.
+        #[test]
+        fn chunk_owner_roundtrips_for_every_index(n in 0usize..120, p in 1usize..40) {
+            for idx in 0..n {
+                let owner = chunk_owner(n, p, idx);
+                proptest::prop_assert!(owner < p, "owner {owner} out of range");
+                let r = chunk(n, p, owner);
+                proptest::prop_assert!(
+                    r.contains(&idx),
+                    "n={} p={} idx={} owner={} range={:?}", n, p, idx, owner, r
+                );
+            }
+            // The chunks tile 0..n: lengths sum to n and starts are sorted.
+            let total: usize = (0..p).map(|i| chunk(n, p, i).len()).sum();
+            proptest::prop_assert_eq!(total, n);
+        }
+
+        /// Chunk sizes are balanced: every chunk holds floor(n/p) or
+        /// ceil(n/p) items, and the large chunks come first.
+        #[test]
+        fn chunks_are_balanced(n in 0usize..120, p in 1usize..40) {
+            let base = n / p;
+            let mut seen_small = false;
+            for i in 0..p {
+                let len = chunk(n, p, i).len();
+                proptest::prop_assert!(len == base || len == base + 1, "len {len}");
+                if len == base {
+                    seen_small = true;
+                } else {
+                    proptest::prop_assert!(!seen_small, "large chunk after a small one");
+                }
+            }
+        }
+
+        /// `bucket_counts` agrees with the obvious O(n·s) reference on
+        /// sorted inputs, and the counts sum to the key count.
+        #[test]
+        fn bucket_counts_match_naive_reference(
+            mut keys in proptest::collection::vec(0u32..64, 0..80),
+            mut splitters in proptest::collection::vec(0u32..64, 0..12),
+        ) {
+            keys.sort_unstable();
+            splitters.sort_unstable();
+            splitters.dedup();
+            let fast = bucket_counts(&keys, &splitters);
+            // Naive reference: for each key, scan all splitters.
+            let mut naive = vec![0usize; splitters.len() + 1];
+            for &k in &keys {
+                let b = splitters.iter().take_while(|&&s| k >= s).count();
+                naive[b] += 1;
+            }
+            proptest::prop_assert_eq!(&fast, &naive);
+            proptest::prop_assert_eq!(fast.iter().sum::<usize>(), keys.len());
         }
     }
 

@@ -139,9 +139,7 @@ pub fn merge_phases<S: BitonicList>(machine: &mut Machine<S>, mode: ExchangeMode
                 let _ = stage;
                 match mode {
                     ExchangeMode::Block => ctx.send_block_u32(partner, &chunk),
-                    ExchangeMode::Packets { bytes } => {
-                        ctx.send_packets_u32(partner, &chunk, bytes)
-                    }
+                    ExchangeMode::Packets { bytes } => ctx.send_packets_u32(partner, &chunk, bytes),
                     _ => ctx.send_words_u32(partner, &chunk),
                 }
             });
@@ -157,11 +155,7 @@ pub fn merge_phases<S: BitonicList>(machine: &mut Machine<S>, mode: ExchangeMode
 }
 
 fn absorb<S: BitonicList>(ctx: &mut pcm_sim::Ctx<'_, S>) {
-    let incoming: Vec<u32> = ctx
-        .msgs()
-        .iter()
-        .flat_map(|m| m.as_u32s())
-        .collect();
+    let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
     ctx.state.stash_mut().extend_from_slice(&incoming);
 }
 
@@ -180,12 +174,7 @@ fn finish_merge<S: BitonicList>(ctx: &mut pcm_sim::Ctx<'_, S>, stage: u32, bit: 
 
 /// Full bitonic sort benchmark: deterministic random keys, local radix
 /// sort, merge phases, verification. `keys_per_proc` may be any size.
-pub fn run(
-    platform: &Platform,
-    keys_per_proc: usize,
-    mode: ExchangeMode,
-    seed: u64,
-) -> RunResult {
+pub fn run(platform: &Platform, keys_per_proc: usize, mode: ExchangeMode, seed: u64) -> RunResult {
     let p = platform.p();
     let mut rng = pcm_core::rng::seeded(seed);
     let all_keys = pcm_core::rng::random_keys(p * keys_per_proc, &mut rng);

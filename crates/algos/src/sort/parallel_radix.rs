@@ -13,7 +13,7 @@
 //! them exactly; the routing is staggered per destination like every other
 //! algorithm in this crate.
 
-use pcm_core::units::log2_exact;
+use pcm_core::units::{log2_exact, tag_u32};
 use pcm_machines::Platform;
 use pcm_sim::Machine;
 
@@ -205,7 +205,7 @@ fn radix_pass(
             let pos = base[d] + prefix[d] + cursor[d];
             cursor[d] += 1;
             let dest = (pos as usize) / m;
-            outgoing[dest].push((pos % m as u32, k));
+            outgoing[dest].push((pos % tag_u32(m), k));
         }
         ctx.charge_ops(keys.len() as u64);
         for t in staggered(pid, p) {

@@ -16,7 +16,7 @@ pub fn radix_sort(keys: &mut Vec<u32>) {
     }
     let mut aux: Vec<u32> = vec![0; n];
     let radix = 1usize << RADIX_BITS;
-    let mask = (radix - 1) as u32;
+    let mask = pcm_core::units::tag_u32(radix - 1);
     for pass in 0..(KEY_BITS / RADIX_BITS) {
         let shift = pass * RADIX_BITS;
         let mut counts = vec![0usize; radix];

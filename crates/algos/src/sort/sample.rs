@@ -22,7 +22,7 @@
 //!   destination and sends them directly in staggered order, the ~2x
 //!   faster variant that bends the single-port rule.
 
-use pcm_core::units::sqrt_exact;
+use pcm_core::units::{sqrt_exact, tag_u32};
 use pcm_machines::Platform;
 use pcm_sim::Machine;
 
@@ -82,7 +82,10 @@ pub fn run(
     seed: u64,
 ) -> RunResult {
     let p = platform.p();
-    assert!(p.is_power_of_two(), "sample sort's splitter phase needs 2^k processors");
+    assert!(
+        p.is_power_of_two(),
+        "sample sort's splitter phase needs 2^k processors"
+    );
     assert!(oversampling >= 1);
     let use_blocks = variant != SampleVariant::BspWords;
     let side = if use_blocks {
@@ -156,7 +159,7 @@ pub fn run(
             for t in staggered(group, side) {
                 let dst = t * side + idx;
                 if dst != pid {
-                    ctx.send_block_u32_tagged(dst, group as u32, &cands);
+                    ctx.send_block_u32_tagged(dst, tag_u32(group), &cands);
                 }
             }
             ctx.state.stash = cands; // keep own group's vector
@@ -207,7 +210,7 @@ pub fn run(
         let s = &mut *ctx.state;
         radix_sort(&mut s.keys);
         let counts = bucket_counts(&s.keys, &s.splitters);
-        s.counts = counts.into_iter().map(|c| c as u32).collect();
+        s.counts = counts.into_iter().map(tag_u32).collect();
         ctx.charge_radix_sort(keys_per_proc, KEY_BITS, RADIX_BITS);
         ctx.charge(ctx.compute().alpha() * (keys_per_proc + p) as f64);
     });
@@ -241,8 +244,7 @@ pub fn run(
                 }
             });
             machine.superstep(|ctx| {
-                let incoming: Vec<u32> =
-                    ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
+                let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
                 ctx.state.bucket.extend_from_slice(&incoming);
             });
         }
@@ -267,8 +269,7 @@ pub fn run(
                 }
             });
             machine.superstep(|ctx| {
-                let incoming: Vec<u32> =
-                    ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
+                let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
                 ctx.state.bucket.extend_from_slice(&incoming);
             });
         }
@@ -364,7 +365,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
             if dst == pid {
                 ctx.state.stash = block;
             } else {
-                ctx.send_block_u32_tagged(dst, c as u32, &block);
+                ctx.send_block_u32_tagged(dst, tag_u32(c), &block);
             }
         }
     });
@@ -385,7 +386,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
             let dst = x * side + t; // bucket (x, t)
             let block: Vec<u32> = (0..side).map(|c| rowdata[c][t]).collect();
             // tag = my row, so the receiver knows which senders these are.
-            ctx.send_block_u32_tagged(dst, r as u32, &block);
+            ctx.send_block_u32_tagged(dst, tag_u32(r), &block);
         }
     });
     // Compute offsets at the bucket owner and start the reverse transpose.
@@ -412,7 +413,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
             if dst == pid {
                 ctx.state.stash = block;
             } else {
-                ctx.send_block_u32_tagged(dst, (pid % side) as u32, &block);
+                ctx.send_block_u32_tagged(dst, tag_u32(pid % side), &block);
             }
         }
         let _ = &offsets;
@@ -430,7 +431,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
         for t in staggered((x + r) % side, side) {
             let dst = x * side + t;
             let block: Vec<u32> = (0..side).map(|bc| per_bucketcol[bc][t]).collect();
-            ctx.send_block_u32_tagged(dst, r as u32, &block);
+            ctx.send_block_u32_tagged(dst, tag_u32(r), &block);
         }
     });
     machine.superstep(move |ctx| {
@@ -485,12 +486,15 @@ fn route_padded(machine: &mut Machine<SampleState>, p: usize, side: usize, m: us
             start[j + 1] = start[j] + counts[j] as usize;
         }
         let pairs: Vec<(u32, u32)> = (0..p)
-            .flat_map(|j| keys[start[j]..start[j + 1]].iter().map(move |&k| (j as u32, k)))
+            .flat_map(|j| {
+                keys[start[j]..start[j + 1]]
+                    .iter()
+                    .map(move |&k| (tag_u32(j), k))
+            })
             .collect();
         ctx.charge_copy_words(2 * pairs.len() as u64);
         for t in staggered(c, side) {
-            let slice: Vec<(u32, u32)> =
-                pairs.iter().skip(t).step_by(side).copied().collect();
+            let slice: Vec<(u32, u32)> = pairs.iter().skip(t).step_by(side).copied().collect();
             let dst = r * side + t;
             if dst == pid {
                 ctx.state.hold.extend_from_slice(&slice);
@@ -530,8 +534,7 @@ fn route_padded(machine: &mut Machine<SampleState>, p: usize, side: usize, m: us
             unpack(&mut held, &msg.as_u32s());
         }
         for t in staggered(r, side) {
-            let slice: Vec<(u32, u32)> =
-                held.iter().skip(t).step_by(side).copied().collect();
+            let slice: Vec<(u32, u32)> = held.iter().skip(t).step_by(side).copied().collect();
             let dst = t * side + c;
             if dst == pid {
                 ctx.state.hold = slice.clone();

@@ -39,6 +39,17 @@ const TAG_B: u32 = 1;
 /// assembly kernel).
 pub const CMSSL_OP_TIME: f64 = 2.0 / 3.5;
 
+/// Replaces the local A/B blocks with whichever shifted blocks arrived.
+fn absorb_shifted(ctx: &mut pcm_sim::Ctx<'_, GridMmState>) {
+    let incoming: Vec<(u32, Vec<f64>)> = ctx.msgs().iter().map(|m| (m.tag, m.as_f64s())).collect();
+    for (tag, vals) in incoming {
+        match tag {
+            TAG_A => ctx.state.a = vals,
+            _ => ctx.state.b = vals,
+        }
+    }
+}
+
 fn padded_block(m: &[f64], n: usize, r0: usize, c0: usize, bs: usize) -> Vec<f64> {
     let mut out = vec![0.0f64; bs * bs];
     for r in 0..bs {
@@ -78,39 +89,35 @@ pub fn maspar_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
         .collect();
     let mut machine = platform.machine(states, seed);
 
-    // Skew: row r shifts A left by r; column c shifts B up by c. Performed
-    // as `side - 1` rounds of unit shifts in which rows/columns that still
-    // owe displacement participate — each round is a uniform xnet shift.
+    // Skew: row r shifts A left by r; column c shifts B up by c, as
+    // `side - 1` masked unit shifts. The SIMD xnet executes the A shift
+    // and the B shift as two distinct plural operations, so they are two
+    // supersteps here: merging them would drop a B block into the same
+    // router round as a neighbour's A block (fan-in 2), which the
+    // single-port xnet cannot accept — and would undercharge the shift.
     for round in 1..side {
         machine.superstep(move |ctx| {
-            let pid = ctx.pid();
-            let (r, c) = grid.coords(pid);
+            absorb_shifted(ctx); // B blocks of the previous round
+            let (r, c) = grid.coords(ctx.pid());
             if r >= round {
                 // shift A left by one (torus)
                 let dst = grid.id(r, (c + side - 1) % side);
                 let av = ctx.state.a.clone();
                 ctx.send_xnet_f64_tagged(dst, TAG_A, &av);
             }
+        });
+        machine.superstep(move |ctx| {
+            absorb_shifted(ctx); // A blocks of this round
+            let (r, c) = grid.coords(ctx.pid());
             if c >= round {
                 let dst = grid.id((r + side - 1) % side, c);
                 let bv = ctx.state.b.clone();
                 ctx.send_xnet_f64_tagged(dst, TAG_B, &bv);
             }
         });
-        machine.superstep(|ctx| {
-            let incoming: Vec<(u32, Vec<f64>)> = ctx
-                .msgs()
-                .iter()
-                .map(|m| (m.tag, m.as_f64s()))
-                .collect();
-            for (tag, vals) in incoming {
-                match tag {
-                    TAG_A => ctx.state.a = vals,
-                    _ => ctx.state.b = vals,
-                }
-            }
-        });
     }
+    // The last B shift is still in flight; land it before multiplying.
+    machine.superstep(absorb_shifted);
 
     // side iterations: multiply-accumulate, then shift A left / B up by 1.
     for step in 0..side {
@@ -132,19 +139,7 @@ pub fn maspar_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
             }
         });
         if step + 1 < side {
-            machine.superstep(|ctx| {
-                let incoming: Vec<(u32, Vec<f64>)> = ctx
-                    .msgs()
-                    .iter()
-                    .map(|m| (m.tag, m.as_f64s()))
-                    .collect();
-                for (tag, vals) in incoming {
-                    match tag {
-                        TAG_A => ctx.state.a = vals,
-                        _ => ctx.state.b = vals,
-                    }
-                }
-            });
+            machine.superstep(absorb_shifted);
         }
     }
 
@@ -203,8 +198,16 @@ pub fn cmssl_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
         machine.superstep(move |ctx| {
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
-            let mut pa = if c == step { ctx.state.a.clone() } else { Vec::new() };
-            let mut pb = if r == step { ctx.state.b.clone() } else { Vec::new() };
+            let mut pa = if c == step {
+                ctx.state.a.clone()
+            } else {
+                Vec::new()
+            };
+            let mut pb = if r == step {
+                ctx.state.b.clone()
+            } else {
+                Vec::new()
+            };
             for msg in ctx.msgs() {
                 match msg.tag {
                     TAG_A => pa = msg.as_f64s(),

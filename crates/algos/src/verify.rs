@@ -153,13 +153,23 @@ mod tests {
     #[test]
     fn sorted_permutation_checker() {
         assert!(check_sorted_permutation(&[3, 1, 2], &[1, 2, 3]));
-        assert!(!check_sorted_permutation(&[3, 1, 2], &[1, 3, 2]), "unsorted");
-        assert!(!check_sorted_permutation(&[3, 1, 2], &[1, 2, 4]), "wrong multiset");
-        assert!(!check_sorted_permutation(&[3, 1], &[1, 2, 3]), "wrong length");
+        assert!(
+            !check_sorted_permutation(&[3, 1, 2], &[1, 3, 2]),
+            "unsorted"
+        );
+        assert!(
+            !check_sorted_permutation(&[3, 1, 2], &[1, 2, 4]),
+            "wrong multiset"
+        );
+        assert!(
+            !check_sorted_permutation(&[3, 1], &[1, 2, 3]),
+            "wrong length"
+        );
         assert!(check_sorted_permutation(&[], &[]));
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // integer-valued weights stay exact
     fn floyd_reference_small_graph() {
         let inf = f64::INFINITY;
         // 0 -> 1 (1), 1 -> 2 (2), 0 -> 2 (10): shortest 0->2 is 3.

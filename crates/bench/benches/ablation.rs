@@ -101,10 +101,7 @@ fn report_model_ablations() {
             })
             .chain((4..64).map(|_| Vec::new()))
             .collect();
-        let t = net.route(
-            &pcm_sim::CommPattern { p: 64, sends },
-            &mut seeded(SEED),
-        );
+        let t = net.route(&pcm_sim::CommPattern { p: 64, sends }, &mut seeded(SEED));
         eprintln!("  cm5 rho={rho:>5}: 4-into-1 round = {t}");
     }
 
@@ -127,18 +124,19 @@ fn report_model_ablations() {
                 }]
             })
             .collect();
-        let t = net.route(
-            &pcm_sim::CommPattern { p: 64, sends },
-            &mut seeded(SEED),
-        );
-        eprintln!(
-            "  gcel drift_threshold={threshold:>5}: 1200-message stream = {t}"
-        );
+        let t = net.route(&pcm_sim::CommPattern { p: 64, sends }, &mut seeded(SEED));
+        eprintln!("  gcel drift_threshold={threshold:>5}: 1200-message stream = {t}");
     }
 
     // Oversampling S: bucket expansion vs splitter-phase cost.
     for s in [4usize, 16, 64, 256] {
-        let r = sample::run(&Platform::gcel(), 512, s, SampleVariant::BpramStaggered, SEED);
+        let r = sample::run(
+            &Platform::gcel(),
+            512,
+            s,
+            SampleVariant::BpramStaggered,
+            SEED,
+        );
         assert!(r.verified);
         eprintln!(
             "  sample sort S={s:>4}: max bucket {} / 512, total {}",

@@ -17,11 +17,9 @@ fn bench_calibration(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
 
     for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {
-        g.bench_with_input(
-            BenchmarkId::new("fit_gl", plat.name()),
-            &plat,
-            |b, plat| b.iter(|| fit_gl(plat, 1, SEED)),
-        );
+        g.bench_with_input(BenchmarkId::new("fit_gl", plat.name()), &plat, |b, plat| {
+            b.iter(|| fit_gl(plat, 1, SEED))
+        });
         g.bench_with_input(
             BenchmarkId::new("fit_sigma_ell", plat.name()),
             &plat,

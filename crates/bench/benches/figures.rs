@@ -55,7 +55,14 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 6: GCel bitonic with resynchronization.
     g.bench_function("fig06_gcel_bitonic_resync", |b| {
         let plat = Platform::gcel();
-        b.iter(|| bitonic::run(&plat, 512, ExchangeMode::WordsResync { interval: 256 }, SEED));
+        b.iter(|| {
+            bitonic::run(
+                &plat,
+                512,
+                ExchangeMode::WordsResync { interval: 256 },
+                SEED,
+            )
+        });
     });
 
     // Fig. 7: h-h permutations.

@@ -182,7 +182,11 @@ mod tests {
         assert!(f.g > 20.0 && f.g < 55.0, "g = {}", f.g);
         assert!(f.l > 700.0 && f.l < 2100.0, "L = {}", f.l);
         let b = fit_sigma_ell(&Platform::maspar(), 3, 3);
-        assert!((b.sigma - 107.0).abs() / 107.0 < 0.25, "sigma = {}", b.sigma);
+        assert!(
+            (b.sigma - 107.0).abs() / 107.0 < 0.25,
+            "sigma = {}",
+            b.sigma
+        );
     }
 
     #[test]

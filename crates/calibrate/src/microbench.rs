@@ -157,12 +157,7 @@ pub fn block_permutation(platform: &Platform, bytes: usize, trials: usize, seed:
 /// The Fig. 7 experiment: `h` repetitions of one identical permutation
 /// ("h-h permutations"), optionally with a synchronizing barrier every
 /// `resync` messages.
-pub fn hh_permutation(
-    platform: &Platform,
-    h: usize,
-    resync: Option<usize>,
-    seed: u64,
-) -> SimTime {
+pub fn hh_permutation(platform: &Platform, h: usize, resync: Option<usize>, seed: u64) -> SimTime {
     let p = platform.p();
     let mut rng = seeded(seed);
     let perm = random_permutation(p, &mut rng);
@@ -184,7 +179,7 @@ pub fn hh_permutation(
 /// messages each across the remaining processors.
 pub fn multinode_scatter(platform: &Platform, h: usize, trials: usize, seed: u64) -> Summary {
     let p = platform.p();
-    let senders = (p as f64).sqrt().round() as usize;
+    let senders = p.isqrt();
     let receivers: Vec<usize> = (senders..p).collect();
     let times = (0..trials)
         .map(|t| {

@@ -1,0 +1,130 @@
+//! Rule identifiers and the violation record.
+//!
+//! Every check the sanitizer performs has a stable, human-readable rule
+//! id. The ids are grouped by layer: `R` rules come from the runtime
+//! protocol checker, `C` rules from the model-conformance lint, and `D`
+//! rules from the determinism auditor.
+
+/// Stable identifier of one sanitizer rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// A message was sent to a destination `>= P`.
+    DstRange,
+    /// Messages were delivered to a processor and never read before the
+    /// next barrier (or before the machine was dropped).
+    UnreadInbox,
+    /// A superstep used a message kind the active discipline forbids.
+    KindDiscipline,
+    /// A word round had two senders targeting one destination under a
+    /// discipline that demands permutation rounds (MP-BSP).
+    ConcurrentWrite,
+    /// A `charge*` call passed a NaN, infinite or negative amount.
+    BadCharge,
+    /// A block round had two blocks converging on one destination under
+    /// the single-port (MP-BPRAM) discipline.
+    BlockFanIn,
+    /// A superstep's compute or communication time was not finite.
+    NonfiniteTime,
+    /// The run's superstep count fell outside its predictor's contract.
+    ContractSupersteps,
+    /// A superstep exceeded its predictor's h-relation bound.
+    ContractHRelation,
+    /// A superstep used a message kind its predictor does not price.
+    ContractKind,
+    /// The rayon-on and sequential runs produced different results.
+    StateDigest,
+    /// The rayon-on and sequential runs produced different traces.
+    TraceDigest,
+}
+
+impl RuleId {
+    /// The stable textual id, e.g. `"R04-concurrent-write"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::DstRange => "R01-dst-range",
+            RuleId::UnreadInbox => "R02-unread-inbox",
+            RuleId::KindDiscipline => "R03-kind-discipline",
+            RuleId::ConcurrentWrite => "R04-concurrent-write",
+            RuleId::BadCharge => "R05-bad-charge",
+            RuleId::BlockFanIn => "R06-block-fanin",
+            RuleId::NonfiniteTime => "R07-nonfinite-time",
+            RuleId::ContractSupersteps => "C01-contract-supersteps",
+            RuleId::ContractHRelation => "C02-contract-h-relation",
+            RuleId::ContractKind => "C03-contract-kind",
+            RuleId::StateDigest => "D01-state-digest",
+            RuleId::TraceDigest => "D02-trace-digest",
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Superstep index (for end-of-run findings, the superstep count).
+    pub step: usize,
+    /// The processor involved, when one can be named.
+    pub pid: Option<usize>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] superstep {}", self.rule, self.step)?;
+        if let Some(pid) = self.pid {
+            write!(f, " pid {pid}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let all = [
+            RuleId::DstRange,
+            RuleId::UnreadInbox,
+            RuleId::KindDiscipline,
+            RuleId::ConcurrentWrite,
+            RuleId::BadCharge,
+            RuleId::BlockFanIn,
+            RuleId::NonfiniteTime,
+            RuleId::ContractSupersteps,
+            RuleId::ContractHRelation,
+            RuleId::ContractKind,
+            RuleId::StateDigest,
+            RuleId::TraceDigest,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "rule ids must be unique");
+        assert!(all.iter().all(|r| {
+            let id = r.id();
+            id.len() > 4 && id.as_bytes()[3] == b'-'
+        }));
+    }
+
+    #[test]
+    fn violations_render_with_rule_step_and_pid() {
+        let v = Violation {
+            rule: RuleId::DstRange,
+            step: 2,
+            pid: Some(5),
+            detail: "destination 99 out of range".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("R01-dst-range") && s.contains("superstep 2") && s.contains("pid 5"));
+    }
+}

@@ -47,7 +47,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "degenerate fit: all x equal");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,
@@ -116,7 +120,10 @@ pub fn basis_fit(xs: &[f64], ys: &[f64], basis: &[fn(f64) -> f64]) -> Vec<f64> {
     assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
     let k = basis.len();
     assert!(k >= 1, "need at least one basis function");
-    assert!(xs.len() >= k, "need at least as many points as coefficients");
+    assert!(
+        xs.len() >= k,
+        "need at least as many points as coefficients"
+    );
     // Normal equations: (B^T B) c = B^T y, with B[i][j] = basis_j(x_i).
     let mut ata = vec![vec![0.0; k]; k];
     let mut aty = vec![0.0; k];
@@ -214,7 +221,10 @@ mod tests {
     fn sqrt_poly_fit_recovers_t_unb_shape() {
         // T_unb(P') = 0.84 P' + 11.8 sqrt(P') + 73.3 — the paper's fit.
         let xs: Vec<f64> = (1..=32).map(|i| (i * 32) as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 0.84 * x + 11.8 * x.sqrt() + 73.3).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 0.84 * x + 11.8 * x.sqrt() + 73.3)
+            .collect();
         let f = sqrt_poly_fit(&xs, &ys);
         assert!((f.a - 0.84).abs() < 1e-6, "a = {}", f.a);
         assert!((f.b - 11.8).abs() < 1e-4, "b = {}", f.b);

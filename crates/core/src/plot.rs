@@ -77,7 +77,11 @@ pub fn render_ascii(fig: &Figure, size: PlotSize) -> String {
             if log_y && p.y <= 0.0 {
                 continue;
             }
+            // fx/fy map into [0, 1], so the products fit comfortably in
+            // a usize-sized terminal grid.
+            #[allow(clippy::cast_possible_truncation)]
             let col = (fx(p.x) * (w - 1) as f64).round() as usize;
+            #[allow(clippy::cast_possible_truncation)]
             let row = h - 1 - (fy(p.y) * (h - 1) as f64).round() as usize;
             let cell = &mut grid[row.min(h - 1)][col.min(w - 1)];
             // Later series overwrite — mark collisions distinctly.
@@ -142,8 +146,8 @@ fn min_max(vals: &[f64]) -> (f64, f64) {
 }
 
 fn format_axis(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e9 {
-        format!("{}", v as i64)
+    if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{v:.0}")
     } else {
         format!("{v:.2}")
     }
@@ -156,8 +160,14 @@ mod tests {
 
     fn fig() -> Figure {
         Figure::new("F", "test", "N", "µs")
-            .with(Series::from_points("a", [(1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)]))
-            .with(Series::from_points("b", [(1.0, 20.0), (2.0, 40.0), (3.0, 80.0)]))
+            .with(Series::from_points(
+                "a",
+                [(1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)],
+            ))
+            .with(Series::from_points(
+                "b",
+                [(1.0, 20.0), (2.0, 40.0), (3.0, 80.0)],
+            ))
     }
 
     #[test]
@@ -179,10 +189,8 @@ mod tests {
 
     #[test]
     fn log_scale_kicks_in_for_wide_ranges() {
-        let wide = Figure::new("F", "t", "x", "y").with(Series::from_points(
-            "a",
-            [(1.0, 1.0), (2.0, 10_000.0)],
-        ));
+        let wide = Figure::new("F", "t", "x", "y")
+            .with(Series::from_points("a", [(1.0, 1.0), (2.0, 10_000.0)]));
         let text = render_ascii(&wide, PlotSize::default());
         assert!(text.contains("lin-log"), "{text}");
         let narrow = Figure::new("F", "t", "x", "y")
@@ -202,8 +210,7 @@ mod tests {
 
     #[test]
     fn single_point_does_not_panic() {
-        let f = Figure::new("F", "t", "x", "y")
-            .with(Series::from_points("a", [(5.0, 5.0)]));
+        let f = Figure::new("F", "t", "x", "y").with(Series::from_points("a", [(5.0, 5.0)]));
         let text = render_ascii(&f, PlotSize::default());
         assert!(text.contains('*'));
     }

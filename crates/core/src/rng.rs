@@ -118,6 +118,7 @@ pub fn random_digraph(n: usize, density: f64, max_len: f64, rng: &mut StdRng) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

@@ -6,12 +6,11 @@
 //! below the naive curve") and render to aligned plain text for the
 //! `reproduce` CLI and EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One measured/predicted point: `y` at `x`, with optional min/max spread
 /// (the paper's vertical error bars in Fig. 1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DataPoint {
     /// X coordinate (problem size, h, number of active PEs, ...).
     pub x: f64,
@@ -47,7 +46,7 @@ impl DataPoint {
 
 /// A labelled curve: the unit of comparison in every figure
 /// ("Measured", "Predicted (BSP)", "Staggered", ...).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Curve label as it would appear in the paper's legend.
     pub label: String,
@@ -65,7 +64,10 @@ impl Series {
     }
 
     /// Builds a series from `(x, y)` pairs.
-    pub fn from_points(label: impl Into<String>, pts: impl IntoIterator<Item = (f64, f64)>) -> Self {
+    pub fn from_points(
+        label: impl Into<String>,
+        pts: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
         Series {
             label: label.into(),
             points: pts.into_iter().map(|(x, y)| DataPoint::new(x, y)).collect(),
@@ -128,7 +130,7 @@ impl Series {
 }
 
 /// A reproduced figure: several series over a shared x-axis.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Figure {
     /// Identifier, e.g. "Fig. 4".
     pub id: String,
@@ -186,7 +188,11 @@ impl Figure {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
         let mut header: Vec<String> = vec![self.x_label.clone()];
-        header.extend(self.series.iter().map(|s| format!("{} [{}]", s.label, self.y_label)));
+        header.extend(
+            self.series
+                .iter()
+                .map(|s| format!("{} [{}]", s.label, self.y_label)),
+        );
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
         for &x in &xs {
             let mut row = vec![format_number(x)];
@@ -204,7 +210,7 @@ impl Figure {
 }
 
 /// A reproduced table: named columns, string cells.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table {
     /// Identifier, e.g. "Table 1".
     pub id: String,
@@ -218,11 +224,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table with headers.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -258,8 +260,8 @@ impl Table {
 /// Formats a number compactly: integers without decimals, otherwise three
 /// significant decimals.
 pub fn format_number(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e12 {
-        format!("{}", v as i64)
+    if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{v:.0}")
     } else if v.abs() >= 1000.0 {
         format!("{:.1}", v)
     } else {

@@ -132,6 +132,7 @@ impl Accumulator {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 
@@ -155,8 +156,8 @@ mod tests {
 
     #[test]
     fn summary_from_times_uses_micros() {
-        let s = Summary::from_times(&[SimTime::from_millis(1.0), SimTime::from_millis(3.0)])
-            .unwrap();
+        let s =
+            Summary::from_times(&[SimTime::from_millis(1.0), SimTime::from_millis(3.0)]).unwrap();
         assert!((s.mean - 2000.0).abs() < 1e-9);
     }
 

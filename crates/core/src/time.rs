@@ -197,13 +197,12 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN")
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

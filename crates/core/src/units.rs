@@ -40,9 +40,20 @@ pub fn log2_exact(n: usize) -> u32 {
     n.trailing_zeros()
 }
 
+/// Converts a processor id or similar small count into a `u32` message
+/// tag without a silent truncating cast.
+///
+/// # Panics
+/// Panics if `v` does not fit — impossible for simulated PE counts.
+pub fn tag_u32(v: usize) -> u32 {
+    u32::try_from(v).expect("value does not fit in a u32 tag")
+}
+
 /// Integer cube root for `q³`-processor layouts; returns `None` when `p`
 /// is not a perfect cube.
 pub fn cube_root_exact(p: usize) -> Option<usize> {
+    // cbrt(usize::MAX) < 2^22, so the rounded estimate always fits.
+    #[allow(clippy::cast_possible_truncation)]
     let q = (p as f64).cbrt().round() as usize;
     (q.saturating_sub(1)..=q + 1).find(|&cand| cand * cand * cand == p)
 }
@@ -50,11 +61,16 @@ pub fn cube_root_exact(p: usize) -> Option<usize> {
 /// Integer square root for `√P x √P` grids; returns `None` when `p` is not
 /// a perfect square.
 pub fn sqrt_exact(p: usize) -> Option<usize> {
-    let q = (p as f64).sqrt().round() as usize;
-    (q.saturating_sub(1)..=q + 1).find(|&cand| cand * cand == p)
+    let q = p.isqrt();
+    if q * q == p {
+        Some(q)
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

@@ -119,7 +119,9 @@ mod tests {
 
     #[test]
     fn fig12_ebsp_beats_mp_bsp() {
-        let Output::Fig(f) = fig12(Scale::Quick, 2) else { panic!() };
+        let Output::Fig(f) = fig12(Scale::Quick, 2) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let mp = f.series_named("Predicted (MP-BSP)").unwrap();
         let eb = f.series_named("Predicted (E-BSP)").unwrap();
@@ -135,7 +137,9 @@ mod tests {
 
     #[test]
     fn fig13_refinement_improves_gcel_prediction() {
-        let Output::Fig(f) = fig13(Scale::Quick, 3) else { panic!() };
+        let Output::Fig(f) = fig13(Scale::Quick, 3) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let bsp = f.series_named("Predicted (BSP)").unwrap();
         let refined = f.series_named("Predicted (g_mscat refined)").unwrap();
@@ -147,7 +151,9 @@ mod tests {
 
     #[test]
     fn fig15_bsp_is_accurate_on_cm5() {
-        let Output::Fig(f) = fig15(Scale::Quick, 4) else { panic!() };
+        let Output::Fig(f) = fig15(Scale::Quick, 4) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let p = f.series_named("Predicted (BSP)").unwrap();
         assert!(p.max_relative_deviation(m) < 0.25);

@@ -30,10 +30,15 @@ pub fn fig01(scale: Scale, seed: u64) -> Output {
         hs.iter().map(|&h| (h as f64, 32.2 * h as f64 + 1400.0)),
     );
     Output::Fig(
-        Figure::new("Fig. 1", "Time required for routing 1-h relations on the MasPar MP-1", "h", "µs")
-            .with(measured)
-            .with(fitted)
-            .with(paper),
+        Figure::new(
+            "Fig. 1",
+            "Time required for routing 1-h relations on the MasPar MP-1",
+            "h",
+            "µs",
+        )
+        .with(measured)
+        .with(fitted)
+        .with(paper),
     )
 }
 
@@ -140,7 +145,8 @@ pub fn fig14(scale: Scale, seed: u64) -> Output {
     let fit = fit_g_mscat(&plat, trials, seed);
     let fitted = Series::from_points(
         format!("Fit g_mscat·h+L (g_mscat={:.0})", fit.g),
-        hs.iter().map(|&h| (h as f64, (fit.g * h as f64 + fit.l) / 1e3)),
+        hs.iter()
+            .map(|&h| (h as f64, (fit.g * h as f64 + fit.l) / 1e3)),
     );
     Output::Fig(
         Figure::new(
@@ -161,7 +167,9 @@ mod tests {
 
     #[test]
     fn fig01_quick_has_error_bars_and_reasonable_fit() {
-        let Output::Fig(f) = fig01(Scale::Quick, 7) else { panic!() };
+        let Output::Fig(f) = fig01(Scale::Quick, 7) else {
+            panic!()
+        };
         let measured = f.series_named("Measured").unwrap();
         assert!(measured.points.iter().all(|p| p.y_min.is_some()));
         // Measured h=1 lands near the paper's ~1300 µs.
@@ -171,7 +179,9 @@ mod tests {
 
     #[test]
     fn fig02_partial_permutations_are_cheap() {
-        let Output::Fig(f) = fig02(Scale::Quick, 8) else { panic!() };
+        let Output::Fig(f) = fig02(Scale::Quick, 8) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let at32 = m.y_at(32.0).unwrap();
         let at1024 = m.y_at(1024.0).unwrap();
@@ -180,7 +190,9 @@ mod tests {
 
     #[test]
     fn fig07_shows_the_drift_knee() {
-        let Output::Fig(f) = fig07(Scale::Quick, 9) else { panic!() };
+        let Output::Fig(f) = fig07(Scale::Quick, 9) else {
+            panic!()
+        };
         let hh = f.series_named("h-h permutations").unwrap();
         let sync = f
             .series_named("h-h permutations, barrier every 256")
@@ -196,7 +208,9 @@ mod tests {
 
     #[test]
     fn fig14_scatter_is_much_cheaper() {
-        let Output::Fig(f) = fig14(Scale::Quick, 10) else { panic!() };
+        let Output::Fig(f) = fig14(Scale::Quick, 10) else {
+            panic!()
+        };
         let full = f.series_named("Full h-relations").unwrap();
         let scat = f.series_named("Multinode scatters").unwrap();
         assert!(scat.y_at(56.0).unwrap() * 5.0 < full.y_at(56.0).unwrap());

@@ -5,6 +5,12 @@
 //! claims are enforced by the integration test suite; this module gives a
 //! repository user a single command that prints a PASS/FAIL line per
 //! claim without involving the test harness.
+//!
+//! Checkers never panic on malformed driver output: every lookup failure
+//! propagates as an `Err` naming the figure it came from, so a broken
+//! driver turns into a FAIL line instead of a crash.
+
+use pcm_core::{Figure, Series};
 
 use crate::report::{Output, Scale};
 use crate::{apsp_figs, calib_figs, granularity, matmul_figs, sort_figs};
@@ -19,19 +25,31 @@ pub struct Claim {
     pub verify: fn(Scale, u64) -> Result<String, String>,
 }
 
-fn fig(out: Output) -> pcm_core::Figure {
+fn fig(figure: &str, out: Output) -> Result<Figure, String> {
     match out {
-        Output::Fig(f) => f,
-        Output::Tab(_) => unreachable!("claim drivers return figures"),
+        Output::Fig(f) => Ok(f),
+        Output::Tab(_) => Err(format!(
+            "{figure}: driver returned a table, expected a figure"
+        )),
     }
 }
 
+/// Looks up a named series, failing with the figure id when absent.
+fn series<'a>(figure: &str, f: &'a Figure, name: &str) -> Result<&'a Series, String> {
+    f.series_named(name)
+        .ok_or_else(|| format!("{figure}: series '{name}' missing"))
+}
+
+/// Looks up the y value at `x`, failing with the figure id when absent.
+fn y_at(figure: &str, s: &Series, x: f64) -> Result<f64, String> {
+    s.y_at(x)
+        .ok_or_else(|| format!("{figure}: series '{}' has no point at x = {x}", s.label))
+}
+
 fn check_fig03(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(matmul_figs::fig03(scale, seed));
-    let dev = f
-        .series_named("Predicted (MP-BSP)")
-        .unwrap()
-        .max_relative_deviation(f.series_named("Measured").unwrap());
+    let f = fig("fig03", matmul_figs::fig03(scale, seed))?;
+    let dev = series("fig03", &f, "Predicted (MP-BSP)")?
+        .max_relative_deviation(series("fig03", &f, "Measured")?);
     if dev < 0.22 {
         Ok(format!("max deviation {:.1}% (paper: <14%)", dev * 100.0))
     } else {
@@ -40,23 +58,25 @@ fn check_fig03(scale: Scale, seed: u64) -> Result<String, String> {
 }
 
 fn check_fig04(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(matmul_figs::fig04(scale, seed));
-    let naive = f.series_named("Measured (naive)").unwrap();
-    let pred = f.series_named("Predicted (BSP)").unwrap();
-    let err = (naive.y_at(256.0).ok_or("no N=256 point")?
-        - pred.y_at(256.0).unwrap())
-        / pred.y_at(256.0).unwrap();
+    let f = fig("fig04", matmul_figs::fig04(scale, seed))?;
+    let naive = series("fig04", &f, "Measured (naive)")?;
+    let pred = series("fig04", &f, "Predicted (BSP)")?;
+    let at_256 = y_at("fig04", pred, 256.0)?;
+    let err = (y_at("fig04", naive, 256.0)? - at_256) / at_256;
     if (err - 0.21).abs() < 0.12 {
         Ok(format!("contention error {:.0}% (paper: 21%)", err * 100.0))
     } else {
-        Err(format!("contention error {:.0}% off the paper's 21%", err * 100.0))
+        Err(format!(
+            "contention error {:.0}% off the paper's 21%",
+            err * 100.0
+        ))
     }
 }
 
 fn check_fig05(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(sort_figs::fig05(scale, seed));
-    let ratio = f.series_named("Predicted (MP-BSP)").unwrap().y_at(256.0).unwrap()
-        / f.series_named("Measured").unwrap().y_at(256.0).unwrap();
+    let f = fig("fig05", sort_figs::fig05(scale, seed))?;
+    let ratio = y_at("fig05", series("fig05", &f, "Predicted (MP-BSP)")?, 256.0)?
+        / y_at("fig05", series("fig05", &f, "Measured")?, 256.0)?;
     if ratio > 1.5 && ratio < 2.8 {
         Ok(format!("MP-BSP overestimates {ratio:.1}x (paper: ~2.0x)"))
     } else {
@@ -65,36 +85,47 @@ fn check_fig05(scale: Scale, seed: u64) -> Result<String, String> {
 }
 
 fn check_fig06(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(sort_figs::fig06(scale, seed));
-    let synced = f.series_named("Measured (barrier every 256)").unwrap();
-    let unsynced = f.series_named("Measured (no resync)").unwrap();
-    let pred = f.series_named("Predicted (BSP)").unwrap();
+    let f = fig("fig06", sort_figs::fig06(scale, seed))?;
+    let synced = series("fig06", &f, "Measured (barrier every 256)")?;
+    let unsynced = series("fig06", &f, "Measured (no resync)")?;
+    let pred = series("fig06", &f, "Predicted (BSP)")?;
     let dev = pred.max_relative_deviation(synced);
-    let drifted = unsynced.y_at(1024.0).unwrap() > 1.2 * synced.y_at(1024.0).unwrap();
+    let drifted = y_at("fig06", unsynced, 1024.0)? > 1.2 * y_at("fig06", synced, 1024.0)?;
     if dev < 0.2 && drifted {
-        Ok(format!("resync restores prediction ({:.0}% dev); drift visible", dev * 100.0))
+        Ok(format!(
+            "resync restores prediction ({:.0}% dev); drift visible",
+            dev * 100.0
+        ))
     } else {
-        Err(format!("dev {:.2}, drift visible: {drifted}", dev))
+        Err(format!("dev {dev:.2}, drift visible: {drifted}"))
     }
 }
 
 fn check_fig12(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(apsp_figs::fig12(scale, seed));
-    let m = f.series_named("Measured").unwrap();
-    let mp = f.series_named("Predicted (MP-BSP)").unwrap().max_relative_deviation(m);
-    let eb = f.series_named("Predicted (E-BSP)").unwrap().max_relative_deviation(m);
+    let f = fig("fig12", apsp_figs::fig12(scale, seed))?;
+    let m = series("fig12", &f, "Measured")?;
+    let mp = series("fig12", &f, "Predicted (MP-BSP)")?.max_relative_deviation(m);
+    let eb = series("fig12", &f, "Predicted (E-BSP)")?.max_relative_deviation(m);
     if mp > 0.5 && eb < 0.35 {
-        Ok(format!("MP-BSP errs {:.0}%, E-BSP {:.0}%", mp * 100.0, eb * 100.0))
+        Ok(format!(
+            "MP-BSP errs {:.0}%, E-BSP {:.0}%",
+            mp * 100.0,
+            eb * 100.0
+        ))
     } else {
-        Err(format!("MP-BSP {:.0}% / E-BSP {:.0}%", mp * 100.0, eb * 100.0))
+        Err(format!(
+            "MP-BSP {:.0}% / E-BSP {:.0}%",
+            mp * 100.0,
+            eb * 100.0
+        ))
     }
 }
 
 fn check_fig14(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(calib_figs::fig14(scale, seed));
-    let full = f.series_named("Full h-relations").unwrap();
-    let scat = f.series_named("Multinode scatters").unwrap();
-    let factor = full.y_at(56.0).unwrap() / scat.y_at(56.0).unwrap();
+    let f = fig("fig14", calib_figs::fig14(scale, seed))?;
+    let full = series("fig14", &f, "Full h-relations")?;
+    let scat = series("fig14", &f, "Multinode scatters")?;
+    let factor = y_at("fig14", full, 56.0)? / y_at("fig14", scat, 56.0)?;
     if factor > 5.0 && factor < 12.0 {
         Ok(format!("scatter {factor:.1}x cheaper (paper: up to 9.1x)"))
     } else {
@@ -103,38 +134,54 @@ fn check_fig14(scale: Scale, seed: u64) -> Result<String, String> {
 }
 
 fn check_fig19(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(matmul_figs::fig19(scale, seed));
-    let model = f.series_named("MP-BPRAM (blocks)").unwrap();
-    let intrinsic = f.series_named("matmul intrinsic (xnet Cannon)").unwrap();
+    let f = fig("fig19", matmul_figs::fig19(scale, seed))?;
+    let model = series("fig19", &f, "MP-BPRAM (blocks)")?;
+    let intrinsic = series("fig19", &f, "matmul intrinsic (xnet Cannon)")?;
     if model.dominated_by(intrinsic) {
-        let n = *model.xs().last().unwrap();
-        let penalty = 1.0 - model.y_at(n).unwrap() / intrinsic.y_at(n).unwrap();
-        Ok(format!("intrinsic wins; penalty {:.0}% (paper: 35%)", penalty * 100.0))
+        let n = *model
+            .xs()
+            .last()
+            .ok_or("fig19: the MP-BPRAM series is empty")?;
+        let penalty = 1.0 - y_at("fig19", model, n)? / y_at("fig19", intrinsic, n)?;
+        Ok(format!(
+            "intrinsic wins; penalty {:.0}% (paper: 35%)",
+            penalty * 100.0
+        ))
     } else {
-        Err("the intrinsic did not dominate".into())
+        Err("fig19: the intrinsic did not dominate".into())
     }
 }
 
 fn check_fig20(scale: Scale, seed: u64) -> Result<String, String> {
-    let f = fig(matmul_figs::fig20(scale, seed));
-    let model = f.series_named("MP-BPRAM").unwrap();
-    let cmssl = f.series_named("gen_matrix_mult (CMSSL)").unwrap();
+    let f = fig("fig20", matmul_figs::fig20(scale, seed))?;
+    let model = series("fig20", &f, "MP-BPRAM")?;
+    let cmssl = series("fig20", &f, "gen_matrix_mult (CMSSL)")?;
     if cmssl.dominated_by(model) {
         let peak = cmssl.ys().into_iter().fold(0.0f64, f64::max);
-        Ok(format!("model versions win; CMSSL peaks at {peak:.0} Mflops (paper: <=151)"))
+        Ok(format!(
+            "model versions win; CMSSL peaks at {peak:.0} Mflops (paper: <=151)"
+        ))
     } else {
-        Err("CMSSL unexpectedly won".into())
+        Err("fig20: CMSSL unexpectedly won".into())
     }
 }
 
 fn check_sec8(scale: Scale, seed: u64) -> Result<String, String> {
     let Output::Tab(t) = granularity::run(scale, seed) else {
-        return Err("expected a table".into());
+        return Err("sec8: driver returned a figure, expected a table".into());
     };
-    let ratio = |m: &str| -> f64 { t.cell(m, "ratio @16 B").unwrap().parse().unwrap() };
-    let (mp, c5) = (ratio("MasPar"), ratio("CM-5"));
+    let ratio = |m: &str| -> Result<f64, String> {
+        let cell = t
+            .cell(m, "ratio @16 B")
+            .ok_or_else(|| format!("sec8: no 'ratio @16 B' cell for {m}"))?;
+        cell.parse()
+            .map_err(|e| format!("sec8: unparsable ratio for {m}: {e}"))
+    };
+    let (mp, c5) = (ratio("MasPar")?, ratio("CM-5")?);
     if (mp - 1.37).abs() < 0.45 && (c5 - 2.1).abs() < 0.7 {
-        Ok(format!("16-byte ratios: MasPar {mp:.2} (1.37), CM-5 {c5:.2} (2.1)"))
+        Ok(format!(
+            "16-byte ratios: MasPar {mp:.2} (1.37), CM-5 {c5:.2} (2.1)"
+        ))
     } else {
         Err(format!("ratios MasPar {mp:.2} / CM-5 {c5:.2}"))
     }
@@ -192,7 +239,11 @@ pub fn claims() -> Vec<Claim> {
 }
 
 /// Runs every claim; returns `(passed, failed)`.
-pub fn run_all(scale: Scale, seed: u64, mut report: impl FnMut(&Claim, &Result<String, String>)) -> (usize, usize) {
+pub fn run_all(
+    scale: Scale,
+    seed: u64,
+    mut report: impl FnMut(&Claim, &Result<String, String>),
+) -> (usize, usize) {
     let mut pass = 0;
     let mut fail = 0;
     for claim in claims() {
@@ -228,5 +279,15 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn lookup_failures_name_the_figure_instead_of_panicking() {
+        let f = Figure::new("fig99", "empty", "x", "y");
+        let err = series("fig99", &f, "Nope").unwrap_err();
+        assert!(err.contains("fig99") && err.contains("Nope"), "{err}");
+        let s = Series::new("S");
+        let err = y_at("fig42", &s, 7.0).unwrap_err();
+        assert!(err.contains("fig42") && err.contains("7"), "{err}");
     }
 }

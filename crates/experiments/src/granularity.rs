@@ -68,10 +68,11 @@ mod tests {
 
     #[test]
     fn packet_ratios_match_the_papers_conclusions() {
-        let Output::Tab(t) = run(Scale::Quick, 3) else { panic!() };
-        let ratio = |machine: &str| -> f64 {
-            t.cell(machine, "ratio @16 B").unwrap().parse().unwrap()
+        let Output::Tab(t) = run(Scale::Quick, 3) else {
+            panic!()
         };
+        let ratio =
+            |machine: &str| -> f64 { t.cell(machine, "ratio @16 B").unwrap().parse().unwrap() };
         // "with 16-byte messages, the difference decreases to 1.37 on the
         // MasPar and to 2.1 on the CM-5" — the comparison is communication
         // cost; the whole-sort ratio dilutes it slightly with local work.

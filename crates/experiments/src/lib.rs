@@ -17,8 +17,8 @@ pub mod apsp_figs;
 pub mod calib_figs;
 pub mod check;
 pub mod granularity;
-pub mod model_fit;
 pub mod matmul_figs;
+pub mod model_fit;
 pub mod paper;
 pub mod report;
 pub mod sort_figs;

@@ -2,11 +2,11 @@
 //! (model comparison), 19 and 20 (vendor-library comparison).
 
 use pcm_algos::matmul::{self, MatmulVariant};
-use pcm_sim::ComputeModel as _;
 use pcm_algos::vendor;
 use pcm_core::{Figure, Series};
 use pcm_machines::Platform;
 use pcm_models::predict;
+use pcm_sim::ComputeModel as _;
 
 use crate::report::{Output, Scale};
 
@@ -134,8 +134,7 @@ pub fn fig09(scale: Scale, seed: u64) -> Output {
         // precisely modeled".
         let q = predict::matmul::q_for(plat.p());
         let mut precise = params.clone();
-        precise.alpha_mm =
-            pcm_machines::Cm5Compute::new().matmul_op_time(n / q, n / q, n / q);
+        precise.alpha_mm = pcm_machines::Cm5Compute::new().matmul_op_time(n / q, n / q, n / q);
         cache_aware.push(pcm_core::DataPoint::new(
             n as f64,
             predict::matmul::bpram(&precise, n).as_millis(),
@@ -245,7 +244,9 @@ mod tests {
 
     #[test]
     fn fig03_prediction_tracks_measurement() {
-        let Output::Fig(f) = fig03(Scale::Quick, 3) else { panic!() };
+        let Output::Fig(f) = fig03(Scale::Quick, 3) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let p = f.series_named("Predicted (MP-BSP)").unwrap();
         let dev = p.max_relative_deviation(m);
@@ -254,7 +255,9 @@ mod tests {
 
     #[test]
     fn fig04_naive_is_slower_than_staggered_and_prediction() {
-        let Output::Fig(f) = fig04(Scale::Quick, 4) else { panic!() };
+        let Output::Fig(f) = fig04(Scale::Quick, 4) else {
+            panic!()
+        };
         let naive = f.series_named("Measured (naive)").unwrap();
         let stag = f.series_named("Staggered").unwrap();
         let pred = f.series_named("Predicted (BSP)").unwrap();
@@ -262,14 +265,16 @@ mod tests {
             assert!(naive.y_at(n).unwrap() > stag.y_at(n).unwrap());
         }
         // The contention error at N = 256 is in the paper's ballpark.
-        let err = (naive.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap())
-            / pred.y_at(256.0).unwrap();
+        let err =
+            (naive.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap()) / pred.y_at(256.0).unwrap();
         assert!(err > 0.08 && err < 0.40, "contention error = {err}");
     }
 
     #[test]
     fn fig16_bpram_wins() {
-        let Output::Fig(f) = fig16(Scale::Quick, 5) else { panic!() };
+        let Output::Fig(f) = fig16(Scale::Quick, 5) else {
+            panic!()
+        };
         let bsp = f.series_named("BSP (staggered, short messages)").unwrap();
         let bpram = f.series_named("MP-BPRAM (block transfers)").unwrap();
         assert!(bsp.dominated_by(bpram), "block transfers must win Mflops");

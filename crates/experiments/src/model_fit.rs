@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn accountant_picks_sensible_models() {
-        let Output::Tab(t) = run(Scale::Quick, 4) else { panic!() };
+        let Output::Tab(t) = run(Scale::Quick, 4) else {
+            panic!()
+        };
         assert_eq!(t.rows.len(), 6, "3 machines x 2 workloads");
         // Block workloads are explained by the MP-BPRAM on every machine.
         for machine in ["MasPar", "GCel", "CM-5"] {

@@ -39,11 +39,7 @@ fn per_key_series(
     s
 }
 
-fn predicted_series(
-    label: &str,
-    ms: &[usize],
-    f: impl Fn(usize) -> pcm_core::SimTime,
-) -> Series {
+fn predicted_series(label: &str, ms: &[usize], f: impl Fn(usize) -> pcm_core::SimTime) -> Series {
     Series::from_points(
         label,
         ms.iter().map(|&m| (m as f64, f(m).as_micros() / m as f64)),
@@ -79,7 +75,13 @@ pub fn fig06(scale: Scale, seed: u64) -> Output {
     let plat = Platform::gcel();
     let ms = gcel_ms(scale);
     let params = plat.model_params();
-    let unsynced = per_key_series("Measured (no resync)", &plat, &ms, ExchangeMode::Words, seed);
+    let unsynced = per_key_series(
+        "Measured (no resync)",
+        &plat,
+        &ms,
+        ExchangeMode::Words,
+        seed,
+    );
     let synced = per_key_series(
         "Measured (barrier every 256)",
         &plat,
@@ -210,7 +212,9 @@ mod tests {
 
     #[test]
     fn fig05_model_overestimates_by_about_two() {
-        let Output::Fig(f) = fig05(Scale::Quick, 2) else { panic!() };
+        let Output::Fig(f) = fig05(Scale::Quick, 2) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let p = f.series_named("Predicted (MP-BSP)").unwrap();
         let ratio = p.y_at(256.0).unwrap() / m.y_at(256.0).unwrap();
@@ -222,7 +226,9 @@ mod tests {
 
     #[test]
     fn fig06_resync_restores_the_prediction() {
-        let Output::Fig(f) = fig06(Scale::Quick, 3) else { panic!() };
+        let Output::Fig(f) = fig06(Scale::Quick, 3) else {
+            panic!()
+        };
         let synced = f.series_named("Measured (barrier every 256)").unwrap();
         let pred = f.series_named("Predicted (BSP)").unwrap();
         let dev = pred.max_relative_deviation(synced);
@@ -236,7 +242,9 @@ mod tests {
 
     #[test]
     fn fig11_bpram_is_accurate_on_gcel() {
-        let Output::Fig(f) = fig11(Scale::Quick, 4) else { panic!() };
+        let Output::Fig(f) = fig11(Scale::Quick, 4) else {
+            panic!()
+        };
         let m = f.series_named("Measured").unwrap();
         let p = f.series_named("Predicted (MP-BPRAM)").unwrap();
         assert!(p.max_relative_deviation(m) < 0.15);
@@ -244,7 +252,9 @@ mod tests {
 
     #[test]
     fn fig17_bulk_gain_within_bound() {
-        let Output::Fig(f) = fig17(Scale::Quick, 5) else { panic!() };
+        let Output::Fig(f) = fig17(Scale::Quick, 5) else {
+            panic!()
+        };
         let w = f.series_named("MP-BSP (words)").unwrap();
         let b = f.series_named("MP-BPRAM (blocks)").unwrap();
         let ratio = w.y_at(256.0).unwrap() / b.y_at(256.0).unwrap();

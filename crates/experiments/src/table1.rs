@@ -18,7 +18,9 @@ mod tests {
     #[test]
     fn table_has_three_machines() {
         let out = run(Scale::Quick, 1);
-        let Output::Tab(t) = out else { panic!("expected a table") };
+        let Output::Tab(t) = out else {
+            panic!("expected a table")
+        };
         assert_eq!(t.rows.len(), 3);
         assert!(t.cell("MasPar", "P").is_some());
         assert!(t.cell("CM-5", "sigma").is_some());

@@ -206,6 +206,7 @@ impl ComputeModel for Cm5Compute {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
     use pcm_core::rng::{random_h_relation, seeded};
@@ -277,11 +278,25 @@ mod tests {
         let mut pad = vec![Vec::new(); 60];
         let mut naive_sends = naive;
         naive_sends.append(&mut pad);
-        let t_naive = route_us(&mut net, &CommPattern { p: 64, sends: naive_sends }, 1);
+        let t_naive = route_us(
+            &mut net,
+            &CommPattern {
+                p: 64,
+                sends: naive_sends,
+            },
+            1,
+        );
         let mut pad = vec![Vec::new(); 60];
         let mut stag_sends = staggered;
         stag_sends.append(&mut pad);
-        let t_stag = route_us(&mut net, &CommPattern { p: 64, sends: stag_sends }, 1);
+        let t_stag = route_us(
+            &mut net,
+            &CommPattern {
+                p: 64,
+                sends: stag_sends,
+            },
+            1,
+        );
         let ratio = t_naive / t_stag;
         // 1 + rho·3 = 1.35 — the Fig. 4 contention factor for q = 4.
         assert!((ratio - 1.35).abs() < 0.05, "ratio = {ratio}");

@@ -213,8 +213,8 @@ impl NetworkModel for GcelNetwork {
             cpu_max = cpu_max.max(words * drift + blocks);
         }
 
-        let wire = links.iter().copied().max().unwrap_or(0) as f64 * c.wire_byte
-            + max_hops as f64 * c.hop;
+        let wire =
+            links.iter().copied().max().unwrap_or(0) as f64 * c.wire_byte + max_hops as f64 * c.hop;
 
         let cv = if drift > 1.0 {
             c.drift_jitter_cv
@@ -385,7 +385,10 @@ mod tests {
         // (6.3)·m at the receiver; the wire should exceed the per-byte CPU
         // cost here? No: each link carries at most 4 flows · m.
         let wire_floor = (4 * m) as f64 * 0.5;
-        assert!(t >= wire_floor * 0.9, "wire term must engage: {t} vs {wire_floor}");
+        assert!(
+            t >= wire_floor * 0.9,
+            "wire term must engage: {t} vs {wire_floor}"
+        );
     }
 
     #[test]

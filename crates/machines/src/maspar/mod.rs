@@ -125,10 +125,7 @@ impl MasParNetwork {
         let delta = |s: usize, d: usize| {
             let (sr, sc) = (s as i64 / side, s as i64 % side);
             let (dr, dc) = (d as i64 / side, d as i64 % side);
-            (
-                (dr - sr).rem_euclid(side),
-                (dc - sc).rem_euclid(side),
-            )
+            ((dr - sr).rem_euclid(side), (dc - sc).rem_euclid(side))
         };
         let d = delta(s0, d0);
         let unit = |x: i64| x == 0 || x == 1 || x == side - 1;
@@ -199,8 +196,7 @@ impl MasParNetwork {
     /// programmer asked for xnet on a pattern it cannot realize directly;
     /// the ACU would decompose it — we charge the router as a bound).
     fn price_xnet_round(&mut self, round: &BlockRound, rng: &mut StdRng) -> f64 {
-        let sends: Vec<(usize, usize)> =
-            round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
+        let sends: Vec<(usize, usize)> = round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
         match self.xnet_shift_groups(&sends, 4) {
             Some(groups) => {
                 let bytes = round.max_bytes() as f64;
@@ -213,8 +209,7 @@ impl MasParNetwork {
     }
 
     fn price_block_round(&mut self, round: &BlockRound, rng: &mut StdRng) -> f64 {
-        let sends: Vec<(usize, usize)> =
-            round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
+        let sends: Vec<(usize, usize)> = round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
         let ports = self.router.ports();
         let mut in_bytes = vec![0usize; ports];
         let mut out_bytes = vec![0usize; ports];
@@ -415,7 +410,10 @@ mod tests {
                 .collect(),
         };
         let t = route_us(&mut net, &pat, 4);
-        assert!(t < 150.0, "xnet shift should be far cheaper than the router, got {t}");
+        assert!(
+            t < 150.0,
+            "xnet shift should be far cheaper than the router, got {t}"
+        );
     }
 
     #[test]

@@ -187,16 +187,13 @@ impl Platform {
     /// # Panics
     /// Panics unless `states.len()` equals the platform's processor count.
     pub fn machine<S: Send>(&self, states: Vec<S>, seed: u64) -> Machine<S> {
-        assert_eq!(
-            states.len(),
-            self.p,
-            "need exactly one state per processor"
-        );
+        assert_eq!(states.len(), self.p, "need exactly one state per processor");
         Machine::new(self.network(), self.compute(), states, seed)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

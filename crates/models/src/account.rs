@@ -39,9 +39,11 @@ pub struct StepFacts {
 /// What each model charges for the same trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ModelAccount {
-    /// Plain BSP: `g·max(h_s, h_r) + L` per superstep plus block steps.
+    /// Plain BSP: `g·max(h_s, h_r) + L` per superstep; block bytes are
+    /// folded into the h-relation as `⌈bytes/w⌉` words.
     pub bsp: SimTime,
-    /// MP-BSP: every word is a communication step of `g + L`.
+    /// MP-BSP: every word (including every word of a block) is a
+    /// communication step of `g + L`.
     pub mp_bsp: SimTime,
     /// MP-BPRAM: `sigma·bytes + ell` per block step; words are charged as
     /// single-word blocks.
@@ -75,35 +77,49 @@ impl ModelAccount {
 }
 
 /// Charges one superstep under every model.
+///
+/// Word-based models (BSP, MP-BSP, E-BSP) have no block-transfer concept:
+/// a block of `B` bytes is decomposed into `⌈B/w⌉` word messages and
+/// charged at the model's word rate. This is the paper's Section 8
+/// argument — only the MP-BPRAM explains block programs, because every
+/// other model must pay `g` (or `g + L`) per word where the machine
+/// actually pays `sigma` per byte after a single startup.
 pub fn account_step(m: &MachineParams, f: &StepFacts) -> ModelAccount {
     let has_words = f.h_send > 0 || f.h_recv > 0;
     let has_comm = has_words || f.block_steps > 0;
 
-    // BSP: one superstep charge for the word traffic, plus the block
-    // steps (the plain model has no block concept; blocks are charged at
-    // their byte volume as if they were h-relations of sigma-cost... the
-    // conventional reading prices them with the BPRAM term).
+    // MP-BPRAM pricing of the block rounds: sigma per byte + ell per step.
     let block_cost = m.sigma * f.block_bytes_sum as f64 + m.ell * f.block_steps as f64;
+    // Word-equivalent volume of the same blocks for the word-based models.
+    let block_words = f.block_bytes_sum.div_ceil(m.w);
+
+    // BSP: one superstep charge, `g·h + L`, with block bytes folded into
+    // the h-relation as words.
     let bsp = if has_comm {
-        m.g * f.h_send.max(f.h_recv) as f64 + m.l + block_cost
+        m.g * (f.h_send.max(f.h_recv) + block_words) as f64 + m.l
     } else {
         m.l
     };
 
     // MP-BSP: h_send word rounds of (g + L) each; a round with fan-in is a
     // 1-h relation, approximated by its sender count (the trace carries no
-    // per-round fan-in).
-    let word_rounds = f.h_send.max(if has_words { 1 } else { 0 });
-    let mp_bsp = (m.g + m.l) * word_rounds as f64 + block_cost + if has_comm { 0.0 } else { m.l };
+    // per-round fan-in). Block words each become their own message step.
+    let word_rounds = f.h_send.max(usize::from(has_words));
+    let mp_bsp =
+        (m.g + m.l) * (word_rounds + block_words) as f64 + if has_comm { 0.0 } else { m.l };
 
     // MP-BPRAM: words are single-word messages, one per step.
     let bpram = (m.sigma * m.w as f64 + m.ell) * word_rounds as f64 + block_cost;
 
-    // E-BSP: replace the per-step charge with the machine's unbalanced
-    // rule where one exists.
-    let ebsp = match m.ebsp.t_unb(f.active as f64) {
-        Some(t_unb) => t_unb * word_rounds as f64 + block_cost,
-        None => bsp,
+    // E-BSP: BSP refined by the machine's unbalanced-communication rule
+    // where one exists; block words are charged at the plain BSP rate.
+    let ebsp = if !has_comm {
+        bsp
+    } else {
+        match m.ebsp.t_unb(f.active as f64) {
+            Some(t_unb) => t_unb * word_rounds as f64 + m.g * block_words as f64,
+            None => bsp,
+        }
     };
 
     ModelAccount {
@@ -170,8 +186,10 @@ mod tests {
         };
         let a = account_step(&m, &f);
         assert!((a.bpram.as_micros() - (0.27 * 3000.0 + 3.0 * 75.0)).abs() < 1e-9);
-        // BSP prices the same blocks identically (no word traffic).
-        assert!((a.bsp.as_micros() - (0.27 * 3000.0 + 225.0 + 45.0)).abs() < 1e-9);
+        // BSP has no block concept: the 3000 bytes become 375 words of an
+        // h-relation at g each — far above the BPRAM charge.
+        assert!((a.bsp.as_micros() - (9.1 * 375.0 + 45.0)).abs() < 1e-9);
+        assert!(a.bsp > a.bpram, "word-based models overprice blocks");
     }
 
     #[test]

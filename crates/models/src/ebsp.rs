@@ -90,6 +90,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // g_scatter returns p.g verbatim
     fn cm5_degenerates_to_bsp() {
         let p = cm5();
         let e = Ebsp::new(&p);

@@ -18,6 +18,7 @@
 pub mod account;
 pub mod bpram;
 pub mod bsp;
+pub mod contract;
 pub mod ebsp;
 pub mod logp;
 pub mod mp_bsp;
@@ -27,6 +28,7 @@ pub mod predict;
 pub use account::{account_run, account_step, ModelAccount, StepFacts};
 pub use bpram::Bpram;
 pub use bsp::Bsp;
+pub use contract::{ContractBreach, CostContract, KindMask};
 pub use ebsp::Ebsp;
 pub use logp::{LogGP, LogP};
 pub use mp_bsp::MpBsp;

@@ -62,9 +62,7 @@ impl LogP {
             return SimTime::ZERO;
         }
         let per = self.gap.max(self.overhead);
-        SimTime::from_micros(
-            self.overhead + (n as f64 - 1.0) * per + self.latency + self.overhead,
-        )
+        SimTime::from_micros(self.overhead + (n as f64 - 1.0) * per + self.latency + self.overhead)
     }
 
     /// Capacity constraint: the maximum number of messages in flight to a
@@ -72,7 +70,10 @@ impl LogP {
     /// which is exactly the effect the unstaggered matrix multiplication
     /// triggered on the CM-5.
     pub fn capacity(&self) -> usize {
-        (self.latency / self.gap).ceil().max(1.0) as usize
+        // L/g is a small message count (both are microsecond-scale).
+        #[allow(clippy::cast_possible_truncation)]
+        let cap = (self.latency / self.gap).ceil().max(1.0) as usize;
+        cap
     }
 }
 

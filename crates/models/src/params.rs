@@ -37,9 +37,7 @@ impl EbspParams {
     /// without a partial-permutation refinement.
     pub fn t_unb(&self, active: f64) -> Option<f64> {
         match *self {
-            EbspParams::PartialPermutation { a, b, c } => {
-                Some(a * active + b * active.sqrt() + c)
-            }
+            EbspParams::PartialPermutation { a, b, c } => Some(a * active + b * active.sqrt() + c),
             _ => None,
         }
     }
@@ -179,11 +177,20 @@ mod tests {
     #[test]
     fn table1_values_are_the_papers() {
         let mp = maspar();
-        assert_eq!((mp.p, mp.g, mp.l, mp.sigma, mp.ell), (1024, 32.2, 1400.0, 107.0, 630.0));
+        assert_eq!(
+            (mp.p, mp.g, mp.l, mp.sigma, mp.ell),
+            (1024, 32.2, 1400.0, 107.0, 630.0)
+        );
         let gc = gcel();
-        assert_eq!((gc.p, gc.g, gc.l, gc.sigma, gc.ell), (64, 4480.0, 5100.0, 9.3, 6900.0));
+        assert_eq!(
+            (gc.p, gc.g, gc.l, gc.sigma, gc.ell),
+            (64, 4480.0, 5100.0, 9.3, 6900.0)
+        );
         let c5 = cm5();
-        assert_eq!((c5.p, c5.g, c5.l, c5.sigma, c5.ell), (64, 9.1, 45.0, 0.27, 75.0));
+        assert_eq!(
+            (c5.p, c5.g, c5.l, c5.sigma, c5.ell),
+            (64, 9.1, 45.0, 0.27, 75.0)
+        );
     }
 
     #[test]

@@ -26,8 +26,7 @@ pub const RADIX_BITS: usize = 8;
 pub fn bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
     let s = merge_steps(m.p) as f64;
     let mm = keys_per_proc as f64;
-    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
-        + s * (m.alpha * mm + m.g * mm + m.l);
+    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS) + s * (m.alpha * mm + m.g * mm + m.l);
     SimTime::from_micros(t)
 }
 
@@ -36,8 +35,8 @@ pub fn bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
 pub fn mp_bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
     let s = merge_steps(m.p) as f64;
     let mm = keys_per_proc as f64;
-    let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
-        + s * (m.alpha * mm + (m.g + m.l) * mm);
+    let t =
+        m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS) + s * (m.alpha * mm + (m.g + m.l) * mm);
     SimTime::from_micros(t)
 }
 

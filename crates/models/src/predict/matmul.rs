@@ -11,6 +11,8 @@ use pcm_core::SimTime;
 /// The cube side `q` used on a machine with `p` processors: the largest
 /// `q` with `q³ <= p`.
 pub fn q_for(p: usize) -> usize {
+    // cbrt(usize::MAX) < 2^22, so the estimate always fits.
+    #[allow(clippy::cast_possible_truncation)]
     let mut q = (p as f64).cbrt().floor() as usize;
     // Guard against floating point under/overshoot.
     while (q + 1) * (q + 1) * (q + 1) <= p {

@@ -34,8 +34,7 @@ fn pass_bpram(p: &MachineParams, m: usize) -> f64 {
     let histogram = p.radix_gamma * m as f64 + p.radix_beta * radix;
     let blocks_per_step = p.p as f64 - 1.0;
     let scans = 2.0 * blocks_per_step * (p.sigma * p.w as f64 * radix / p.p as f64 + p.ell);
-    let routing =
-        blocks_per_step * (p.sigma * p.w as f64 * 2.0 * m as f64 / p.p as f64 + p.ell);
+    let routing = blocks_per_step * (p.sigma * p.w as f64 * 2.0 * m as f64 / p.p as f64 + p.ell);
     let placing = p.copy * m as f64;
     histogram + scans + routing + placing
 }

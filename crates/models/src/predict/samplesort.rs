@@ -79,12 +79,7 @@ pub fn send_to_buckets_bpram(m: &MachineParams, total_keys: usize) -> SimTime {
 }
 
 /// Total MP-BPRAM sample-sort prediction.
-pub fn bpram_total(
-    m: &MachineParams,
-    keys_per_proc: usize,
-    s: usize,
-    m_max: usize,
-) -> SimTime {
+pub fn bpram_total(m: &MachineParams, keys_per_proc: usize, s: usize, m_max: usize) -> SimTime {
     let splitters = bitonic::bpram(m, s) + splitter_broadcast_bpram(m);
     let local = m.local_sort(keys_per_proc, bitonic::KEY_BITS, bitonic::RADIX_BITS)
         + m.alpha * (keys_per_proc + m.p) as f64;

@@ -95,6 +95,7 @@ impl ComputeModel for UniformCompute {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

@@ -1,9 +1,25 @@
 //! Per-processor execution context for one superstep.
 
+use std::cell::Cell;
+
 use rand::rngs::StdRng;
 
 use crate::compute::ComputeModel;
 use crate::message::{encode_f64s, encode_u32s, encode_u64s, Message, MsgKind, ProcId};
+
+/// What one processor produced in one superstep, as returned by
+/// [`Ctx::finish`]: the ordered outbox, the charged compute time, and the
+/// protocol facts an installed [`crate::validate::Validator`] wants.
+pub(crate) struct ProcOutcome {
+    pub outbox: Vec<Message>,
+    pub compute_us: f64,
+    /// `false` if any charge was NaN, infinite or negative.
+    pub charge_ok: bool,
+    /// Whether the processor read its inbox this superstep.
+    pub read_inbox: bool,
+    /// Destinations `>= p` whose messages were recorded and dropped.
+    pub oob_sends: Vec<usize>,
+}
 
 /// The view a virtual processor has during one superstep: its id, its
 /// private state, the messages delivered at the previous barrier, and the
@@ -21,6 +37,12 @@ pub struct Ctx<'a, S> {
     word: usize,
     outbox: Vec<Message>,
     compute_us: f64,
+    charge_ok: bool,
+    read_inbox: Cell<bool>,
+    oob_sends: Vec<usize>,
+    /// `true` when a validator observes this run (softens fail-fast
+    /// asserts into recorded violations).
+    validated: bool,
     rng: StdRng,
 }
 
@@ -33,6 +55,7 @@ impl<'a, S> Ctx<'a, S> {
         inbox: &'a [Message],
         compute: &'a dyn ComputeModel,
         rng: StdRng,
+        validated: bool,
     ) -> Self {
         let word = compute.word_bytes();
         Ctx {
@@ -44,6 +67,10 @@ impl<'a, S> Ctx<'a, S> {
             word,
             outbox: Vec::new(),
             compute_us: 0.0,
+            charge_ok: true,
+            read_inbox: Cell::new(false),
+            oob_sends: Vec::new(),
+            validated,
             rng,
         }
     }
@@ -70,39 +97,47 @@ impl<'a, S> Ctx<'a, S> {
 
     // ---- local computation accounting -----------------------------------
 
+    /// Accumulates a charge, recording (rather than panicking on) invalid
+    /// amounts so an installed validator can flag them (rule R05).
+    fn add_charge(&mut self, us: f64) {
+        if !us.is_finite() || us < 0.0 {
+            self.charge_ok = false;
+        }
+        self.compute_us += us;
+    }
+
     /// Charges `us` microseconds of local computation.
     pub fn charge(&mut self, us: f64) {
-        debug_assert!(us >= 0.0, "cannot charge negative time");
-        self.compute_us += us;
+        self.add_charge(us);
     }
 
     /// Charges `n` compound (multiply + add) operations at the platform's
     /// nominal `alpha`.
     pub fn charge_ops(&mut self, n: u64) {
-        self.compute_us += n as f64 * self.compute.alpha();
+        self.add_charge(n as f64 * self.compute.alpha());
     }
 
     /// Charges a local `m x k · k x n` matrix multiplication through the
     /// platform's (possibly cache-sensitive) kernel model.
     pub fn charge_matmul(&mut self, m: usize, n: usize, k: usize) {
         let ops = (m as f64) * (n as f64) * (k as f64);
-        self.compute_us += ops * self.compute.matmul_op_time(m, n, k);
+        self.add_charge(ops * self.compute.matmul_op_time(m, n, k));
     }
 
     /// Charges `n` words of pure data movement (the `beta` term).
     pub fn charge_copy_words(&mut self, n: u64) {
-        self.compute_us += n as f64 * self.compute.copy_word_time();
+        self.add_charge(n as f64 * self.compute.copy_word_time());
     }
 
     /// Charges a local radix sort of `n` keys of `key_bits` bits using
     /// `radix_bits`-bit digits.
     pub fn charge_radix_sort(&mut self, n: usize, key_bits: usize, radix_bits: usize) {
-        self.compute_us += self.compute.radix_sort_time(n, key_bits, radix_bits);
+        self.add_charge(self.compute.radix_sort_time(n, key_bits, radix_bits));
     }
 
     /// Charges an `n`-element linear merge.
     pub fn charge_merge(&mut self, n: u64) {
-        self.compute_us += n as f64 * self.compute.merge_word_time();
+        self.add_charge(n as f64 * self.compute.merge_word_time());
     }
 
     /// Local computation charged so far in this superstep, in µs.
@@ -115,16 +150,19 @@ impl<'a, S> Ctx<'a, S> {
     /// Messages delivered at the previous barrier, ordered by source id and
     /// then by send order.
     pub fn msgs(&self) -> &[Message] {
+        self.read_inbox.set(true);
         self.inbox
     }
 
     /// Messages from a particular source.
     pub fn msgs_from(&self, src: ProcId) -> impl Iterator<Item = &Message> {
+        self.read_inbox.set(true);
         self.inbox.iter().filter(move |m| m.src == src)
     }
 
     /// Messages carrying a particular tag.
     pub fn msgs_tagged(&self, tag: u32) -> impl Iterator<Item = &Message> {
+        self.read_inbox.set(true);
         self.inbox.iter().filter(move |m| m.tag == tag)
     }
 
@@ -151,7 +189,18 @@ impl<'a, S> Ctx<'a, S> {
         logical_bytes: usize,
         data: Box<[u8]>,
     ) {
-        debug_assert!(dst < self.p, "destination {dst} out of range");
+        if dst >= self.p {
+            // Record and drop: an installed validator reports this as rule
+            // R01; delivering it would corrupt another processor's inbox
+            // indexing. Unvalidated debug runs still fail fast.
+            debug_assert!(
+                self.validated,
+                "destination {dst} out of range for {} processors",
+                self.p
+            );
+            self.oob_sends.push(dst);
+            return;
+        }
         if logical_words == 0 {
             return;
         }
@@ -266,7 +315,13 @@ impl<'a, S> Ctx<'a, S> {
         self.push(dst, 0, MsgKind::Xnet, vals.len(), encode_u32s(vals));
     }
 
-    pub(crate) fn finish(self) -> (Vec<Message>, f64) {
-        (self.outbox, self.compute_us)
+    pub(crate) fn finish(self) -> ProcOutcome {
+        ProcOutcome {
+            outbox: self.outbox,
+            compute_us: self.compute_us,
+            charge_ok: self.charge_ok && self.compute_us.is_finite(),
+            read_inbox: self.read_inbox.get(),
+            oob_sends: self.oob_sends,
+        }
     }
 }

@@ -27,6 +27,7 @@ pub mod network;
 pub mod pattern;
 pub mod topology;
 pub mod trace;
+pub mod validate;
 
 pub use compute::{ComputeModel, UniformCompute};
 pub use ctx::Ctx;
@@ -35,3 +36,4 @@ pub use message::{Message, MsgKind, ProcId};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
 pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
 pub use trace::{RunBreakdown, SuperstepTrace};
+pub use validate::{with_sequential, with_validator, RunReport, StepReport, Validator};

@@ -39,11 +39,12 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::compute::ComputeModel;
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, ProcOutcome};
 use crate::message::Message;
 use crate::network::NetworkModel;
 use crate::pattern::CommPattern;
 use crate::trace::{RunBreakdown, SuperstepTrace};
+use crate::validate::{self, RunReport, StepReport, Validator};
 
 /// A simulated distributed-memory parallel machine.
 pub struct Machine<S> {
@@ -59,6 +60,9 @@ pub struct Machine<S> {
     traces: Vec<SuperstepTrace>,
     tracing: bool,
     parallel: bool,
+    /// Sanitizer installed via [`crate::validate::with_validator`] at
+    /// construction time; observes every superstep and the final drop.
+    validator: Option<Box<dyn Validator>>,
 }
 
 impl<S: Send> Machine<S> {
@@ -83,7 +87,8 @@ impl<S: Send> Machine<S> {
             step_count: 0,
             traces: Vec::new(),
             tracing: true,
-            parallel: true,
+            parallel: !validate::sequential_forced(),
+            validator: validate::current_validator(p),
         }
     }
 
@@ -128,9 +133,11 @@ impl<S: Send> Machine<S> {
         &mut self.states
     }
 
-    /// Consumes the machine, returning the final states.
-    pub fn into_states(self) -> Vec<S> {
-        self.states
+    /// Consumes the machine, returning the final states. (The machine's
+    /// `Drop` — which finalizes an installed validator — still runs, on an
+    /// empty state vector.)
+    pub fn into_states(mut self) -> Vec<S> {
+        std::mem::take(&mut self.states)
     }
 
     /// The per-superstep traces collected so far.
@@ -159,15 +166,16 @@ impl<S: Send> Machine<S> {
         let step = self.step_count;
         let seed = self.seed;
         let compute: &dyn ComputeModel = &*self.compute;
+        let validated = self.validator.is_some();
 
         let run_one = |pid: usize, state: &mut S, inbox: &Vec<Message>| {
             let rng = StdRng::seed_from_u64(child_seed(seed, (step * p + pid) as u64));
-            let mut ctx = Ctx::new(pid, p, state, inbox, compute, rng);
+            let mut ctx = Ctx::new(pid, p, state, inbox, compute, rng, validated);
             f(&mut ctx);
             ctx.finish()
         };
 
-        let results: Vec<(Vec<Message>, f64)> = if self.parallel && p > 1 {
+        let results: Vec<ProcOutcome> = if self.parallel && p > 1 {
             self.states
                 .par_iter_mut()
                 .zip(self.inboxes.par_iter())
@@ -184,10 +192,18 @@ impl<S: Send> Machine<S> {
         };
 
         let mut outboxes: Vec<Vec<Message>> = Vec::with_capacity(p);
+        let mut compute_us: Vec<f64> = Vec::with_capacity(p);
+        let mut charge_ok: Vec<bool> = Vec::with_capacity(p);
+        let mut read_flags: Vec<bool> = Vec::with_capacity(p);
+        let mut oob_sends: Vec<Vec<usize>> = Vec::with_capacity(p);
         let mut max_compute = 0.0f64;
-        for (outbox, us) in results {
-            max_compute = max_compute.max(us);
-            outboxes.push(outbox);
+        for outcome in results {
+            max_compute = max_compute.max(outcome.compute_us);
+            compute_us.push(outcome.compute_us);
+            charge_ok.push(outcome.charge_ok);
+            read_flags.push(outcome.read_inbox);
+            oob_sends.push(outcome.oob_sends);
+            outboxes.push(outcome.outbox);
         }
 
         let pattern = CommPattern::from_outboxes(p, &outboxes);
@@ -202,10 +218,15 @@ impl<S: Send> Machine<S> {
         if self.tracing {
             let mut block_steps = 0usize;
             let mut block_bytes_sum = 0usize;
-            for round in pattern.block_rounds().iter().chain(pattern.xnet_rounds().iter()) {
+            for round in pattern
+                .block_rounds()
+                .iter()
+                .chain(pattern.xnet_rounds().iter())
+            {
                 block_steps += 1;
                 block_bytes_sum += round.max_bytes();
             }
+            let (word_msgs, block_msgs, xnet_msgs) = pattern.kind_counts();
             self.traces.push(SuperstepTrace {
                 index: step,
                 compute: compute_time,
@@ -217,6 +238,25 @@ impl<S: Send> Machine<S> {
                 active: pattern.active_processors(),
                 block_steps,
                 block_bytes_sum,
+                word_msgs,
+                block_msgs,
+                xnet_msgs,
+            });
+        }
+
+        if let Some(validator) = self.validator.as_mut() {
+            let inbox_count: Vec<usize> = self.inboxes.iter().map(Vec::len).collect();
+            validator.check_step(&StepReport {
+                step,
+                p,
+                pattern: &pattern,
+                compute_us: &compute_us,
+                charge_ok: &charge_ok,
+                inbox_count: &inbox_count,
+                inbox_read: &read_flags,
+                oob_sends: &oob_sends,
+                compute: compute_time,
+                comm,
             });
         }
 
@@ -240,7 +280,20 @@ impl<S: Send> Machine<S> {
     }
 }
 
+impl<S> Drop for Machine<S> {
+    fn drop(&mut self) {
+        if let Some(validator) = self.validator.as_mut() {
+            let pending_inbox: Vec<usize> = self.inboxes.iter().map(Vec::len).collect();
+            validator.finish(&RunReport {
+                supersteps: self.step_count,
+                pending_inbox: &pending_inbox,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact simulated values
 mod tests {
     use super::*;
     use crate::compute::UniformCompute;
@@ -381,13 +434,19 @@ mod tests {
     fn per_proc_rng_is_deterministic_and_distinct() {
         let mut m = test_machine(4);
         m.superstep(|ctx| {
-            let v: u32 = { use rand::RngExt; ctx.rng().random() };
+            let v: u32 = {
+                use rand::RngExt;
+                ctx.rng().random()
+            };
             ctx.state.push(v);
         });
         let first: Vec<u32> = m.states().iter().map(|s| s[1]).collect();
         let mut m2 = test_machine(4);
         m2.superstep(|ctx| {
-            let v: u32 = { use rand::RngExt; ctx.rng().random() };
+            let v: u32 = {
+                use rand::RngExt;
+                ctx.rng().random()
+            };
             ctx.state.push(v);
         });
         let second: Vec<u32> = m2.states().iter().map(|s| s[1]).collect();

@@ -58,7 +58,10 @@ impl Message {
     /// # Panics
     /// Panics if the payload length is not a multiple of 4.
     pub fn as_u32s(&self) -> Vec<u32> {
-        assert!(self.data.len().is_multiple_of(4), "payload is not u32-aligned");
+        assert!(
+            self.data.len().is_multiple_of(4),
+            "payload is not u32-aligned"
+        );
         self.data
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -67,7 +70,10 @@ impl Message {
 
     /// Interprets the payload as `u64` values.
     pub fn as_u64s(&self) -> Vec<u64> {
-        assert!(self.data.len().is_multiple_of(8), "payload is not u64-aligned");
+        assert!(
+            self.data.len().is_multiple_of(8),
+            "payload is not u64-aligned"
+        );
         self.data
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -76,7 +82,10 @@ impl Message {
 
     /// Interprets the payload as `f64` values.
     pub fn as_f64s(&self) -> Vec<f64> {
-        assert!(self.data.len().is_multiple_of(8), "payload is not f64-aligned");
+        assert!(
+            self.data.len().is_multiple_of(8),
+            "payload is not f64-aligned"
+        );
         self.data
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -122,6 +131,7 @@ pub fn encode_f64s(vals: &[f64]) -> Box<[u8]> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 

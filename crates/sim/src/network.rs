@@ -105,7 +105,10 @@ impl LogPNetwork {
     /// The capacity constraint: at most `ceil(L/g)` messages in flight to
     /// one destination.
     pub fn capacity(&self) -> usize {
-        (self.latency / self.gap).ceil().max(1.0) as usize
+        // L/g is a small message count (both are microsecond-scale).
+        #[allow(clippy::cast_possible_truncation)]
+        let cap = (self.latency / self.gap).ceil().max(1.0) as usize;
+        cap
     }
 
     fn barrier_us(&self) -> f64 {
@@ -148,6 +151,7 @@ impl NetworkModel for LogPNetwork {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
     use crate::message::MsgKind;
@@ -233,7 +237,10 @@ mod tests {
             sigma: 0.27,
             ell: 75.0,
         };
-        assert_eq!(bsp.route(&make(true), &mut rng), bsp.route(&make(false), &mut rng));
+        assert_eq!(
+            bsp.route(&make(true), &mut rng),
+            bsp.route(&make(false), &mut rng)
+        );
     }
 
     #[test]

@@ -145,6 +145,20 @@ impl CommPattern {
         self.sends.iter().flatten().map(|r| r.bytes).sum()
     }
 
+    /// Logical message counts by kind: `(words, blocks, xnets)`. Each word
+    /// counts once; each block or xnet transfer counts once.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let (mut words, mut blocks, mut xnets) = (0usize, 0usize, 0usize);
+        for r in self.sends.iter().flatten() {
+            match r.kind {
+                MsgKind::Words => words += r.words,
+                MsgKind::Block => blocks += 1,
+                MsgKind::Xnet => xnets += 1,
+            }
+        }
+        (words, blocks, xnets)
+    }
+
     /// Words sent per processor (blocks excluded).
     pub fn words_sent(&self) -> Vec<usize> {
         self.sends

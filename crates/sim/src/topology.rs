@@ -18,8 +18,7 @@ impl Cube {
     /// # Panics
     /// Panics if `p` is not a perfect cube.
     pub fn new(p: usize) -> Self {
-        let q = cube_root_exact(p)
-            .unwrap_or_else(|| panic!("{p} processors do not form a cube"));
+        let q = cube_root_exact(p).unwrap_or_else(|| panic!("{p} processors do not form a cube"));
         Cube { q }
     }
 
@@ -57,8 +56,8 @@ impl Grid {
     /// # Panics
     /// Panics if `p` is not a perfect square.
     pub fn new(p: usize) -> Self {
-        let side = sqrt_exact(p)
-            .unwrap_or_else(|| panic!("{p} processors do not form a square grid"));
+        let side =
+            sqrt_exact(p).unwrap_or_else(|| panic!("{p} processors do not form a square grid"));
         Grid { side }
     }
 

@@ -30,6 +30,12 @@ pub struct SuperstepTrace {
     /// Sum over the block rounds of the longest transfer, in bytes — the
     /// quantity an MP-BPRAM accountant multiplies by `sigma`.
     pub block_bytes_sum: usize,
+    /// Logical word messages routed (each word counts once).
+    pub word_msgs: usize,
+    /// Block messages routed (each block counts once).
+    pub block_msgs: usize,
+    /// Xnet (neighbour-grid) messages routed.
+    pub xnet_msgs: usize,
 }
 
 /// Aggregate of a full run.
@@ -78,6 +84,7 @@ impl RunBreakdown {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
 
@@ -95,6 +102,9 @@ mod tests {
                 active: 4,
                 block_steps: 0,
                 block_bytes_sum: 0,
+                word_msgs: 3,
+                block_msgs: 0,
+                xnet_msgs: 0,
             },
             SuperstepTrace {
                 index: 1,
@@ -107,6 +117,9 @@ mod tests {
                 active: 4,
                 block_steps: 1,
                 block_bytes_sum: 16,
+                word_msgs: 6,
+                block_msgs: 1,
+                xnet_msgs: 0,
             },
         ];
         let b = RunBreakdown::from_traces(&traces);

@@ -33,10 +33,7 @@ fn odd_even_sort(machine: &mut Machine<Vec<u32>>) {
         });
         machine.superstep(move |ctx| {
             let pid = ctx.pid();
-            let incoming = ctx
-                .msgs()
-                .first()
-                .map(|msg| (msg.src, msg.as_u32s()));
+            let incoming = ctx.msgs().first().map(|msg| (msg.src, msg.as_u32s()));
             if let Some((src, theirs)) = incoming {
                 let mut merged = ctx.state.clone();
                 merged.extend(theirs);

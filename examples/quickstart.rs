@@ -27,11 +27,17 @@ fn main() {
 
     for (label, variant) in [
         ("naive BSP (identical send order)", MatmulVariant::BspNaive),
-        ("staggered BSP (short messages)", MatmulVariant::BspStaggered),
+        (
+            "staggered BSP (short messages)",
+            MatmulVariant::BspStaggered,
+        ),
         ("MP-BPRAM (block transfers)", MatmulVariant::Bpram),
     ] {
         let r = matmul::run(&cm5, 256, variant, seed);
-        assert!(r.verified, "the product was checked against a sequential reference");
+        assert!(
+            r.verified,
+            "the product was checked against a sequential reference"
+        );
         println!(
             "{label:36} {:>10}   ({:.0} Mflops, comm share {:.0}%)",
             format!("{}", r.time),

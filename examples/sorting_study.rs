@@ -65,7 +65,10 @@ fn main() {
     );
 
     println!("\n== third contender: parallel radix sort (blocks) ==\n");
-    println!("{:8} {:>18} {:>18}", "machine", "bitonic [µs/key]", "radix [µs/key]");
+    println!(
+        "{:8} {:>18} {:>18}",
+        "machine", "bitonic [µs/key]", "radix [µs/key]"
+    );
     // (Parallel radix needs P <= 256 bucket managers, so the 1024-PE
     // MasPar sits this one out.)
     for plat in [Platform::gcel(), Platform::cm5()] {

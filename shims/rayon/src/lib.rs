@@ -1,0 +1,342 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the one iterator chain the simulator uses —
+//! `states.par_iter_mut().zip(inboxes.par_iter()).enumerate().map(f).collect::<Vec<_>>()`
+//! — with real data parallelism: the index space is split into one
+//! contiguous piece per available core and executed under
+//! `std::thread::scope`, then results are concatenated in order, so
+//! output ordering is identical to the sequential path.
+//!
+//! Differences from real rayon, acceptable for this workspace:
+//! - no work-stealing: pieces are static, fine for the uniform-cost
+//!   per-processor closures the simulator runs;
+//! - `map` requires `F: Clone` (each piece owns a clone of the closure);
+//! - threads are spawned per `collect` call rather than pooled.
+
+use std::num::NonZeroUsize;
+
+/// A splittable, exactly-sized parallel iterator over `Send` items.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, idx)` and `[idx, len)` pieces.
+    fn split_at(self, idx: usize) -> (Self, Self);
+
+    /// Drain this piece sequentially, appending produced items to `out`.
+    fn drain_into(self, out: &mut Vec<Self::Item>);
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            base: 0,
+        }
+    }
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let total = iter.len();
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(total);
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(total);
+            iter.drain_into(&mut out);
+            return out;
+        }
+
+        // Split into `threads` contiguous pieces of near-equal size.
+        let mut pieces = Vec::with_capacity(threads);
+        let mut rest = iter;
+        let mut remaining = total;
+        for t in (1..=threads).rev() {
+            let take = remaining.div_ceil(t);
+            let (head, tail) = rest.split_at(take);
+            pieces.push(head);
+            rest = tail;
+            remaining -= take;
+        }
+
+        let results: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|piece| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(piece.len());
+                        piece.drain_into(&mut out);
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut out = Vec::with_capacity(total);
+        for part in results {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, idx: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(idx);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice.iter());
+    }
+}
+
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, idx: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(idx);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice.iter_mut());
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, idx: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(idx);
+        let (b1, b2) = self.b.split_at(idx);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        let n = self.len();
+        let mut av = Vec::with_capacity(n);
+        let mut bv = Vec::with_capacity(n);
+        let (a, _) = self.a.split_at(n);
+        let (b, _) = self.b.split_at(n);
+        a.drain_into(&mut av);
+        b.drain_into(&mut bv);
+        out.extend(av.into_iter().zip(bv));
+    }
+}
+
+pub struct Enumerate<A> {
+    inner: A,
+    base: usize,
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, idx: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(idx);
+        (
+            Enumerate {
+                inner: a,
+                base: self.base,
+            },
+            Enumerate {
+                inner: b,
+                base: self.base + idx,
+            },
+        )
+    }
+
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        let mut items = Vec::with_capacity(self.inner.len());
+        self.inner.drain_into(&mut items);
+        out.extend(
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| (self.base + i, x)),
+        );
+    }
+}
+
+pub struct Map<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A, F, R> ParallelIterator for Map<A, F>
+where
+    A: ParallelIterator,
+    F: Fn(A::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, idx: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(idx);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        let mut items = Vec::with_capacity(self.inner.len());
+        self.inner.drain_into(&mut items);
+        out.extend(items.into_iter().map(self.f));
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn full_chain_matches_sequential() {
+        let mut states: Vec<u64> = (0..97).collect();
+        let inboxes: Vec<u64> = (0..97).map(|i| i * 10).collect();
+
+        let expected: Vec<u64> = states
+            .iter()
+            .zip(inboxes.iter())
+            .enumerate()
+            .map(|(pid, (s, inbox))| *s * 2 + *inbox + pid as u64)
+            .collect();
+
+        let got: Vec<u64> = states
+            .par_iter_mut()
+            .zip(inboxes.par_iter())
+            .enumerate()
+            .map(|(pid, (s, inbox))| {
+                *s *= 2;
+                *s + *inbox + pid as u64
+            })
+            .collect();
+
+        assert_eq!(got, expected);
+        // Mutations through par_iter_mut landed.
+        assert_eq!(states[10], 20);
+    }
+
+    #[test]
+    fn empty_and_single_element_collect() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+
+        let one = vec![41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

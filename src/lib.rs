@@ -20,7 +20,10 @@
 //! * [`calibrate`] — microbenchmarks and least-squares fits that recover
 //!   the Table 1 machine parameters,
 //! * [`experiments`] — one driver per paper table/figure plus the
-//!   `reproduce` CLI.
+//!   `reproduce` CLI,
+//! * [`check`] — the sanitizer: runtime protocol rules, model-conformance
+//!   linting against each predictor's cost contract, and a determinism
+//!   auditor (see the "Sanitizer" section of DESIGN.md).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 
 pub use pcm_algos as algos;
 pub use pcm_calibrate as calibrate;
+pub use pcm_check as check;
 pub use pcm_core as core;
 pub use pcm_experiments as experiments;
 pub use pcm_machines as machines;
@@ -47,5 +51,5 @@ pub use pcm_models as models;
 pub use pcm_sim as sim;
 
 // Convenient re-exports of the most commonly used types.
-pub use pcm_core::{SimTime, Figure, Series, Table};
+pub use pcm_core::{Figure, Series, SimTime, Table};
 pub use pcm_machines::Platform;

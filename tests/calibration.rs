@@ -27,7 +27,11 @@ fn cm5_parameters_match_table1() {
     assert!((gl.g - 9.1).abs() / 9.1 < 0.06, "g = {}", gl.g);
     assert!((gl.l - 45.0).abs() < 25.0, "L = {}", gl.l);
     let se = fit_sigma_ell(&plat, 4, SEED);
-    assert!((se.sigma - 0.27).abs() / 0.27 < 0.08, "sigma = {}", se.sigma);
+    assert!(
+        (se.sigma - 0.27).abs() / 0.27 < 0.08,
+        "sigma = {}",
+        se.sigma
+    );
     assert!((se.ell - 75.0).abs() < 40.0, "ell = {}", se.ell);
 }
 
@@ -54,7 +58,11 @@ fn maspar_parameters_are_in_the_measured_regime() {
     assert!(gl.g > 20.0 && gl.g < 55.0, "g = {}", gl.g);
     assert!(gl.l > 700.0 && gl.l < 2100.0, "L = {}", gl.l);
     let se = fit_sigma_ell(&plat, 3, SEED);
-    assert!((se.sigma - 107.0).abs() / 107.0 < 0.25, "sigma = {}", se.sigma);
+    assert!(
+        (se.sigma - 107.0).abs() / 107.0 < 0.25,
+        "sigma = {}",
+        se.sigma
+    );
 }
 
 #[test]
@@ -95,7 +103,8 @@ fn gcel_drift_threshold_is_near_300() {
     // "Until approximately h = 300, h-h permutations take the same time as
     // random h-relations. After that ... keeps elevating."
     let plat = Platform::gcel();
-    let per_h_at = |h: usize| microbench::hh_permutation(&plat, h, None, SEED).as_micros() / h as f64;
+    let per_h_at =
+        |h: usize| microbench::hh_permutation(&plat, h, None, SEED).as_micros() / h as f64;
     let below = per_h_at(200);
     let above = per_h_at(1200);
     assert!(above > 1.3 * below, "no drift detected: {below} -> {above}");
@@ -107,6 +116,7 @@ fn gcel_drift_threshold_is_near_300() {
 }
 
 #[test]
+#[allow(clippy::float_cmp)] // determinism means bit-exact
 fn calibration_is_deterministic_per_seed() {
     let plat = Platform::cm5();
     let a = fit_gl(&plat, 2, 7);

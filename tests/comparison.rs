@@ -2,7 +2,7 @@
 //! into long messages buy, per algorithm and per architecture?
 
 use pcm::algos::sort::bitonic::{self, ExchangeMode};
-use pcm::experiments::{paper, sort_figs, matmul_figs, Output, Scale};
+use pcm::experiments::{matmul_figs, paper, sort_figs, Output, Scale};
 use pcm::Platform;
 
 const SEED: u64 = 1996;
@@ -19,7 +19,10 @@ fn fig16_block_transfers_win_matmul_on_the_cm5() {
     let f = fig(matmul_figs::fig16(Scale::Quick, SEED));
     let bsp = f.series_named("BSP (staggered, short messages)").unwrap();
     let bpram = f.series_named("MP-BPRAM (block transfers)").unwrap();
-    assert!(bsp.dominated_by(bpram), "block transfers reach higher Mflops");
+    assert!(
+        bsp.dominated_by(bpram),
+        "block transfers reach higher Mflops"
+    );
 
     // "the measured performance is 366 Mflops for the long message version
     // and 256 Mflops for the staggered BSP variant, corresponding to an
@@ -27,8 +30,12 @@ fn fig16_block_transfers_win_matmul_on_the_cm5() {
     // of the total (at smaller N the communication share, and hence the
     // improvement, is larger).
     let plat = Platform::cm5();
-    let rs =
-        pcm::algos::matmul::run(&plat, 512, pcm::algos::matmul::MatmulVariant::BspStaggered, SEED);
+    let rs = pcm::algos::matmul::run(
+        &plat,
+        512,
+        pcm::algos::matmul::MatmulVariant::BspStaggered,
+        SEED,
+    );
     let rb = pcm::algos::matmul::run(&plat, 512, pcm::algos::matmul::MatmulVariant::Bpram, SEED);
     assert!(rs.verified && rb.verified);
     assert!(
@@ -85,7 +92,10 @@ fn gcel_bitonic_gains_almost_two_orders_of_magnitude() {
         "BPRAM per key = {blocks_per_key:.2} ms (paper: 1.36)"
     );
     let ratio = words_per_key / blocks_per_key;
-    assert!(ratio > 40.0, "almost two orders of magnitude, got {ratio:.0}x");
+    assert!(
+        ratio > 40.0,
+        "almost two orders of magnitude, got {ratio:.0}x"
+    );
 }
 
 #[test]

@@ -52,12 +52,7 @@ fn maspar_intrinsic_mflops_are_in_the_papers_range() {
     // Full-scale check at one point: N = 700, where the paper reports
     // 39.9 Mflops (MP-BPRAM) vs 61.7 Mflops (intrinsic).
     let plat = pcm::Platform::maspar();
-    let model = pcm::algos::matmul::run(
-        &plat,
-        700,
-        pcm::algos::matmul::MatmulVariant::Bpram,
-        SEED,
-    );
+    let model = pcm::algos::matmul::run(&plat, 700, pcm::algos::matmul::MatmulVariant::Bpram, SEED);
     let intrinsic = pcm::algos::vendor::maspar_matmul(&plat, 700, SEED);
     assert!(model.verified && intrinsic.verified);
     assert!(
@@ -75,12 +70,7 @@ fn maspar_intrinsic_mflops_are_in_the_papers_range() {
 #[test]
 fn cm5_bpram_peaks_near_the_papers_372_mflops() {
     let plat = pcm::Platform::cm5();
-    let r = pcm::algos::matmul::run(
-        &plat,
-        512,
-        pcm::algos::matmul::MatmulVariant::Bpram,
-        SEED,
-    );
+    let r = pcm::algos::matmul::run(&plat, 512, pcm::algos::matmul::MatmulVariant::Bpram, SEED);
     assert!(r.verified);
     assert!(
         (r.stats.mflops - paper::FIG20_MODEL_PEAK_MFLOPS).abs() < 60.0,

@@ -2,8 +2,8 @@
 //! measured execution times — and do they fail exactly where the paper
 //! says they fail?
 
-use pcm::experiments::{paper, Output, Scale};
 use pcm::experiments::{apsp_figs, matmul_figs, sort_figs};
+use pcm::experiments::{paper, Output, Scale};
 
 const SEED: u64 = 1996;
 
@@ -22,7 +22,10 @@ fn fig03_mp_bsp_matmul_prediction_is_close_on_the_maspar() {
     // "For all measured data points, the deviation is less than 14%" —
     // we allow a little extra for simulator jitter.
     let dev = predicted.max_relative_deviation(measured);
-    assert!(dev < paper::FIG3_MAX_DEVIATION + 0.08, "deviation = {dev:.3}");
+    assert!(
+        dev < paper::FIG3_MAX_DEVIATION + 0.08,
+        "deviation = {dev:.3}"
+    );
 }
 
 #[test]
@@ -33,8 +36,7 @@ fn fig04_contention_error_matches_the_21_percent_story() {
     let pred = f.series_named("Predicted (BSP)").unwrap();
     // Naive at N = 256 overshoots the prediction by roughly the paper's
     // 21% (227 vs 188 ms).
-    let err =
-        (naive.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap()) / pred.y_at(256.0).unwrap();
+    let err = (naive.y_at(256.0).unwrap() - pred.y_at(256.0).unwrap()) / pred.y_at(256.0).unwrap();
     assert!(
         (err - paper::FIG4_CONTENTION_ERROR).abs() < 0.12,
         "contention error = {err:.2}"
@@ -92,14 +94,21 @@ fn fig09_cache_aware_prediction_is_at_least_as_good() {
         dev_precise <= dev_nominal + 0.02,
         "kernel-aware {dev_precise:.3} vs nominal {dev_nominal:.3}"
     );
-    assert!(dev_precise < 0.15, "kernel-aware deviation = {dev_precise:.3}");
+    assert!(
+        dev_precise < 0.15,
+        "kernel-aware deviation = {dev_precise:.3}"
+    );
 }
 
 #[test]
 fn fig10_bpram_bitonic_overestimate_is_smaller_than_bsp_on_maspar() {
     let f5 = fig(sort_figs::fig05(Scale::Quick, SEED));
     let f10 = fig(sort_figs::fig10(Scale::Quick, SEED));
-    let over5 = f5.series_named("Predicted (MP-BSP)").unwrap().y_at(256.0).unwrap()
+    let over5 = f5
+        .series_named("Predicted (MP-BSP)")
+        .unwrap()
+        .y_at(256.0)
+        .unwrap()
         / f5.series_named("Measured").unwrap().y_at(256.0).unwrap();
     let over10 = f10
         .series_named("Predicted (MP-BPRAM)")
@@ -110,7 +119,10 @@ fn fig10_bpram_bitonic_overestimate_is_smaller_than_bsp_on_maspar() {
     // "The MP-BPRAM predictions are slightly more precise than the times
     // predicted by BSP."
     assert!(over10 > 1.0, "still an overestimate: {over10:.2}");
-    assert!(over10 < over5, "BPRAM {over10:.2} should beat BSP {over5:.2}");
+    assert!(
+        over10 < over5,
+        "BPRAM {over10:.2} should beat BSP {over5:.2}"
+    );
 }
 
 #[test]

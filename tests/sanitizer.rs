@@ -1,0 +1,255 @@
+//! Sanitizer sweep: every algorithm x machine x (n, p) grid point runs
+//! under all three `pcm-check` layers —
+//!
+//! 1. the runtime protocol checker, with the message [`Discipline`] the
+//!    variant has signed up for (a deliberately naive schedule tolerates
+//!    concurrent writes; a strict MP-BSP variant must stagger into
+//!    permutation rounds),
+//! 2. the model-conformance lint against the predictor's `CostContract`,
+//! 3. the determinism auditor (rayon on vs. forced sequential).
+//!
+//! A non-empty violation list anywhere fails the sweep with the full
+//! rendered report.
+
+use pcm::algos::apsp::{self, ApspVariant};
+use pcm::algos::lu::{self, LuVariant};
+use pcm::algos::matmul::{self, MatmulVariant};
+use pcm::algos::sort::bitonic::{self, ExchangeMode};
+use pcm::algos::sort::parallel_radix::{self, RadixVariant};
+use pcm::algos::sort::sample::{self, SampleVariant};
+use pcm::algos::vendor;
+use pcm::algos::RunResult;
+use pcm::models::contract;
+use pcm::models::CostContract;
+use pcm::Platform;
+use pcm_check::{audit_determinism, check_conformance, check_protocol, render, Digest, Discipline};
+
+const SEED: u64 = 2026;
+
+/// The three simulated machines, scaled to `p` processors.
+fn machines(p: usize) -> Vec<Platform> {
+    vec![
+        Platform::maspar_with(p),
+        Platform::gcel_with(p),
+        Platform::cm5_with(p),
+    ]
+}
+
+/// Folds everything an algorithm run produced into a state digest.
+fn digest_run(r: &RunResult) -> u64 {
+    let mut d = Digest::new();
+    d.push_f64(r.time.as_micros());
+    d.push_u64(u64::from(r.verified));
+    d.push_f64(r.breakdown.compute.as_micros());
+    d.push_f64(r.breakdown.comm.as_micros());
+    d.push_usize(r.breakdown.supersteps);
+    d.push_usize(r.breakdown.messages);
+    d.push_usize(r.breakdown.bytes);
+    d.push_usize(r.stats.max_bucket);
+    d.push_f64(r.stats.mflops);
+    d.finish()
+}
+
+/// Runs one sweep point through all three sanitizer layers.
+fn sanitize(
+    label: &str,
+    discipline: Discipline,
+    contract: Option<(&CostContract, usize, usize)>,
+    run: impl Fn() -> RunResult,
+) {
+    // Layer 1: protocol.
+    let (result, violations) = check_protocol(discipline, &run);
+    assert!(result.verified, "{label}: result failed verification");
+    assert!(
+        violations.is_empty(),
+        "{label}: protocol violations under '{}':\n{}",
+        discipline.name,
+        render(&violations)
+    );
+
+    // Layer 2: model conformance.
+    if let Some((c, n, p)) = contract {
+        let (_, violations) = check_conformance(c, n, p, &run);
+        assert!(
+            violations.is_empty(),
+            "{label}: contract breaches for predictor '{}':\n{}",
+            c.algorithm,
+            render(&violations)
+        );
+    }
+
+    // Layer 3: determinism.
+    let violations = audit_determinism(label, || digest_run(&run()));
+    assert!(
+        violations.is_empty(),
+        "{label}: determinism violations:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn sweep_matmul() {
+    let c = contract::matmul();
+    let variants = [
+        // The naive schedule contends by design (Fig. 4): R04 off.
+        (MatmulVariant::BspNaive, Discipline::bsp_words()),
+        (MatmulVariant::BspStaggered, Discipline::mp_bsp()),
+        (MatmulVariant::Bpram, Discipline::bpram()),
+    ];
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for (variant, discipline) in variants {
+                let label = format!("matmul {variant:?} n={n} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, n, p)), || {
+                    matmul::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_bitonic() {
+    let c = contract::bitonic();
+    let modes = [
+        (ExchangeMode::Words, Discipline::mp_bsp()),
+        (
+            ExchangeMode::WordsResync { interval: 8 },
+            Discipline::mp_bsp(),
+        ),
+        (ExchangeMode::Packets { bytes: 16 }, Discipline::mp_bsp()),
+        (ExchangeMode::Block, Discipline::bpram()),
+    ];
+    for (m, p) in [(16, 16), (24, 64)] {
+        for plat in machines(p) {
+            for (mode, discipline) in modes {
+                let label = format!("bitonic {mode:?} m={m} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, m, p)), || {
+                    bitonic::run(&plat, m, mode, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_samplesort() {
+    let c = contract::samplesort();
+    let variants = [
+        // Bucket routing slices are data-dependent: senders cannot align
+        // their word rounds, so contention is priced, not flagged.
+        (SampleVariant::BspWords, Discipline::bsp_words()),
+        // The padded schedule keeps every phase single-port.
+        (SampleVariant::Bpram, Discipline::bpram()),
+        // The unpadded schedule skips empty slices, which shifts later
+        // blocks into earlier rounds: single-port is deliberately bent.
+        (SampleVariant::BpramStaggered, Discipline::blocks_relaxed()),
+    ];
+    for (m, p) in [(16, 16), (24, 64)] {
+        for plat in machines(p) {
+            for (variant, discipline) in variants {
+                let label = format!("samplesort {variant:?} m={m} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, m, p)), || {
+                    sample::run(&plat, m, 2, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_apsp() {
+    let c = contract::apsp();
+    let variants = [
+        // Row and column broadcasts overlap in the same superstep, so a
+        // processor can receive both streams at once: a priced 2-relation.
+        (ApspVariant::Words, Discipline::bsp_words()),
+        (ApspVariant::Blocks, Discipline::blocks_relaxed()),
+    ];
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for (variant, discipline) in variants {
+                let label = format!("apsp {variant:?} n={n} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, n, p)), || {
+                    apsp::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_lu() {
+    let c = contract::lu();
+    let variants = [
+        // Same overlap as APSP: L-row and U-column broadcasts share steps.
+        (LuVariant::Words, Discipline::bsp_words()),
+        (LuVariant::Blocks, Discipline::blocks_relaxed()),
+    ];
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for (variant, discipline) in variants {
+                let label = format!("lu {variant:?} n={n} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, n, p)), || {
+                    lu::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_parallel_radix() {
+    let c = contract::parallel_radix();
+    let variants = [
+        // Routing slice lengths are data-dependent in both variants.
+        (RadixVariant::Words, Discipline::bsp_words()),
+        (RadixVariant::Blocks, Discipline::blocks_relaxed()),
+    ];
+    for (m, p) in [(32, 16), (16, 64)] {
+        for plat in machines(p) {
+            for (variant, discipline) in variants {
+                let label = format!("radix {variant:?} m={m} on {} p={p}", plat.name());
+                sanitize(&label, discipline, Some((&c, m, p)), || {
+                    parallel_radix::run(&plat, m, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_vendor() {
+    // The vendor codes have no predictor, hence no contract to lint.
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            let label = format!("maspar_matmul n={n} on {} p={p}", plat.name());
+            sanitize(&label, Discipline::xnet_grid(), None, || {
+                vendor::maspar_matmul(&plat, n, SEED)
+            });
+            // SUMMA broadcasts are deliberately unstaggered blocks.
+            let label = format!("cmssl_matmul n={n} on {} p={p}", plat.name());
+            sanitize(&label, Discipline::blocks_relaxed(), None, || {
+                vendor::cmssl_matmul(&plat, n, SEED)
+            });
+        }
+    }
+}
+
+/// Every predictor module ships a contract, and the contract list stays in
+/// sync with `predict/*`.
+#[test]
+fn every_predictor_has_a_contract() {
+    let names: Vec<&str> = contract::all().iter().map(|c| c.algorithm).collect();
+    for expected in [
+        "matmul",
+        "bitonic",
+        "samplesort",
+        "apsp",
+        "lu",
+        "parallel_radix",
+    ] {
+        assert!(names.contains(&expected), "missing contract for {expected}");
+    }
+    assert_eq!(names.len(), 6);
+}
