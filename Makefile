@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize fmt clippy
+.PHONY: ci build test sanitize race golden fmt clippy
 
 ci: build test fmt clippy
 
@@ -12,6 +12,12 @@ test:
 
 sanitize:
 	cargo test -q --test sanitizer
+
+race:
+	cargo test -q --test race
+
+golden:
+	cargo test -q --test golden
 
 fmt:
 	cargo fmt --check

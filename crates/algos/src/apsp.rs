@@ -25,6 +25,7 @@ use pcm_sim::topology::Grid;
 
 use crate::primitives::embed::Embedding;
 use crate::primitives::plan::{chunk, staggered};
+use crate::regions;
 use crate::run::RunResult;
 use crate::verify::{check_distances, floyd_reference};
 
@@ -159,6 +160,8 @@ pub fn run(platform: &Platform, n: usize, variant: ApspVariant, seed: u64) -> Ru
         // Superstep 2: absorb the scattered pieces, reset the assembly
         // buffers.
         machine.superstep(|ctx| {
+            ctx.touch_write(regions::APSP_X);
+            ctx.touch_write(regions::APSP_Y);
             ctx.state.x = vec![f64::INFINITY; m];
             ctx.state.y = vec![f64::INFINITY; m];
             absorb_pieces(ctx, m, side);
@@ -309,6 +312,10 @@ fn absorb_pieces(ctx: &mut pcm_sim::Ctx<'_, ApspState>, m: usize, side: usize) {
         .iter()
         .map(|msg| (msg.tag, msg.as_f64s()))
         .collect();
+    if !incoming.is_empty() {
+        ctx.touch_modify(regions::APSP_X);
+        ctx.touch_modify(regions::APSP_Y);
+    }
     for (tag, vals) in incoming {
         let idx = (tag / 2) as usize;
         if tag % 2 == TAG_COL {
@@ -323,6 +330,9 @@ fn absorb_pieces(ctx: &mut pcm_sim::Ctx<'_, ApspState>, m: usize, side: usize) {
 
 /// The Floyd relaxation of the local block, charged at `alpha` per entry.
 fn relax(ctx: &mut pcm_sim::Ctx<'_, ApspState>, m: usize) {
+    ctx.touch_read(regions::APSP_X);
+    ctx.touch_read(regions::APSP_Y);
+    ctx.touch_modify(regions::APSP_DIST);
     let st = &mut *ctx.state;
     for i in 0..m {
         let xi = st.x[i];

@@ -23,6 +23,7 @@ pub mod apsp;
 pub mod lu;
 pub mod matmul;
 pub mod primitives;
+pub mod regions;
 pub mod run;
 pub mod sort;
 pub mod vendor;

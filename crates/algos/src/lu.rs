@@ -17,6 +17,7 @@ use pcm_machines::Platform;
 use pcm_sim::topology::Grid;
 
 use crate::primitives::plan::staggered;
+use crate::regions;
 use crate::run::RunResult;
 
 /// Word or block transfers for the broadcast traffic.
@@ -130,6 +131,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
             if r == owner && c == owner {
+                ctx.touch_read(regions::LU_BLOCK);
                 let pivot = ctx.state.a[lk * m + lk];
                 ctx.state.pivot = pivot;
                 for t in staggered(r, side) {
@@ -148,9 +150,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
             let incoming: Vec<f64> = ctx
-                .msgs()
-                .iter()
-                .filter(|msg| msg.tag == TAG_PIVOT)
+                .msgs_tagged(TAG_PIVOT)
                 .map(|msg| msg.word_f64())
                 .collect();
             if let Some(&pv) = incoming.first() {
@@ -168,6 +168,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
                     }
                 }
                 // Store multipliers in place and broadcast along the row.
+                ctx.touch_modify(regions::LU_BLOCK);
                 for (i, &li) in l.iter().enumerate() {
                     let gi = r * m + i;
                     if gi > k {
@@ -175,6 +176,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
                     }
                 }
                 ctx.charge_ops(m as u64);
+                ctx.touch_write(regions::LU_LCOL);
                 ctx.state.l_col = l.clone();
                 for t in staggered(r, side) {
                     let dst = grid.id(r, t);
@@ -192,6 +194,7 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
                         u[j] = ctx.state.a[lk * m + j];
                     }
                 }
+                ctx.touch_write(regions::LU_UROW);
                 ctx.state.u_row = u.clone();
                 for t in staggered(c, side) {
                     let dst = grid.id(t, c);
@@ -207,18 +210,22 @@ pub fn run(platform: &Platform, n: usize, variant: LuVariant, seed: u64) -> RunR
         machine.superstep(|ctx| {
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
-            let incoming: Vec<(u32, Vec<f64>)> = ctx
-                .msgs()
-                .iter()
-                .map(|msg| (msg.tag, msg.as_f64s()))
-                .collect();
-            for (tag, vals) in incoming {
-                match tag {
-                    TAG_L => ctx.state.l_col = vals,
-                    TAG_U => ctx.state.u_row = vals,
-                    _ => {}
-                }
+            // The two panels travel on separate tags; read each stream
+            // through its own filter so the analyzer can prove they never
+            // alias.
+            let l_in: Option<Vec<f64>> = ctx.msgs_tagged(TAG_L).map(|msg| msg.as_f64s()).last();
+            let u_in: Option<Vec<f64>> = ctx.msgs_tagged(TAG_U).map(|msg| msg.as_f64s()).last();
+            if let Some(vals) = l_in {
+                ctx.touch_write(regions::LU_LCOL);
+                ctx.state.l_col = vals;
             }
+            if let Some(vals) = u_in {
+                ctx.touch_write(regions::LU_UROW);
+                ctx.state.u_row = vals;
+            }
+            ctx.touch_read(regions::LU_LCOL);
+            ctx.touch_read(regions::LU_UROW);
+            ctx.touch_modify(regions::LU_BLOCK);
             let st = &mut *ctx.state;
             if st.l_col.len() == m && st.u_row.len() == m {
                 for i in 0..m {

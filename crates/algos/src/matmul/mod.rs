@@ -25,6 +25,7 @@ use pcm_sim::Ctx;
 
 use crate::primitives::embed::Embedding;
 use crate::primitives::plan::staggered;
+use crate::regions;
 use crate::run::{RunResult, RunStats};
 use crate::verify::{random_matrix, spot_check_matmul};
 
@@ -153,22 +154,30 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
         let mut a_full = vec![0.0f64; bn * bn];
         let mut b_full = vec![0.0f64; bn * bn];
         // Own A subblock (not sent over the network); B arrives entirely
-        // through the inbox, self-copies included.
+        // through the inbox, self-copies included. The two operand streams
+        // are read through their tags: the slot each piece lands in comes
+        // from the sender's cube coordinate, so assembly order is
+        // irrelevant.
+        ctx.touch_write(regions::MATMUL_A);
+        ctx.touch_write(regions::MATMUL_B);
         a_full[k * sn * bn..(k + 1) * sn * bn].copy_from_slice(&ctx.state.a_sub);
-        for msg in ctx.msgs() {
+        for msg in ctx.msgs_tagged(TAG_A) {
             let (_, _, l) = cube.coords(embed.to_logical(msg.src));
             let vals = msg.as_f64s();
             debug_assert_eq!(vals.len(), sn * bn);
-            let dstmat = if msg.tag == TAG_A {
-                &mut a_full
-            } else {
-                &mut b_full
-            };
-            dstmat[l * sn * bn..(l + 1) * sn * bn].copy_from_slice(&vals);
+            a_full[l * sn * bn..(l + 1) * sn * bn].copy_from_slice(&vals);
+        }
+        for msg in ctx.msgs_tagged(TAG_B) {
+            let (_, _, l) = cube.coords(embed.to_logical(msg.src));
+            let vals = msg.as_f64s();
+            debug_assert_eq!(vals.len(), sn * bn);
+            b_full[l * sn * bn..(l + 1) * sn * bn].copy_from_slice(&vals);
         }
         ctx.charge_copy_words(2 * (bn * bn) as u64);
 
         // Local multiply: C-hat_ijk = A_ij · B_jk.
+        ctx.touch_read(regions::MATMUL_A);
+        ctx.touch_read(regions::MATMUL_B);
         let mut c_hat = vec![0.0f64; bn * bn];
         local_multiply(&a_full, &b_full, &mut c_hat, bn);
         ctx.charge_matmul(bn, bn, bn);
@@ -200,6 +209,7 @@ pub fn run(platform: &Platform, n: usize, variant: MatmulVariant, seed: u64) -> 
             return;
         }
         // Start from the locally retained partial (if any).
+        ctx.touch_modify(regions::MATMUL_C);
         let mut c_sub = std::mem::take(&mut ctx.state.c_sub);
         if c_sub.is_empty() {
             c_sub = vec![0.0f64; sn * bn];

@@ -12,6 +12,7 @@ use pcm_machines::Platform;
 use pcm_sim::Machine;
 
 use super::plan::{chunk, staggered};
+use crate::regions;
 
 /// State for the standalone collectives: each processor holds a vector of
 /// words.
@@ -43,8 +44,10 @@ pub fn broadcast(machine: &mut Machine<CollState>, root: usize) {
     // Phase 1: root scatters pieces.
     machine.superstep(move |ctx| {
         if ctx.pid() == root {
+            ctx.touch_read(regions::COLL_DATA);
             let data = ctx.state.data.clone();
             let m = data.len();
+            ctx.touch_write(regions::COLL_OUT);
             for t in staggered(root, p) {
                 let piece = &data[chunk(m, p, t)];
                 if t == root {
@@ -59,6 +62,7 @@ pub fn broadcast(machine: &mut Machine<CollState>, root: usize) {
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
         let piece: Vec<u32> = if pid == root {
+            ctx.touch_read(regions::COLL_OUT);
             std::mem::take(&mut ctx.state.out)
         } else {
             ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect()
@@ -68,6 +72,7 @@ pub fn broadcast(machine: &mut Machine<CollState>, root: usize) {
                 ctx.send_words_u32_tagged(t, tag_u32(pid), &piece);
             }
         }
+        ctx.touch_write(regions::COLL_OUT);
         ctx.state.out = piece;
     });
     // Phase 3: assemble.
@@ -79,6 +84,7 @@ pub fn broadcast(machine: &mut Machine<CollState>, root: usize) {
             .iter()
             .map(|m| (m.tag as usize, m.as_u32s()))
             .collect();
+        ctx.touch_modify(regions::COLL_OUT);
         pieces.push((pid, ctx.state.out.clone()));
         pieces.sort_by_key(|(idx, _)| *idx);
         ctx.state.out = pieces.into_iter().flat_map(|(_, v)| v).collect();
@@ -91,6 +97,7 @@ pub fn all_gather(machine: &mut Machine<CollState>) {
     let p = machine.nprocs();
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
+        ctx.touch_read(regions::COLL_DATA);
         let data = ctx.state.data.clone();
         for t in staggered(pid, p) {
             if t != pid && !data.is_empty() {
@@ -102,8 +109,10 @@ pub fn all_gather(machine: &mut Machine<CollState>) {
         let pid = ctx.pid();
         let mut pieces: Vec<(usize, Vec<u32>)> =
             ctx.msgs().iter().map(|m| (m.src, m.as_u32s())).collect();
+        ctx.touch_read(regions::COLL_DATA);
         pieces.push((pid, ctx.state.data.clone()));
         pieces.sort_by_key(|(idx, _)| *idx);
+        ctx.touch_write(regions::COLL_OUT);
         ctx.state.out = pieces.into_iter().flat_map(|(_, v)| v).collect();
     });
 }
@@ -118,6 +127,7 @@ pub fn multi_scan(machine: &mut Machine<CollState>) {
     // Phase 1: transpose — component j goes to processor j.
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
+        ctx.touch_read(regions::COLL_DATA);
         let data = ctx.state.data.clone();
         assert_eq!(data.len(), p, "multi_scan needs a P-vector per processor");
         for j in staggered(pid, p) {
@@ -130,6 +140,7 @@ pub fn multi_scan(machine: &mut Machine<CollState>) {
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
         let mut comps = vec![0u32; p];
+        ctx.touch_read(regions::COLL_DATA);
         comps[pid] = ctx.state.data[pid];
         for msg in ctx.msgs() {
             comps[msg.src] = msg.word_u32();
@@ -145,6 +156,7 @@ pub fn multi_scan(machine: &mut Machine<CollState>) {
                 ctx.send_word_u32(i, prefix[i]);
             }
         }
+        ctx.touch_write(regions::COLL_OUT);
         ctx.state.out = vec![0; p];
         ctx.state.out[pid] = prefix[pid];
     });
@@ -152,6 +164,7 @@ pub fn multi_scan(machine: &mut Machine<CollState>) {
     machine.superstep(move |ctx| {
         let incoming: Vec<(usize, u32)> =
             ctx.msgs().iter().map(|m| (m.src, m.word_u32())).collect();
+        ctx.touch_modify(regions::COLL_OUT);
         for (src, v) in incoming {
             ctx.state.out[src] = v;
         }

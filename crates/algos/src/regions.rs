@@ -1,0 +1,80 @@
+//! Shadow-memory region ids for the happens-before analyzer.
+//!
+//! Algorithms declare their dataflow through private state by calling
+//! `ctx.touch_read` / `ctx.touch_write` / `ctx.touch_modify` with these
+//! ids (see `pcm_sim::shadow`). Region ids are per-processor and only
+//! need to be distinct *within* one run of one algorithm; they are still
+//! kept globally distinct here so traces stay unambiguous when a run
+//! composes families (sample sort reuses the bitonic merge).
+
+use pcm_sim::RegionId;
+
+// matmul
+/// Assembled row-slab of `A` on a processor.
+pub const MATMUL_A: RegionId = 0x10;
+/// Assembled column-slab of `B`.
+pub const MATMUL_B: RegionId = 0x11;
+/// Local `C` contributions / assembled result block.
+pub const MATMUL_C: RegionId = 0x12;
+
+// bitonic sort
+/// The processor's sorted key list.
+pub const BITONIC_KEYS: RegionId = 0x20;
+/// Incoming-chunk stash accumulated during a merge exchange.
+pub const BITONIC_STASH: RegionId = 0x21;
+
+// sample sort
+/// The processor's key list.
+pub const SAMPLE_KEYS: RegionId = 0x30;
+/// Local sample / splitter-candidate list (the bitonic merge's "list").
+pub const SAMPLE_SAMPLES: RegionId = 0x31;
+/// Stash for the sample-merge exchange.
+pub const SAMPLE_STASH: RegionId = 0x32;
+/// The agreed splitter vector.
+pub const SAMPLE_SPLITTERS: RegionId = 0x33;
+/// Per-bucket counts.
+pub const SAMPLE_COUNTS: RegionId = 0x34;
+/// Receive offsets from the multi-scan.
+pub const SAMPLE_OFFSETS: RegionId = 0x35;
+/// The destination bucket being assembled.
+pub const SAMPLE_BUCKET: RegionId = 0x36;
+
+// parallel radix sort
+/// The processor's key list.
+pub const RADIX_KEYS: RegionId = 0x40;
+/// Per-digit counts of the current pass.
+pub const RADIX_COUNTS: RegionId = 0x41;
+/// Global digit base offsets.
+pub const RADIX_BASE: RegionId = 0x42;
+/// Keys regrouped for the current pass.
+pub const RADIX_BUCKET: RegionId = 0x43;
+
+// APSP
+/// The processor's block of the distance matrix.
+pub const APSP_DIST: RegionId = 0x50;
+/// Assembly buffer for the pivot column pieces (x direction).
+pub const APSP_X: RegionId = 0x51;
+/// Assembly buffer for the pivot row pieces (y direction).
+pub const APSP_Y: RegionId = 0x52;
+
+// LU
+/// The processor's block of the matrix.
+pub const LU_BLOCK: RegionId = 0x60;
+/// Received pivot-column panel.
+pub const LU_LCOL: RegionId = 0x61;
+/// Received pivot-row panel.
+pub const LU_UROW: RegionId = 0x62;
+
+// vendor kernels
+/// Local `A` block (shifted each Cannon step).
+pub const VENDOR_A: RegionId = 0x70;
+/// Local `B` block.
+pub const VENDOR_B: RegionId = 0x71;
+/// Local `C` accumulator.
+pub const VENDOR_C: RegionId = 0x72;
+
+// standalone collectives
+/// The processor's input vector.
+pub const COLL_DATA: RegionId = 0x80;
+/// The collective's result buffer.
+pub const COLL_OUT: RegionId = 0x81;

@@ -18,9 +18,10 @@
 use pcm_core::units::log2_exact;
 use pcm_machines::Platform;
 use pcm_sim::topology::hypercube_partner;
-use pcm_sim::Machine;
+use pcm_sim::{Machine, RegionId};
 
 use super::radix::{merge_split, radix_sort, KEY_BITS, RADIX_BITS};
+use crate::regions;
 use crate::run::RunResult;
 use crate::verify::check_sorted_permutation;
 
@@ -52,6 +53,10 @@ pub trait BitonicList: Send {
     fn list_mut(&mut self) -> &mut Vec<u32>;
     /// Scratch buffer for partially received partner lists.
     fn stash_mut(&mut self) -> &mut Vec<u32>;
+    /// Shadow region id of the list (see [`crate::regions`]).
+    fn list_region(&self) -> RegionId;
+    /// Shadow region id of the stash.
+    fn stash_region(&self) -> RegionId;
 }
 
 /// Plain sorting state.
@@ -70,6 +75,14 @@ impl BitonicList for SortState {
 
     fn stash_mut(&mut self) -> &mut Vec<u32> {
         &mut self.stash
+    }
+
+    fn list_region(&self) -> RegionId {
+        regions::BITONIC_KEYS
+    }
+
+    fn stash_region(&self) -> RegionId {
+        regions::BITONIC_STASH
     }
 }
 
@@ -131,6 +144,8 @@ pub fn merge_phases<S: BitonicList>(machine: &mut Machine<S>, mode: ExchangeMode
                 // Send chunk c of the (current) list to this step's partner.
                 let pid = ctx.pid();
                 let partner = hypercube_partner(pid, bit);
+                let list_region = ctx.state.list_region();
+                ctx.touch_read(list_region);
                 let list = ctx.state.list_mut();
                 let m = list.len();
                 let lo = (c * m).div_ceil(nchunks);
@@ -156,12 +171,17 @@ pub fn merge_phases<S: BitonicList>(machine: &mut Machine<S>, mode: ExchangeMode
 
 fn absorb<S: BitonicList>(ctx: &mut pcm_sim::Ctx<'_, S>) {
     let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
+    if !incoming.is_empty() {
+        ctx.touch_modify(ctx.state.stash_region());
+    }
     ctx.state.stash_mut().extend_from_slice(&incoming);
 }
 
 fn finish_merge<S: BitonicList>(ctx: &mut pcm_sim::Ctx<'_, S>, stage: u32, bit: u32) {
     let pid = ctx.pid();
     let low = keeps_low(pid, stage, bit);
+    ctx.touch_read(ctx.state.stash_region());
+    ctx.touch_modify(ctx.state.list_region());
     let theirs = std::mem::take(ctx.state.stash_mut());
     let list = ctx.state.list_mut();
     let keep = list.len();
@@ -189,6 +209,7 @@ pub fn run(platform: &Platform, keys_per_proc: usize, mode: ExchangeMode, seed: 
 
     // Local sort (radix), charged with the platform coefficients.
     machine.superstep(|ctx| {
+        ctx.touch_modify(ctx.state.list_region());
         radix_sort(ctx.state.list_mut());
         ctx.charge_radix_sort(keys_per_proc, KEY_BITS, RADIX_BITS);
     });

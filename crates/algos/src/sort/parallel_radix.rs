@@ -18,6 +18,7 @@ use pcm_machines::Platform;
 use pcm_sim::Machine;
 
 use crate::primitives::plan::staggered;
+use crate::regions;
 use crate::run::RunResult;
 use crate::verify::check_sorted_permutation;
 
@@ -108,6 +109,8 @@ fn radix_pass(
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
         let mut counts = vec![0u32; RADIX];
+        ctx.touch_read(regions::RADIX_KEYS);
+        ctx.touch_write(regions::RADIX_COUNTS);
         for &k in ctx.state.keys.iter() {
             counts[digit(k)] += 1;
         }
@@ -134,6 +137,7 @@ fn radix_pass(
         let pid = ctx.pid();
         // rows[i][b] = counts of processor i for my b-th bucket.
         let mut rows = vec![vec![0u32; buckets_per_proc]; p];
+        ctx.touch_read(regions::RADIX_COUNTS);
         rows[pid].copy_from_slice(&ctx.state.prefix);
         for msg in ctx.msgs() {
             rows[msg.src].copy_from_slice(&msg.as_u32s());
@@ -150,6 +154,7 @@ fn radix_pass(
         }
         ctx.charge_ops((p * buckets_per_proc) as u64);
         // Reply: [prefix for you ..., my totals ...] to every processor.
+        ctx.touch_write(regions::RADIX_COUNTS);
         for t in staggered(pid, p) {
             let mut payload = prefixes[t].clone();
             payload.extend_from_slice(&totals);
@@ -170,6 +175,7 @@ fn radix_pass(
         let pid = ctx.pid();
         let mut prefix = vec![0u32; RADIX];
         let mut totals = vec![0u32; RADIX];
+        ctx.touch_read(regions::RADIX_COUNTS);
         let own = ctx.state.prefix.clone();
         let place = |store: &mut [u32], manager: usize, vals: &[u32]| {
             for b in 0..buckets_per_proc {
@@ -197,7 +203,9 @@ fn radix_pass(
         ctx.charge_ops(RADIX as u64);
 
         // Global position of each key, preserving local order (stability).
+        ctx.touch_read(regions::RADIX_KEYS);
         let keys = std::mem::take(&mut ctx.state.keys);
+        ctx.touch_modify(regions::RADIX_BUCKET);
         let mut cursor = vec![0u32; RADIX];
         let mut outgoing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
         for &k in &keys {
@@ -226,12 +234,14 @@ fn radix_pass(
                 }
             }
         }
+        ctx.touch_modify(regions::RADIX_BASE);
         ctx.state.base = base;
     });
 
     // Superstep 4: place the received keys.
     machine.superstep(move |ctx| {
         let mut placed = vec![0u32; m];
+        ctx.touch_read(regions::RADIX_BUCKET);
         let mut pairs = std::mem::take(&mut ctx.state.incoming);
         for msg in ctx.msgs() {
             let vals = msg.as_u32s();
@@ -244,6 +254,7 @@ fn radix_pass(
             placed[pos as usize] = k;
         }
         ctx.charge_copy_words(m as u64);
+        ctx.touch_write(regions::RADIX_KEYS);
         ctx.state.keys = placed;
     });
 }

@@ -24,11 +24,12 @@
 
 use pcm_core::units::{sqrt_exact, tag_u32};
 use pcm_machines::Platform;
-use pcm_sim::Machine;
+use pcm_sim::{Machine, RegionId};
 
 use super::bitonic::{merge_phases, BitonicList, ExchangeMode};
 use super::radix::{radix_sort, KEY_BITS, RADIX_BITS};
 use crate::primitives::plan::{bucket_counts, staggered};
+use crate::regions;
 use crate::run::{RunResult, RunStats};
 use crate::verify::check_sorted_permutation;
 
@@ -65,6 +66,14 @@ impl BitonicList for SampleState {
 
     fn stash_mut(&mut self) -> &mut Vec<u32> {
         &mut self.stash
+    }
+
+    fn list_region(&self) -> RegionId {
+        regions::SAMPLE_SAMPLES
+    }
+
+    fn stash_region(&self) -> RegionId {
+        regions::SAMPLE_STASH
     }
 }
 
@@ -113,6 +122,8 @@ pub fn run(
                 .map(|_| ctx.rng().random_range(0..nkeys))
                 .collect()
         };
+        ctx.touch_read(regions::SAMPLE_KEYS);
+        ctx.touch_write(regions::SAMPLE_SAMPLES);
         let s = &mut *ctx.state;
         for idx in idxs {
             let v = *s.keys.get(idx).unwrap_or(&0);
@@ -136,6 +147,7 @@ pub fn run(
         machine.superstep(move |ctx| {
             let pid = ctx.pid();
             let group = pid / side;
+            ctx.touch_read(regions::SAMPLE_SAMPLES);
             let cand = ctx.state.samples[0];
             for t in staggered(pid % side, side) {
                 let member = group * side + t;
@@ -150,6 +162,7 @@ pub fn run(
             let idx = pid % side;
             // Assemble this group's candidates in pid order.
             let mut cands = vec![0u32; side];
+            ctx.touch_read(regions::SAMPLE_SAMPLES);
             cands[idx] = ctx.state.samples[0];
             for msg in ctx.msgs() {
                 cands[msg.src % side] = msg.word_u32();
@@ -162,12 +175,14 @@ pub fn run(
                     ctx.send_block_u32_tagged(dst, tag_u32(group), &cands);
                 }
             }
+            ctx.touch_write(regions::SAMPLE_STASH);
             ctx.state.stash = cands; // keep own group's vector
         });
         machine.superstep(move |ctx| {
             let pid = ctx.pid();
             let group = pid / side;
             let mut all = vec![0u32; p];
+            ctx.touch_read(regions::SAMPLE_STASH);
             all[group * side..(group + 1) * side].copy_from_slice(&ctx.state.stash);
             for msg in ctx.msgs() {
                 let g = msg.tag as usize;
@@ -175,12 +190,14 @@ pub fn run(
             }
             ctx.state.stash.clear();
             // Drop processor 0's candidate: splitters are ranks S..(P-1)S.
+            ctx.touch_write(regions::SAMPLE_SPLITTERS);
             ctx.state.splitters = all[1..].to_vec();
         });
     } else {
         machine.superstep(|ctx| {
             let pid = ctx.pid();
             if pid > 0 {
+                ctx.touch_read(regions::SAMPLE_SAMPLES);
                 let cand = ctx.state.samples[0];
                 for t in staggered(pid, p) {
                     if t != pid {
@@ -198,15 +215,20 @@ pub fn run(
                 .map(|m| (m.src, m.word_u32()))
                 .collect();
             if pid > 0 {
+                ctx.touch_read(regions::SAMPLE_SAMPLES);
                 spl.push((pid, ctx.state.samples[0]));
             }
             spl.sort_unstable();
+            ctx.touch_write(regions::SAMPLE_SPLITTERS);
             ctx.state.splitters = spl.into_iter().map(|(_, v)| v).collect();
         });
     }
 
     // ---- Phase 2: send ---------------------------------------------------
     machine.superstep(|ctx| {
+        ctx.touch_modify(regions::SAMPLE_KEYS);
+        ctx.touch_read(regions::SAMPLE_SPLITTERS);
+        ctx.touch_write(regions::SAMPLE_COUNTS);
         let s = &mut *ctx.state;
         radix_sort(&mut s.keys);
         let counts = bucket_counts(&s.keys, &s.splitters);
@@ -228,8 +250,11 @@ pub fn run(
         SampleVariant::BspWords => {
             machine.superstep(|ctx| {
                 let pid = ctx.pid();
+                ctx.touch_read(regions::SAMPLE_COUNTS);
                 let counts = ctx.state.counts.clone();
+                ctx.touch_read(regions::SAMPLE_KEYS);
                 let keys = std::mem::take(&mut ctx.state.keys);
+                ctx.touch_modify(regions::SAMPLE_BUCKET);
                 let mut start = vec![0usize; p + 1];
                 for j in 0..p {
                     start[j + 1] = start[j] + counts[j] as usize;
@@ -245,14 +270,18 @@ pub fn run(
             });
             machine.superstep(|ctx| {
                 let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
+                ctx.touch_modify(regions::SAMPLE_BUCKET);
                 ctx.state.bucket.extend_from_slice(&incoming);
             });
         }
         SampleVariant::BpramStaggered => {
             machine.superstep(|ctx| {
                 let pid = ctx.pid();
+                ctx.touch_read(regions::SAMPLE_COUNTS);
                 let counts = ctx.state.counts.clone();
+                ctx.touch_read(regions::SAMPLE_KEYS);
                 let keys = std::mem::take(&mut ctx.state.keys);
+                ctx.touch_modify(regions::SAMPLE_BUCKET);
                 let mut start = vec![0usize; p + 1];
                 for j in 0..p {
                     start[j + 1] = start[j] + counts[j] as usize;
@@ -270,6 +299,7 @@ pub fn run(
             });
             machine.superstep(|ctx| {
                 let incoming: Vec<u32> = ctx.msgs().iter().flat_map(|m| m.as_u32s()).collect();
+                ctx.touch_modify(regions::SAMPLE_BUCKET);
                 ctx.state.bucket.extend_from_slice(&incoming);
             });
         }
@@ -280,6 +310,7 @@ pub fn run(
 
     // ---- Phase 3: sort the buckets ----------------------------------------
     machine.superstep(|ctx| {
+        ctx.touch_modify(regions::SAMPLE_BUCKET);
         let n = ctx.state.bucket.len();
         radix_sort(&mut ctx.state.bucket);
         ctx.charge_radix_sort(n, KEY_BITS, RADIX_BITS);
@@ -311,6 +342,7 @@ pub fn run(
 fn multiscan_words(machine: &mut Machine<SampleState>, p: usize) {
     machine.superstep(|ctx| {
         let pid = ctx.pid();
+        ctx.touch_read(regions::SAMPLE_COUNTS);
         let counts = ctx.state.counts.clone();
         for j in staggered(pid, p) {
             if j != pid {
@@ -322,6 +354,7 @@ fn multiscan_words(machine: &mut Machine<SampleState>, p: usize) {
         let pid = ctx.pid();
         // Assemble per-source counts destined to me, prefix-sum, reply.
         let mut incoming = vec![0u32; p];
+        ctx.touch_read(regions::SAMPLE_COUNTS);
         incoming[pid] = ctx.state.counts[pid];
         for msg in ctx.msgs() {
             incoming[msg.src] = msg.word_u32();
@@ -337,12 +370,14 @@ fn multiscan_words(machine: &mut Machine<SampleState>, p: usize) {
                 ctx.send_word_u32(i, offsets[i]);
             }
         }
+        ctx.touch_write(regions::SAMPLE_OFFSETS);
         ctx.state.offsets = vec![0; p];
         ctx.state.offsets[pid] = offsets[pid];
     });
     machine.superstep(|ctx| {
         let incoming: Vec<(usize, u32)> =
             ctx.msgs().iter().map(|m| (m.src, m.word_u32())).collect();
+        ctx.touch_modify(regions::SAMPLE_OFFSETS);
         for (src, v) in incoming {
             ctx.state.offsets[src] = v;
         }
@@ -358,7 +393,9 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
         let (r, c) = (pid / side, pid % side);
+        ctx.touch_read(regions::SAMPLE_COUNTS);
         let counts = ctx.state.counts.clone();
+        ctx.touch_write(regions::SAMPLE_STASH);
         for t in staggered(c, side) {
             let dst = r * side + t; // (r, t) collects counts for row t
             let block: Vec<u32> = (0..side).map(|cj| counts[t * side + cj]).collect();
@@ -375,6 +412,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
         let (r, x) = (pid / side, pid % side);
         // rowdata[c][cj] = counts of sender (r, c) for bucket (x, cj).
         let mut rowdata = vec![vec![0u32; side]; side];
+        ctx.touch_read(regions::SAMPLE_STASH);
         rowdata[x].copy_from_slice(&ctx.state.stash);
         for msg in ctx.msgs() {
             rowdata[msg.tag as usize].copy_from_slice(&msg.as_u32s());
@@ -407,6 +445,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
             acc += counts_by_src[i];
         }
         // Reverse phase A: send offset blocks back, grouped by source row.
+        ctx.touch_write(regions::SAMPLE_STASH);
         for t in staggered(pid % side, side) {
             let dst = (pid / side) * side + t; // intermediate in my row
             let block: Vec<u32> = (0..side).map(|c| offsets[t * side + c]).collect();
@@ -423,6 +462,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
         let pid = ctx.pid();
         let (r, x) = (pid / side, pid % side);
         let mut per_bucketcol = vec![vec![0u32; side]; side];
+        ctx.touch_read(regions::SAMPLE_STASH);
         per_bucketcol[x].copy_from_slice(&ctx.state.stash);
         for msg in ctx.msgs() {
             per_bucketcol[msg.tag as usize].copy_from_slice(&msg.as_u32s());
@@ -442,6 +482,7 @@ fn multiscan_blocks(machine: &mut Machine<SampleState>, p: usize, side: usize) {
                 offsets[bucket_row * side + bc] = v;
             }
         }
+        ctx.touch_write(regions::SAMPLE_OFFSETS);
         ctx.state.offsets = offsets;
     });
 }
@@ -479,7 +520,9 @@ fn route_padded(machine: &mut Machine<SampleState>, p: usize, side: usize, m: us
     machine.superstep(move |ctx| {
         let pid = ctx.pid();
         let (r, c) = (pid / side, pid % side);
+        ctx.touch_read(regions::SAMPLE_COUNTS);
         let counts = ctx.state.counts.clone();
+        ctx.touch_read(regions::SAMPLE_KEYS);
         let keys = std::mem::take(&mut ctx.state.keys);
         let mut start = vec![0usize; p + 1];
         for j in 0..p {
@@ -559,6 +602,7 @@ fn route_padded(machine: &mut Machine<SampleState>, p: usize, side: usize, m: us
                 .collect();
             let dst = t * side + c;
             if dst == pid {
+                ctx.touch_modify(regions::SAMPLE_BUCKET);
                 for (b, k) in slice {
                     debug_assert_eq!(b as usize, pid);
                     ctx.state.bucket.push(k);
@@ -575,6 +619,7 @@ fn route_padded(machine: &mut Machine<SampleState>, p: usize, side: usize, m: us
         for msg in ctx.msgs() {
             unpack(&mut held, &msg.as_u32s());
         }
+        ctx.touch_modify(regions::SAMPLE_BUCKET);
         for (b, k) in held {
             debug_assert_eq!(b as usize, pid, "key delivered to the wrong bucket");
             ctx.state.bucket.push(k);

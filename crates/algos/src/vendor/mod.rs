@@ -20,6 +20,7 @@ use pcm_machines::Platform;
 use pcm_sim::topology::Grid;
 
 use crate::matmul::local_multiply;
+use crate::regions;
 use crate::run::{RunResult, RunStats};
 use crate::verify::{random_matrix, spot_check_matmul};
 
@@ -40,13 +41,18 @@ const TAG_B: u32 = 1;
 pub const CMSSL_OP_TIME: f64 = 2.0 / 3.5;
 
 /// Replaces the local A/B blocks with whichever shifted blocks arrived.
+/// The two panels arrive on distinct tags; reading each stream through its
+/// own filter lets the race analyzer prove the inboxes never alias.
 fn absorb_shifted(ctx: &mut pcm_sim::Ctx<'_, GridMmState>) {
-    let incoming: Vec<(u32, Vec<f64>)> = ctx.msgs().iter().map(|m| (m.tag, m.as_f64s())).collect();
-    for (tag, vals) in incoming {
-        match tag {
-            TAG_A => ctx.state.a = vals,
-            _ => ctx.state.b = vals,
-        }
+    let a_in: Option<Vec<f64>> = ctx.msgs_tagged(TAG_A).map(|m| m.as_f64s()).last();
+    let b_in: Option<Vec<f64>> = ctx.msgs_tagged(TAG_B).map(|m| m.as_f64s()).last();
+    if let Some(vals) = a_in {
+        ctx.touch_write(regions::VENDOR_A);
+        ctx.state.a = vals;
+    }
+    if let Some(vals) = b_in {
+        ctx.touch_write(regions::VENDOR_B);
+        ctx.state.b = vals;
     }
 }
 
@@ -102,6 +108,7 @@ pub fn maspar_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
             if r >= round {
                 // shift A left by one (torus)
                 let dst = grid.id(r, (c + side - 1) % side);
+                ctx.touch_read(regions::VENDOR_A);
                 let av = ctx.state.a.clone();
                 ctx.send_xnet_f64_tagged(dst, TAG_A, &av);
             }
@@ -111,6 +118,7 @@ pub fn maspar_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
             let (r, c) = grid.coords(ctx.pid());
             if c >= round {
                 let dst = grid.id((r + side - 1) % side, c);
+                ctx.touch_read(regions::VENDOR_B);
                 let bv = ctx.state.b.clone();
                 ctx.send_xnet_f64_tagged(dst, TAG_B, &bv);
             }
@@ -122,6 +130,9 @@ pub fn maspar_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
     // side iterations: multiply-accumulate, then shift A left / B up by 1.
     for step in 0..side {
         machine.superstep(move |ctx| {
+            ctx.touch_read(regions::VENDOR_A);
+            ctx.touch_read(regions::VENDOR_B);
+            ctx.touch_modify(regions::VENDOR_C);
             let st = &mut *ctx.state;
             let mut partial = vec![0.0f64; bs * bs];
             local_multiply(&st.a, &st.b, &mut partial, bs);
@@ -178,6 +189,7 @@ pub fn cmssl_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
             if c == step {
+                ctx.touch_read(regions::VENDOR_A);
                 let av = ctx.state.a.clone();
                 // Unstaggered: every owner walks the row left to right.
                 for t in 0..side {
@@ -187,6 +199,7 @@ pub fn cmssl_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
                 }
             }
             if r == step {
+                ctx.touch_read(regions::VENDOR_B);
                 let bv = ctx.state.b.clone();
                 for t in 0..side {
                     if t != r {
@@ -198,24 +211,27 @@ pub fn cmssl_matmul(platform: &Platform, n: usize, seed: u64) -> RunResult {
         machine.superstep(move |ctx| {
             let pid = ctx.pid();
             let (r, c) = grid.coords(pid);
-            let mut pa = if c == step {
+            let pa = if c == step {
+                ctx.touch_read(regions::VENDOR_A);
                 ctx.state.a.clone()
             } else {
-                Vec::new()
+                ctx.msgs_tagged(TAG_A)
+                    .map(|msg| msg.as_f64s())
+                    .last()
+                    .unwrap_or_default()
             };
-            let mut pb = if r == step {
+            let pb = if r == step {
+                ctx.touch_read(regions::VENDOR_B);
                 ctx.state.b.clone()
             } else {
-                Vec::new()
+                ctx.msgs_tagged(TAG_B)
+                    .map(|msg| msg.as_f64s())
+                    .last()
+                    .unwrap_or_default()
             };
-            for msg in ctx.msgs() {
-                match msg.tag {
-                    TAG_A => pa = msg.as_f64s(),
-                    _ => pb = msg.as_f64s(),
-                }
-            }
             let mut partial = vec![0.0f64; bs * bs];
             local_multiply(&pa, &pb, &mut partial, bs);
+            ctx.touch_modify(regions::VENDOR_C);
             for (acc, v) in ctx.state.c.iter_mut().zip(&partial) {
                 *acc += v;
             }

@@ -20,6 +20,11 @@
 //! where one can be named, the processor involved. `tests/sanitizer.rs` at
 //! the workspace root sweeps every algorithm x machine x (n, p) point
 //! through all three layers.
+//!
+//! A fourth layer lives in its own crate: the **happens-before race &
+//! staleness analyzer** (`pcm-race`) consumes the same validator hook plus
+//! the simulator's shadow-memory events and reports W01–W04 findings
+//! through this crate's [`RuleId`]/[`Violation`] plumbing.
 
 pub mod conformance;
 pub mod determinism;
@@ -31,7 +36,7 @@ pub use conformance::{breach_to_violation, check_conformance, collect_traces};
 pub use determinism::{audit_determinism, digest_traces, Digest};
 pub use discipline::Discipline;
 pub use protocol::{check_protocol, ProtocolChecker};
-pub use rules::{RuleId, Violation};
+pub use rules::{RuleId, Severity, Violation};
 
 /// Renders a violation list for test failure messages: one per line.
 pub fn render(violations: &[Violation]) -> String {

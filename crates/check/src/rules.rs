@@ -2,8 +2,19 @@
 //!
 //! Every check the sanitizer performs has a stable, human-readable rule
 //! id. The ids are grouped by layer: `R` rules come from the runtime
-//! protocol checker, `C` rules from the model-conformance lint, and `D`
-//! rules from the determinism auditor.
+//! protocol checker, `C` rules from the model-conformance lint, `D` rules
+//! from the determinism auditor, and `W` rules from the happens-before
+//! race & staleness analyzer (`pcm-race`).
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A correctness violation: the run's result cannot be trusted.
+    Error,
+    /// A smell worth reporting (wasted communication, fragile patterns)
+    /// that does not by itself invalidate the run.
+    Warning,
+}
 
 /// Stable identifier of one sanitizer rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -35,6 +46,21 @@ pub enum RuleId {
     StateDigest,
     /// The rayon-on and sequential runs produced different traces.
     TraceDigest,
+    /// Two different processors wrote into the same `(destination, tag)`
+    /// cell within one superstep while the algorithm declared exclusive
+    /// writes — the delivered value depends on arrival order.
+    WwRace,
+    /// A processor consumed data whose producing send had not crossed a
+    /// barrier: the matching accessor ran in the producing superstep (or
+    /// the data was dropped unread after an empty-handed read attempt).
+    StaleRead,
+    /// An untagged inbox read observed messages carrying two or more
+    /// distinct tags while the algorithm declared a tagged inbox — two
+    /// logical streams aliased into one read.
+    InboxAlias,
+    /// Data was delivered (or a region written) and then overwritten or
+    /// dropped without ever being read — wasted communication.
+    DeadSend,
 }
 
 impl RuleId {
@@ -53,6 +79,20 @@ impl RuleId {
             RuleId::ContractKind => "C03-contract-kind",
             RuleId::StateDigest => "D01-state-digest",
             RuleId::TraceDigest => "D02-trace-digest",
+            RuleId::WwRace => "W01-ww-race",
+            RuleId::StaleRead => "W02-stale-read",
+            RuleId::InboxAlias => "W03-inbox-alias",
+            RuleId::DeadSend => "W04-dead-send",
+        }
+    }
+
+    /// The severity of a finding under this rule. Everything is an
+    /// [`Severity::Error`] except [`RuleId::DeadSend`], which flags wasted
+    /// (but harmless) communication.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::DeadSend => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 }
@@ -105,6 +145,10 @@ mod tests {
             RuleId::ContractKind,
             RuleId::StateDigest,
             RuleId::TraceDigest,
+            RuleId::WwRace,
+            RuleId::StaleRead,
+            RuleId::InboxAlias,
+            RuleId::DeadSend,
         ];
         let mut ids: Vec<&str> = all.iter().map(|r| r.id()).collect();
         ids.sort_unstable();
@@ -114,6 +158,15 @@ mod tests {
             let id = r.id();
             id.len() > 4 && id.as_bytes()[3] == b'-'
         }));
+    }
+
+    #[test]
+    fn only_dead_send_is_a_warning() {
+        assert_eq!(RuleId::DeadSend.severity(), Severity::Warning);
+        assert_eq!(RuleId::WwRace.severity(), Severity::Error);
+        assert_eq!(RuleId::StaleRead.severity(), Severity::Error);
+        assert_eq!(RuleId::InboxAlias.severity(), Severity::Error);
+        assert_eq!(RuleId::DstRange.severity(), Severity::Error);
     }
 
     #[test]

@@ -237,7 +237,11 @@ impl MasParNetwork {
                 return 0.0;
             }
             let mean = active.iter().sum::<usize>() as f64 / active.len() as f64;
-            let max = *active.iter().max().unwrap() as f64;
+            let max = *active
+                .iter()
+                .max()
+                .expect("active is non-empty: the is_empty early return ran first")
+                as f64;
             0.5 * mean + 0.5 * max
         };
         let load = eff(&in_bytes).max(eff(&out_bytes));

@@ -1,0 +1,164 @@
+//! Superstep vector clocks.
+//!
+//! BSP gives the analyzer an unusually friendly clock structure: within a
+//! superstep all processors are concurrent, and every barrier is a global
+//! synchronization that joins *all* clocks at once. An event is therefore
+//! fully located by an [`Epoch`] `(pid, step)`, and the happens-before
+//! relation collapses to superstep arithmetic:
+//!
+//! * `(q, s) → (r, t)` for `q != r` iff `t > s` (a barrier lies between),
+//! * `(q, s) → (q, t)` iff `t >= s` (program order within a processor).
+//!
+//! The full [`VClock`] is still carried per processor — it records, for
+//! each peer, the latest epoch of that peer whose effects are visible —
+//! because it is what generalizes if the simulator ever grows subset
+//! barriers, and because the checker uses it to decide whether a send's
+//! effects could already be visible to its destination.
+
+/// A point in the run: processor `pid` during superstep `step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// The processor the event ran on.
+    pub pid: usize,
+    /// The superstep it ran in.
+    pub step: usize,
+}
+
+impl Epoch {
+    /// Whether this epoch happens-before `other` (or equals it in program
+    /// order): effects of `self` are visible at `other`.
+    pub fn happens_before(self, other: Epoch) -> bool {
+        if self.pid == other.pid {
+            other.step >= self.step
+        } else {
+            other.step > self.step
+        }
+    }
+}
+
+/// Per-processor vector clock: `clock[q]` is the number of supersteps of
+/// processor `q` whose effects are visible here (i.e. epochs
+/// `(q, s)` with `s < clock[q]` have been joined through barriers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VClock {
+    clock: Vec<usize>,
+}
+
+impl VClock {
+    /// A clock that has seen nothing, for a `p`-processor machine.
+    pub fn new(p: usize) -> Self {
+        VClock { clock: vec![0; p] }
+    }
+
+    /// Number of processors the clock tracks.
+    pub fn len(&self) -> usize {
+        self.clock.len()
+    }
+
+    /// True for a zero-processor clock (never the case in a real machine).
+    pub fn is_empty(&self) -> bool {
+        self.clock.is_empty()
+    }
+
+    /// The component for processor `q`.
+    pub fn get(&self, q: usize) -> usize {
+        self.clock[q]
+    }
+
+    /// Advances own component: processor `pid` has completed superstep
+    /// `step` (components are "next unseen step", so this stores `step+1`).
+    pub fn tick(&mut self, pid: usize, step: usize) {
+        self.clock[pid] = self.clock[pid].max(step + 1);
+    }
+
+    /// Joins another clock in (the barrier operation): componentwise max.
+    pub fn join(&mut self, other: &VClock) {
+        debug_assert_eq!(self.clock.len(), other.clock.len());
+        for (c, o) in self.clock.iter_mut().zip(&other.clock) {
+            *c = (*c).max(*o);
+        }
+    }
+
+    /// Whether the effects of epoch `e` are visible to the owner of this
+    /// clock.
+    pub fn sees(&self, e: Epoch) -> bool {
+        self.clock[e.pid] > e.step
+    }
+}
+
+/// Joins all processors' clocks at a global barrier ending superstep
+/// `step`: every clock first ticks its own component, then all clocks
+/// become the componentwise max — after a BSP barrier everyone has seen
+/// everyone's past.
+pub fn global_barrier(clocks: &mut [VClock], step: usize) {
+    let p = clocks.len();
+    for (pid, c) in clocks.iter_mut().enumerate() {
+        c.tick(pid, step);
+    }
+    let mut joined = VClock::new(p);
+    for c in clocks.iter() {
+        joined.join(c);
+    }
+    for c in clocks.iter_mut() {
+        *c = joined.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_processor_visibility_needs_a_barrier() {
+        let send = Epoch { pid: 1, step: 3 };
+        assert!(!send.happens_before(Epoch { pid: 2, step: 3 }), "same step");
+        assert!(send.happens_before(Epoch { pid: 2, step: 4 }), "next step");
+        assert!(!send.happens_before(Epoch { pid: 2, step: 2 }), "earlier");
+    }
+
+    #[test]
+    fn program_order_is_reflexive() {
+        let e = Epoch { pid: 0, step: 5 };
+        assert!(e.happens_before(e));
+        assert!(e.happens_before(Epoch { pid: 0, step: 6 }));
+        assert!(!e.happens_before(Epoch { pid: 0, step: 4 }));
+    }
+
+    #[test]
+    fn barrier_joins_everyones_past() {
+        let mut clocks: Vec<VClock> = (0..3).map(|_| VClock::new(3)).collect();
+        // During step 0, no one sees anyone's step-0 events.
+        assert!(!clocks[0].sees(Epoch { pid: 1, step: 0 }));
+        global_barrier(&mut clocks, 0);
+        // After the barrier, everyone sees every step-0 event.
+        for c in &clocks {
+            for pid in 0..3 {
+                assert!(c.sees(Epoch { pid, step: 0 }));
+                assert!(!c.sees(Epoch { pid, step: 1 }));
+            }
+        }
+        global_barrier(&mut clocks, 1);
+        assert!(clocks[2].sees(Epoch { pid: 0, step: 1 }));
+    }
+
+    #[test]
+    fn vclock_agrees_with_epoch_arithmetic() {
+        // The collapsed happens-before (superstep arithmetic) must match
+        // what the explicit clocks compute under global barriers.
+        let p = 4;
+        let mut clocks: Vec<VClock> = (0..p).map(|_| VClock::new(p)).collect();
+        for step in 0..3 {
+            global_barrier(&mut clocks, step);
+        }
+        // Clocks now sit at the start of step 3.
+        let here = 3usize;
+        for q in 0..p {
+            for s in 0..5 {
+                let e = Epoch { pid: q, step: s };
+                let visible = clocks[0].sees(e);
+                let arithmetic = s < here;
+                assert_eq!(visible, arithmetic, "epoch ({q},{s}) at step {here}");
+            }
+        }
+    }
+}

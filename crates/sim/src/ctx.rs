@@ -1,11 +1,12 @@
 //! Per-processor execution context for one superstep.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use rand::rngs::StdRng;
 
 use crate::compute::ComputeModel;
 use crate::message::{encode_f64s, encode_u32s, encode_u64s, Message, MsgKind, ProcId};
+use crate::shadow::{ConsumeFilter, RegionId, ShadowEvent};
 
 /// What one processor produced in one superstep, as returned by
 /// [`Ctx::finish`]: the ordered outbox, the charged compute time, and the
@@ -19,6 +20,8 @@ pub(crate) struct ProcOutcome {
     pub read_inbox: bool,
     /// Destinations `>= p` whose messages were recorded and dropped.
     pub oob_sends: Vec<usize>,
+    /// Shadow events, in program order (empty unless validated).
+    pub events: Vec<ShadowEvent>,
 }
 
 /// The view a virtual processor has during one superstep: its id, its
@@ -43,6 +46,10 @@ pub struct Ctx<'a, S> {
     /// `true` when a validator observes this run (softens fail-fast
     /// asserts into recorded violations).
     validated: bool,
+    /// Shadow-event stream for the happens-before analyzer; only populated
+    /// when validated. Interior mutability because the `msgs*` accessors
+    /// take `&self`.
+    events: RefCell<Vec<ShadowEvent>>,
     rng: StdRng,
 }
 
@@ -71,6 +78,7 @@ impl<'a, S> Ctx<'a, S> {
             read_inbox: Cell::new(false),
             oob_sends: Vec::new(),
             validated,
+            events: RefCell::new(Vec::new()),
             rng,
         }
     }
@@ -145,24 +153,86 @@ impl<'a, S> Ctx<'a, S> {
         self.compute_us
     }
 
+    // ---- shadow instrumentation -----------------------------------------
+
+    /// Records a shadow event if a validator observes this run; free
+    /// otherwise.
+    fn record(&self, event: ShadowEvent) {
+        if self.validated {
+            self.events.borrow_mut().push(event);
+        }
+    }
+
+    /// Records a consume of the inbox through `filter`, summarizing what
+    /// the filter matched. Computed eagerly at accessor-call time so the
+    /// analyzer sees the consume even if the returned iterator is dropped.
+    fn record_consume(&self, filter: ConsumeFilter) {
+        if !self.validated {
+            return;
+        }
+        let mut matched = 0usize;
+        let mut tags: Vec<u32> = Vec::new();
+        for m in self.inbox {
+            let hit = match filter {
+                ConsumeFilter::Any => true,
+                ConsumeFilter::Tag(t) => m.tag == t,
+                ConsumeFilter::From(s) => m.src == s,
+            };
+            if hit {
+                matched += 1;
+                if !tags.contains(&m.tag) {
+                    tags.push(m.tag);
+                }
+            }
+        }
+        self.events.borrow_mut().push(ShadowEvent::Consume {
+            filter,
+            matched,
+            distinct_tags: tags.len(),
+        });
+    }
+
+    /// Declares that the processor read private region `region` this
+    /// superstep. A no-op unless a validator is installed; the happens-before
+    /// analyzer (`pcm-race`) uses these to track dataflow through local
+    /// state.
+    pub fn touch_read(&self, region: RegionId) {
+        self.record(ShadowEvent::Read { region });
+    }
+
+    /// Declares that the processor overwrote private region `region`
+    /// (discarding its previous contents) this superstep.
+    pub fn touch_write(&self, region: RegionId) {
+        self.record(ShadowEvent::Write { region });
+    }
+
+    /// Declares a read-modify-write of region `region` (append,
+    /// accumulate): the previous contents are consumed, not discarded.
+    pub fn touch_modify(&self, region: RegionId) {
+        self.record(ShadowEvent::Modify { region });
+    }
+
     // ---- receiving -------------------------------------------------------
 
     /// Messages delivered at the previous barrier, ordered by source id and
     /// then by send order.
     pub fn msgs(&self) -> &[Message] {
         self.read_inbox.set(true);
+        self.record_consume(ConsumeFilter::Any);
         self.inbox
     }
 
     /// Messages from a particular source.
     pub fn msgs_from(&self, src: ProcId) -> impl Iterator<Item = &Message> {
         self.read_inbox.set(true);
+        self.record_consume(ConsumeFilter::From(src));
         self.inbox.iter().filter(move |m| m.src == src)
     }
 
     /// Messages carrying a particular tag.
     pub fn msgs_tagged(&self, tag: u32) -> impl Iterator<Item = &Message> {
         self.read_inbox.set(true);
+        self.record_consume(ConsumeFilter::Tag(tag));
         self.inbox.iter().filter(move |m| m.tag == tag)
     }
 
@@ -322,6 +392,7 @@ impl<'a, S> Ctx<'a, S> {
             charge_ok: self.charge_ok && self.compute_us.is_finite(),
             read_inbox: self.read_inbox.get(),
             oob_sends: self.oob_sends,
+            events: self.events.into_inner(),
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod machine;
 pub mod message;
 pub mod network;
 pub mod pattern;
+pub mod shadow;
 pub mod topology;
 pub mod trace;
 pub mod validate;
@@ -35,5 +36,6 @@ pub use machine::Machine;
 pub use message::{Message, MsgKind, ProcId};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
 pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
+pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};
 pub use trace::{RunBreakdown, SuperstepTrace};
 pub use validate::{with_sequential, with_validator, RunReport, StepReport, Validator};

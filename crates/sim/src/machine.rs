@@ -43,6 +43,7 @@ use crate::ctx::{Ctx, ProcOutcome};
 use crate::message::Message;
 use crate::network::NetworkModel;
 use crate::pattern::CommPattern;
+use crate::shadow::{SendMeta, ShadowEvent};
 use crate::trace::{RunBreakdown, SuperstepTrace};
 use crate::validate::{self, RunReport, StepReport, Validator};
 
@@ -196,6 +197,7 @@ impl<S: Send> Machine<S> {
         let mut charge_ok: Vec<bool> = Vec::with_capacity(p);
         let mut read_flags: Vec<bool> = Vec::with_capacity(p);
         let mut oob_sends: Vec<Vec<usize>> = Vec::with_capacity(p);
+        let mut events: Vec<Vec<ShadowEvent>> = Vec::with_capacity(p);
         let mut max_compute = 0.0f64;
         for outcome in results {
             max_compute = max_compute.max(outcome.compute_us);
@@ -203,6 +205,7 @@ impl<S: Send> Machine<S> {
             charge_ok.push(outcome.charge_ok);
             read_flags.push(outcome.read_inbox);
             oob_sends.push(outcome.oob_sends);
+            events.push(outcome.events);
             outboxes.push(outcome.outbox);
         }
 
@@ -246,6 +249,20 @@ impl<S: Send> Machine<S> {
 
         if let Some(validator) = self.validator.as_mut() {
             let inbox_count: Vec<usize> = self.inboxes.iter().map(Vec::len).collect();
+            let sends: Vec<Vec<SendMeta>> = outboxes
+                .iter()
+                .map(|outbox| {
+                    outbox
+                        .iter()
+                        .map(|m| SendMeta {
+                            dst: m.dst,
+                            tag: m.tag,
+                            kind: m.kind,
+                            words: m.logical_words,
+                        })
+                        .collect()
+                })
+                .collect();
             validator.check_step(&StepReport {
                 step,
                 p,
@@ -255,6 +272,8 @@ impl<S: Send> Machine<S> {
                 inbox_count: &inbox_count,
                 inbox_read: &read_flags,
                 oob_sends: &oob_sends,
+                events: &events,
+                sends: &sends,
                 compute: compute_time,
                 comm,
             });

@@ -76,7 +76,9 @@ impl Message {
         );
         self.data
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                u64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte slices"))
+            })
             .collect()
     }
 
@@ -88,18 +90,34 @@ impl Message {
         );
         self.data
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                f64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte slices"))
+            })
             .collect()
     }
 
     /// The first `u32` of the payload — convenient for single-word messages.
+    ///
+    /// # Panics
+    /// Panics if the payload is shorter than 4 bytes.
     pub fn word_u32(&self) -> u32 {
-        u32::from_le_bytes(self.data[..4].try_into().expect("payload too short"))
+        u32::from_le_bytes(
+            self.data[..4]
+                .try_into()
+                .expect("word_u32 requires a payload of at least one u32 (4 bytes)"),
+        )
     }
 
     /// The first `f64` of the payload.
+    ///
+    /// # Panics
+    /// Panics if the payload is shorter than 8 bytes.
     pub fn word_f64(&self) -> f64 {
-        f64::from_le_bytes(self.data[..8].try_into().expect("payload too short"))
+        f64::from_le_bytes(
+            self.data[..8]
+                .try_into()
+                .expect("word_f64 requires a payload of at least one f64 (8 bytes)"),
+        )
     }
 }
 

@@ -19,6 +19,7 @@ use std::rc::Rc;
 use pcm_core::SimTime;
 
 use crate::pattern::CommPattern;
+use crate::shadow::{SendMeta, ShadowEvent};
 
 /// Everything the machine knows about one executed superstep, handed to
 /// the installed [`Validator`] *after* pricing but *before* the next
@@ -43,6 +44,13 @@ pub struct StepReport<'a> {
     pub inbox_read: &'a [bool],
     /// Per-processor list of dropped out-of-range destinations.
     pub oob_sends: &'a [Vec<usize>],
+    /// Per-processor shadow events (region touches and inbox consumes) in
+    /// program order. Empty vectors on unvalidated runs never reach a
+    /// validator, so these are always live data.
+    pub events: &'a [Vec<ShadowEvent>],
+    /// Per-processor metadata of every deliverable message sent this
+    /// superstep, in send order (out-of-range and empty sends excluded).
+    pub sends: &'a [Vec<SendMeta>],
     /// Compute time the superstep contributed to the clock.
     pub compute: SimTime,
     /// Communication time the superstep contributed to the clock.
@@ -224,6 +232,98 @@ mod tests {
         let mut m = machine(8);
         m.superstep(|ctx| ctx.charge(ctx.pid() as f64));
         assert_eq!(t1, m.time());
+    }
+
+    /// Cross-checks `StepReport` fields against each other on every step:
+    /// the inbox counts of step `s` must equal the per-destination
+    /// deliverable send counts of step `s-1`, `inbox_read` must agree with
+    /// the presence of `Consume` shadow events, and the pattern's message
+    /// total must equal the flattened send count.
+    struct CountingValidator {
+        prev_sends_per_dst: Vec<usize>,
+        steps_seen: Rc<Cell<usize>>,
+    }
+
+    impl Validator for CountingValidator {
+        fn check_step(&mut self, r: &StepReport<'_>) {
+            assert_eq!(
+                r.inbox_count,
+                &self.prev_sends_per_dst[..],
+                "step {}: inbox counts must match the previous step's sends",
+                r.step
+            );
+            // Recompute the pattern's logical message count `M` from the
+            // send metadata: a Words send is priced per word, a block once.
+            let sent_total: usize = r
+                .sends
+                .iter()
+                .flatten()
+                .map(|s| match s.kind {
+                    crate::message::MsgKind::Words => s.words,
+                    crate::message::MsgKind::Block | crate::message::MsgKind::Xnet => 1,
+                })
+                .sum();
+            assert_eq!(
+                r.pattern.total_messages(),
+                sent_total,
+                "step {}: priced pattern disagrees with the send metadata",
+                r.step
+            );
+            for pid in 0..r.p {
+                let consumed = r.events[pid]
+                    .iter()
+                    .any(|e| matches!(e, ShadowEvent::Consume { .. }));
+                assert_eq!(
+                    r.inbox_read[pid], consumed,
+                    "step {} pid {pid}: inbox_read flag vs Consume events",
+                    r.step
+                );
+            }
+            let mut per_dst = vec![0usize; r.p];
+            for sends in r.sends {
+                for s in sends {
+                    per_dst[s.dst] += 1;
+                }
+            }
+            self.prev_sends_per_dst = per_dst;
+            self.steps_seen.set(self.steps_seen.get() + 1);
+        }
+
+        fn finish(&mut self, _r: &RunReport<'_>) {}
+    }
+
+    #[test]
+    fn step_report_fields_are_mutually_consistent() {
+        let steps_seen = Rc::new(Cell::new(0usize));
+        let counter = steps_seen.clone();
+        with_validator(
+            move |p| {
+                Box::new(CountingValidator {
+                    prev_sends_per_dst: vec![0; p],
+                    steps_seen: counter.clone(),
+                })
+            },
+            || {
+                let mut m = machine(4);
+                // An uneven pattern: 0 fans out, 3 stays silent.
+                m.superstep(|ctx| {
+                    if ctx.pid() == 0 {
+                        ctx.send_words_u32(1, &[1, 2]);
+                        ctx.send_word_u32(2, 3);
+                    }
+                });
+                m.superstep(|ctx| {
+                    if ctx.pid() <= 2 {
+                        let n = u32::try_from(ctx.msgs().len()).unwrap();
+                        ctx.send_word_u32(3, n);
+                    }
+                });
+                m.superstep(|ctx| {
+                    let _ = ctx.msgs_tagged(0).count();
+                });
+            },
+        );
+        assert_eq!(steps_seen.get(), 3, "validator observed every superstep");
     }
 
     #[test]

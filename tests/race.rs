@@ -1,0 +1,291 @@
+//! Happens-before sweep: every algorithm x machine x (n, p) grid point
+//! runs under the `pcm-race` analyzer with the [`RaceConfig`] the
+//! algorithm has signed up for:
+//!
+//! * `exclusive` — single writer per `(dst, tag)` cell, tag-separated
+//!   streams (bitonic, LU, the vendor kernels);
+//! * `exclusive-dispatch` — single writer, but the receiver decodes tags
+//!   from the messages (APSP's dynamic `2·idx+axis` tag space, the
+//!   collectives' pid-tagged gathers);
+//! * `queued-tagged` — declared fan-in per cell, streams still
+//!   tag-separated (matmul's slab gathers, radix's count managers);
+//! * `queued` — fan-in with dynamic dispatch (sample sort's bucket
+//!   routing).
+//!
+//! Any W01 (write-write race), W02 (stale read) or W03 (inbox aliasing)
+//! finding fails the sweep with the rendered report; W04 dead-send
+//! warnings are tolerated — they grade efficiency, not correctness.
+
+use std::sync::Arc;
+
+use pcm::algos::apsp::{self, ApspVariant};
+use pcm::algos::lu::{self, LuVariant};
+use pcm::algos::matmul::{self, MatmulVariant};
+use pcm::algos::primitives::collectives;
+use pcm::algos::sort::bitonic::{self, ExchangeMode};
+use pcm::algos::sort::parallel_radix::{self, RadixVariant};
+use pcm::algos::sort::sample::{self, SampleVariant};
+use pcm::algos::vendor;
+use pcm::algos::RunResult;
+use pcm::Platform;
+use pcm_check::render;
+use pcm_race::{check_races, errors, RaceConfig};
+use pcm_sim::{IdealNetwork, Machine, UniformCompute};
+
+const SEED: u64 = 2026;
+
+/// The three simulated machines, scaled to `p` processors.
+fn machines(p: usize) -> Vec<Platform> {
+    vec![
+        Platform::maspar_with(p),
+        Platform::gcel_with(p),
+        Platform::cm5_with(p),
+    ]
+}
+
+/// Runs one sweep point under the analyzer and fails on any error-grade
+/// finding.
+fn race_check(label: &str, config: RaceConfig, run: impl FnOnce() -> RunResult) {
+    let (result, violations) = check_races(config, run);
+    assert!(result.verified, "{label}: result failed verification");
+    let errs = errors(&violations);
+    assert!(
+        errs.is_empty(),
+        "{label}: race findings under '{}':\n{}",
+        config.name,
+        render(&violations)
+    );
+}
+
+#[test]
+fn sweep_matmul() {
+    // Every slab gather has q sources per (dst, tag) cell, folded by
+    // sender coordinate: declared fan-in, tag-separated streams.
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for variant in [
+                MatmulVariant::BspNaive,
+                MatmulVariant::BspStaggered,
+                MatmulVariant::Bpram,
+            ] {
+                let label = format!("matmul {variant:?} n={n} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::queued_tagged(), || {
+                    matmul::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_bitonic() {
+    // One partner per exchange step: strictest config.
+    for (m, p) in [(16, 16), (24, 64)] {
+        for plat in machines(p) {
+            for mode in [
+                ExchangeMode::Words,
+                ExchangeMode::WordsResync { interval: 8 },
+                ExchangeMode::Packets { bytes: 16 },
+                ExchangeMode::Block,
+            ] {
+                let label = format!("bitonic {mode:?} m={m} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::exclusive(), || {
+                    bitonic::run(&plat, m, mode, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_samplesort() {
+    // Bucket routing fans keys from every source into each destination
+    // and the receiver folds the queue order-insensitively.
+    for (m, p) in [(16, 16), (24, 64)] {
+        for plat in machines(p) {
+            for variant in [
+                SampleVariant::BspWords,
+                SampleVariant::Bpram,
+                SampleVariant::BpramStaggered,
+            ] {
+                let label = format!("samplesort {variant:?} m={m} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::queued(), || {
+                    sample::run(&plat, m, 2, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_apsp() {
+    // Single writer per cell, but piece tags (`2·idx+axis`) are decoded
+    // by the receiver from an untagged read.
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for variant in [ApspVariant::Words, ApspVariant::Blocks] {
+                let label = format!("apsp {variant:?} n={n} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::exclusive_dispatch(), || {
+                    apsp::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_lu() {
+    // Pivot, L-panel and U-panel travel on distinct tags with one owner
+    // each, read through `msgs_tagged` filters.
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            for variant in [LuVariant::Words, LuVariant::Blocks] {
+                let label = format!("lu {variant:?} n={n} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::exclusive(), || {
+                    lu::run(&plat, n, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_parallel_radix() {
+    // Count slices from every processor fan into each bucket manager on
+    // one tag.
+    for (m, p) in [(32, 16), (16, 64)] {
+        for plat in machines(p) {
+            for variant in [RadixVariant::Words, RadixVariant::Blocks] {
+                let label = format!("radix {variant:?} m={m} on {} p={p}", plat.name());
+                race_check(&label, RaceConfig::queued_tagged(), || {
+                    parallel_radix::run(&plat, m, variant, SEED)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_vendor() {
+    // Cannon/SUMMA shift at most one A and one B panel per step, read
+    // through per-tag filters.
+    for (n, p) in [(8, 16), (16, 64)] {
+        for plat in machines(p) {
+            let label = format!("maspar_matmul n={n} on {} p={p}", plat.name());
+            race_check(&label, RaceConfig::exclusive(), || {
+                vendor::maspar_matmul(&plat, n, SEED)
+            });
+            let label = format!("cmssl_matmul n={n} on {} p={p}", plat.name());
+            race_check(&label, RaceConfig::exclusive(), || {
+                vendor::cmssl_matmul(&plat, n, SEED)
+            });
+        }
+    }
+}
+
+#[test]
+fn sweep_collectives() {
+    for p in [16, 64] {
+        for plat in machines(p) {
+            // Broadcast re-broadcasts pid-tagged pieces that the assembly
+            // step decodes from an untagged read.
+            let label = format!("broadcast on {} p={p}", plat.name());
+            let ((), violations) = check_races(RaceConfig::exclusive_dispatch(), || {
+                let data: Vec<Vec<u32>> = (0..p)
+                    .map(|i| if i == 1 { (0..16).collect() } else { vec![] })
+                    .collect();
+                let mut m = collectives::machine_with(&plat, data, SEED);
+                collectives::broadcast(&mut m, 1);
+            });
+            assert!(
+                errors(&violations).is_empty(),
+                "{label}:\n{}",
+                render(&violations)
+            );
+
+            let label = format!("all_gather on {} p={p}", plat.name());
+            let ((), violations) = check_races(RaceConfig::exclusive_dispatch(), || {
+                let data: Vec<Vec<u32>> = (0..u32::try_from(p).unwrap())
+                    .map(|i| vec![i, i + 1])
+                    .collect();
+                let mut m = collectives::machine_with(&plat, data, SEED);
+                collectives::all_gather(&mut m);
+            });
+            assert!(
+                errors(&violations).is_empty(),
+                "{label}:\n{}",
+                render(&violations)
+            );
+
+            // Multi-scan funnels untagged count words from every source
+            // into each component owner.
+            let label = format!("multi_scan on {} p={p}", plat.name());
+            let ((), violations) = check_races(RaceConfig::queued(), || {
+                let data: Vec<Vec<u32>> = (0..p)
+                    .map(|i| (0..p).map(|j| u32::try_from(i + j).unwrap()).collect())
+                    .collect();
+                let mut m = collectives::machine_with(&plat, data, SEED);
+                collectives::multi_scan(&mut m);
+            });
+            assert!(
+                errors(&violations).is_empty(),
+                "{label}:\n{}",
+                render(&violations)
+            );
+        }
+    }
+}
+
+/// A deliberately broken kernel: the reader consumes its inbox in the
+/// *same* superstep as the send — the barrier that would publish the data
+/// has been removed. The analyzer must flag the stale read.
+#[test]
+fn broken_fixture_missing_barrier_is_detected() {
+    let ((), violations) = check_races(RaceConfig::exclusive(), || {
+        let mut m = Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![0u32; 4],
+            SEED,
+        );
+        m.superstep(|ctx| {
+            if ctx.pid() == 0 {
+                ctx.send_word_u32(1, 42);
+            } else if ctx.pid() == 1 {
+                // BUG: reads before the barrier delivers — observes nothing.
+                assert!(ctx.msgs().is_empty());
+            }
+        });
+        // The run ends here; the delivery dies unread.
+    });
+    let errs = errors(&violations);
+    assert!(
+        errs.iter().any(|v| v.rule == pcm_check::RuleId::StaleRead),
+        "expected a W02 stale-read finding, got:\n{}",
+        render(&violations)
+    );
+}
+
+/// The same kernel with the barrier restored is clean.
+#[test]
+fn fixed_fixture_with_barrier_is_clean() {
+    let ((), violations) = check_races(RaceConfig::exclusive(), || {
+        let mut m = Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![0u32; 4],
+            SEED,
+        );
+        m.superstep(|ctx| {
+            if ctx.pid() == 0 {
+                ctx.send_word_u32(1, 42);
+            }
+        });
+        m.superstep(|ctx| {
+            if ctx.pid() == 1 {
+                assert_eq!(ctx.msgs().len(), 1);
+            }
+        });
+    });
+    assert!(violations.is_empty(), "{}", render(&violations));
+}
