@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden fmt clippy
+.PHONY: ci build test sanitize race golden fmt clippy bench bench-smoke
 
 ci: build test fmt clippy
 
@@ -18,6 +18,15 @@ race:
 
 golden:
 	cargo test -q --test golden
+
+# Criterion suites plus the recorded throughput report (BENCH_simulator.json).
+bench:
+	cargo bench
+	cargo run --release -p pcm-bench --bin bench-report
+
+# Fast sanity pass over every bench kernel; writes no report.
+bench-smoke:
+	cargo run --release -p pcm-bench --bin bench-report -- --smoke
 
 fmt:
 	cargo fmt --check

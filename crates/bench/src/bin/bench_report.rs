@@ -1,0 +1,485 @@
+//! `bench-report`: pinned-size simulator-throughput benchmarks with a
+//! machine-readable JSON report.
+//!
+//! Unlike the criterion benches (which explore), this binary *records*: it
+//! runs a fixed suite — superstep dispatch, word exchange, per-machine
+//! route pricing, the delta router, and two figure kernels — at pinned
+//! sizes and writes `BENCH_simulator.json` with median ns/iter, message
+//! throughput, the commit hash and the run configuration. Passing
+//! `--baseline <old.json>` embeds the old numbers and the per-bench
+//! speedup, so the perf trajectory of the superstep hot path is tracked
+//! in-repo instead of in commit messages.
+//!
+//! Usage:
+//!   bench-report [--smoke] [--out FILE] [--baseline FILE]
+//!
+//! `--smoke` runs a tiny pinned subset (CI keeps it under a few seconds);
+//! it writes no file unless `--out` is given explicitly.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pcm_algos::matmul::{self, MatmulVariant};
+use pcm_algos::sort::bitonic::{self, ExchangeMode};
+use pcm_core::rng::{random_permutation, seeded};
+use pcm_machines::maspar::router::DeltaRouter;
+use pcm_machines::Platform;
+use pcm_sim::{IdealNetwork, Machine, Message, UniformCompute};
+
+const SEED: u64 = 77;
+
+/// One recorded measurement.
+struct BenchResult {
+    name: String,
+    ns_per_iter: f64,
+    samples: usize,
+    /// Logical messages simulated per iteration (0 when not meaningful).
+    msgs_per_iter: usize,
+}
+
+impl BenchResult {
+    fn msgs_per_sec(&self) -> f64 {
+        if self.msgs_per_iter == 0 || self.ns_per_iter <= 0.0 {
+            0.0
+        } else {
+            self.msgs_per_iter as f64 * 1e9 / self.ns_per_iter
+        }
+    }
+}
+
+struct Config {
+    smoke: bool,
+    samples: usize,
+    warmup_iters: usize,
+    /// Target wall-clock per sample, in ns.
+    sample_target_ns: u128,
+}
+
+impl Config {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Config {
+                smoke,
+                samples: 3,
+                warmup_iters: 2,
+                sample_target_ns: 2_000_000, // 2 ms
+            }
+        } else {
+            Config {
+                smoke,
+                samples: 9,
+                warmup_iters: 5,
+                sample_target_ns: 40_000_000, // 40 ms
+            }
+        }
+    }
+}
+
+/// Measures `f` and returns the median ns per iteration: warmup, then
+/// `samples` batches sized so each batch runs ~`sample_target_ns`.
+fn measure<F: FnMut()>(cfg: &Config, mut f: F) -> (f64, usize) {
+    for _ in 0..cfg.warmup_iters {
+        f();
+    }
+    // Size the batch from a single timed iteration.
+    let t0 = Instant::now();
+    f();
+    let one = t0.elapsed().as_nanos().max(1);
+    let batch = ((cfg.sample_target_ns / one).clamp(1, 100_000)) as usize;
+
+    let mut medians: Vec<f64> = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        medians.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    (medians[medians.len() / 2], cfg.samples)
+}
+
+fn noop_superstep(cfg: &Config, p: usize) -> BenchResult {
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u64; p],
+        1,
+    );
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || m.superstep(|ctx| ctx.charge(1.0)));
+    BenchResult {
+        name: format!("noop_superstep/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: 0,
+    }
+}
+
+/// Every processor sends one 4-word `u32` message (16 bytes — the inline
+/// payload boundary) to a fixed permutation partner and reads its inbox.
+fn word_exchange(cfg: &Config, p: usize) -> BenchResult {
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u32; p],
+        1,
+    );
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || {
+        m.superstep(|ctx| {
+            let dst = (ctx.pid() * 7 + 3) % ctx.nprocs();
+            let v = *ctx.state;
+            ctx.send_words_u32(dst, &[v, v + 1, v + 2, v + 3]);
+            *ctx.state = ctx.msgs().iter().map(Message::word_u32).sum();
+        });
+    });
+    BenchResult {
+        name: format!("word_exchange/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p * 4,
+    }
+}
+
+/// End-to-end priced superstep on a real machine model (default sizes:
+/// MasPar 1024, GCel 64, CM-5 64) — the per-machine route cost.
+fn priced_superstep(cfg: &Config, plat: &Platform) -> BenchResult {
+    let p = plat.p();
+    let mut m = plat.machine(vec![0u8; p], 2);
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || {
+        m.superstep(|ctx| {
+            let dst = (ctx.pid() * 7 + 3) % ctx.nprocs();
+            ctx.send_words_u32(dst, &[1, 2, 3, 4]);
+        });
+    });
+    BenchResult {
+        name: format!("priced_superstep/{}", plat.name()),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p * 4,
+    }
+}
+
+fn delta_router(cfg: &Config, p: usize) -> BenchResult {
+    let router = DeltaRouter::new(p);
+    let perm = random_permutation(p, &mut seeded(3));
+    let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(router.route(&sends));
+    });
+    BenchResult {
+        name: format!("delta_router_permutation/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+    }
+}
+
+fn figure_kernels(cfg: &Config) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let keys = if cfg.smoke { 16 } else { 64 };
+    let maspar = Platform::maspar();
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(bitonic::run(&maspar, keys, ExchangeMode::Words, SEED));
+    });
+    out.push(BenchResult {
+        name: format!("figure_kernel/bitonic_maspar_words/{keys}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: 0,
+    });
+
+    let n = if cfg.smoke { 32 } else { 128 };
+    let cm5 = Platform::cm5();
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(matmul::run(&cm5, n, MatmulVariant::BspNaive, SEED));
+    });
+    out.push(BenchResult {
+        name: format!("figure_kernel/matmul_cm5_naive/{n}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: 0,
+    });
+    out
+}
+
+fn run_suite(cfg: &Config) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let sizes: &[usize] = if cfg.smoke { &[64] } else { &[64, 256, 1024] };
+    for &p in sizes {
+        eprintln!("  noop_superstep/{p} ...");
+        results.push(noop_superstep(cfg, p));
+    }
+    for &p in sizes {
+        eprintln!("  word_exchange/{p} ...");
+        results.push(word_exchange(cfg, p));
+    }
+    let platforms = if cfg.smoke {
+        vec![Platform::cm5()]
+    } else {
+        vec![Platform::maspar(), Platform::gcel(), Platform::cm5()]
+    };
+    for plat in &platforms {
+        eprintln!("  priced_superstep/{} ...", plat.name());
+        results.push(priced_superstep(cfg, plat));
+    }
+    let router_p = if cfg.smoke { 64 } else { 1024 };
+    eprintln!("  delta_router_permutation/{router_p} ...");
+    results.push(delta_router(cfg, router_p));
+    eprintln!("  figure kernels ...");
+    results.extend(figure_kernels(cfg));
+    results
+}
+
+/// The benches whose median speedup defines the simulator-throughput
+/// acceptance number: ns/superstep at p in {64, 256, 1024}.
+fn is_throughput_bench(name: &str) -> bool {
+    name.starts_with("noop_superstep/") || name.starts_with("word_exchange/")
+}
+
+// ---- minimal JSON output (the workspace has no serde) -------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts `"key": <number>` from our own flat report format, scanning
+/// forward from `from`. Good enough to read back a file this binary wrote.
+fn find_number(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().map(|v| (v, at))
+}
+
+fn find_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = text.find(&needle)? + needle.len();
+    let end = text[at..].find('"')?;
+    Some(text[at..at + end].to_string())
+}
+
+struct Baseline {
+    commit: String,
+    benches: Vec<(String, f64)>,
+}
+
+fn parse_baseline(text: &str) -> Baseline {
+    let mut benches = Vec::new();
+    // Every bench entry looks like: "name": { "ns_per_iter": N, ... }
+    let mut cursor = match text.find("\"benches\":") {
+        Some(i) => i,
+        None => {
+            return Baseline {
+                commit: String::from("unknown"),
+                benches,
+            }
+        }
+    };
+    // Stop scanning at the (optional) baseline block of the old file so we
+    // don't pick up *its* grandparent numbers.
+    let stop = text[cursor..]
+        .find("\"baseline\":")
+        .map_or(text.len(), |i| cursor + i);
+    while let Some(open) = text[cursor..stop].find("\": { \"ns_per_iter\":") {
+        // `entry_at` sits on the quote closing the bench name; the name
+        // runs from just after the previous quote.
+        let entry_at = cursor + open;
+        let name_start = text[..entry_at].rfind('"').map(|i| i + 1).unwrap_or(0);
+        let name = text[name_start..entry_at].to_string();
+        if let Some((v, next)) = find_number(text, "ns_per_iter", entry_at) {
+            benches.push((name, v));
+            cursor = next;
+        } else {
+            break;
+        }
+    }
+    Baseline {
+        commit: find_string(text, "commit").unwrap_or_else(|| String::from("unknown")),
+        benches,
+    }
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+fn render_report(cfg: &Config, results: &[BenchResult], baseline: Option<&Baseline>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pcm-bench-report/v1\",\n");
+    s.push_str(&format!(
+        "  \"commit\": \"{}\",\n",
+        json_escape(&git_commit())
+    ));
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    s.push_str(&format!("  \"unix_time\": {epoch},\n"));
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    s.push_str(&format!(
+        "  \"config\": {{ \"profile\": \"release\", \"threads\": {threads}, \"samples\": {}, \"warmup_iters\": {}, \"smoke\": {} }},\n",
+        cfg.samples, cfg.warmup_iters, cfg.smoke
+    ));
+    s.push_str("  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        if r.msgs_per_iter > 0 {
+            s.push_str(&format!(
+                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {}, \"msgs_per_sec\": {:.0} }}{comma}\n",
+                json_escape(&r.name), r.ns_per_iter, r.samples, r.msgs_per_sec()
+            ));
+        } else {
+            s.push_str(&format!(
+                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {} }}{comma}\n",
+                json_escape(&r.name),
+                r.ns_per_iter,
+                r.samples
+            ));
+        }
+    }
+    s.push_str("  }");
+    if let Some(base) = baseline {
+        s.push_str(",\n  \"baseline\": {\n");
+        s.push_str(&format!(
+            "    \"commit\": \"{}\",\n",
+            json_escape(&base.commit)
+        ));
+        s.push_str("    \"benches\": {\n");
+        for (i, (name, ns)) in base.benches.iter().enumerate() {
+            let comma = if i + 1 == base.benches.len() { "" } else { "," };
+            s.push_str(&format!(
+                "      \"{}\": {{ \"ns_per_iter\": {ns:.1} }}{comma}\n",
+                json_escape(name)
+            ));
+        }
+        s.push_str("    }\n  },\n");
+        s.push_str("  \"speedup\": {\n");
+        let speedups = speedups(results, base);
+        let mut throughput: Vec<f64> = Vec::new();
+        for (name, factor) in &speedups {
+            if is_throughput_bench(name) {
+                throughput.push(*factor);
+            }
+            s.push_str(&format!("    \"{}\": {factor:.2},\n", json_escape(name)));
+        }
+        throughput.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if throughput.is_empty() {
+            0.0
+        } else {
+            throughput[throughput.len() / 2]
+        };
+        s.push_str(&format!(
+            "    \"simulator_throughput_median\": {median:.2}\n  }}"
+        ));
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+fn speedups(results: &[BenchResult], base: &Baseline) -> Vec<(String, f64)> {
+    results
+        .iter()
+        .filter_map(|r| {
+            base.benches
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|(_, old)| (r.name.clone(), old / r.ns_per_iter))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench-report [--smoke] [--out FILE] [--baseline FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = Config::new(smoke);
+    eprintln!(
+        "bench-report: running {} suite ...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = run_suite(&cfg);
+
+    let baseline = baseline_path.map(|p| {
+        let text =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        parse_baseline(&text)
+    });
+
+    println!("{:<44} {:>14} {:>16}", "bench", "ns/iter", "msgs/sec");
+    for r in &results {
+        let msgs = if r.msgs_per_iter > 0 {
+            format!("{:.0}", r.msgs_per_sec())
+        } else {
+            String::from("-")
+        };
+        println!("{:<44} {:>14.1} {:>16}", r.name, r.ns_per_iter, msgs);
+    }
+    if let Some(base) = &baseline {
+        println!("\nspeedup vs baseline ({}):", base.commit);
+        let sp = speedups(&results, base);
+        let mut throughput: Vec<f64> = Vec::new();
+        for (name, factor) in &sp {
+            if is_throughput_bench(name) {
+                throughput.push(*factor);
+            }
+            println!("{name:<44} {factor:>10.2}x");
+        }
+        throughput.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if !throughput.is_empty() {
+            println!(
+                "{:<44} {:>10.2}x",
+                "simulator-throughput median",
+                throughput[throughput.len() / 2]
+            );
+        }
+    }
+
+    let report = render_report(&cfg, &results, baseline.as_ref());
+    let default_out = if smoke {
+        None
+    } else {
+        Some(String::from("BENCH_simulator.json"))
+    };
+    if let Some(path) = out_path.or(default_out) {
+        std::fs::write(&path, report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("bench-report: wrote {path}");
+    }
+}

@@ -76,15 +76,15 @@ impl DeltaRouter {
     pub fn min_passes(&self, sends: &[(usize, usize)]) -> usize {
         let mut out_load = vec![0usize; self.ports];
         let mut in_load = vec![0usize; self.ports];
-        let mut pe_in = std::collections::HashMap::new();
+        let mut pe_in = vec![0usize; self.p];
         for &(src, dst) in sends {
             out_load[self.port_of(src)] += 1;
             in_load[self.port_of(dst)] += 1;
-            *pe_in.entry(dst).or_insert(0usize) += 1;
+            pe_in[dst] += 1;
         }
         let a = out_load.into_iter().max().unwrap_or(0);
         let b = in_load.into_iter().max().unwrap_or(0);
-        let c = pe_in.into_values().max().unwrap_or(0);
+        let c = pe_in.into_iter().max().unwrap_or(0);
         a.max(b).max(c).max(usize::from(!sends.is_empty()))
     }
 

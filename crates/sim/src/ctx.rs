@@ -5,23 +5,45 @@ use std::cell::{Cell, RefCell};
 use rand::rngs::StdRng;
 
 use crate::compute::ComputeModel;
-use crate::message::{encode_f64s, encode_u32s, encode_u64s, Message, MsgKind, ProcId};
+use crate::message::{
+    pooled_f64s, pooled_u32s, pooled_u64s, Message, MsgKind, Payload, PayloadPool, ProcId,
+};
 use crate::shadow::{ConsumeFilter, RegionId, ShadowEvent};
 
-/// What one processor produced in one superstep, as returned by
-/// [`Ctx::finish`]: the ordered outbox, the charged compute time, and the
-/// protocol facts an installed [`crate::validate::Validator`] wants.
-pub(crate) struct ProcOutcome {
+/// Per-processor scratch owned by the [`crate::machine::Machine`] and
+/// *lent* to a fresh [`Ctx`] each superstep, so the hot path reuses the
+/// same inbox/outbox/event buffers (and payload arena) instead of
+/// reallocating them every step.
+#[derive(Default)]
+pub(crate) struct ProcAux {
+    /// Messages delivered at the previous barrier.
+    pub inbox: Vec<Message>,
+    /// Messages sent this superstep, in program order.
     pub outbox: Vec<Message>,
+    /// Recyclable heap payload buffers for this processor's sends.
+    pub pool: PayloadPool,
+    /// Shadow events, in program order (empty unless validated).
+    pub events: Vec<ShadowEvent>,
+    /// Destinations `>= p` whose messages were recorded and dropped.
+    pub oob_sends: Vec<usize>,
+    /// Compute time charged this superstep, in µs.
     pub compute_us: f64,
     /// `false` if any charge was NaN, infinite or negative.
     pub charge_ok: bool,
     /// Whether the processor read its inbox this superstep.
     pub read_inbox: bool,
-    /// Destinations `>= p` whose messages were recorded and dropped.
-    pub oob_sends: Vec<usize>,
-    /// Shadow events, in program order (empty unless validated).
-    pub events: Vec<ShadowEvent>,
+}
+
+/// The scalar outcome of one processor's superstep, as returned by
+/// [`Ctx::finish`]; the bulky products (outbox, events, oob list) are
+/// written directly into the borrowed [`ProcAux`].
+#[derive(Clone, Copy)]
+pub(crate) struct ProcOutcome {
+    pub compute_us: f64,
+    /// `false` if any charge was NaN, infinite or negative.
+    pub charge_ok: bool,
+    /// Whether the processor read its inbox this superstep.
+    pub read_inbox: bool,
 }
 
 /// The view a virtual processor has during one superstep: its id, its
@@ -38,33 +60,44 @@ pub struct Ctx<'a, S> {
     inbox: &'a [Message],
     compute: &'a dyn ComputeModel,
     word: usize,
-    outbox: Vec<Message>,
+    outbox: &'a mut Vec<Message>,
+    pool: &'a mut PayloadPool,
     compute_us: f64,
     charge_ok: bool,
     read_inbox: Cell<bool>,
-    oob_sends: Vec<usize>,
+    oob_sends: &'a mut Vec<usize>,
     /// `true` when a validator observes this run (softens fail-fast
     /// asserts into recorded violations).
     validated: bool,
     /// Shadow-event stream for the happens-before analyzer; only populated
     /// when validated. Interior mutability because the `msgs*` accessors
     /// take `&self`.
-    events: RefCell<Vec<ShadowEvent>>,
+    events: RefCell<&'a mut Vec<ShadowEvent>>,
     rng: StdRng,
 }
 
 impl<'a, S> Ctx<'a, S> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         pid: ProcId,
         p: usize,
         state: &'a mut S,
-        inbox: &'a [Message],
+        aux: &'a mut ProcAux,
         compute: &'a dyn ComputeModel,
         rng: StdRng,
         validated: bool,
     ) -> Self {
         let word = compute.word_bytes();
+        aux.outbox.clear();
+        aux.events.clear();
+        aux.oob_sends.clear();
+        let ProcAux {
+            inbox,
+            outbox,
+            pool,
+            events,
+            oob_sends,
+            ..
+        } = aux;
         Ctx {
             pid,
             p,
@@ -72,13 +105,14 @@ impl<'a, S> Ctx<'a, S> {
             inbox,
             compute,
             word,
-            outbox: Vec::new(),
+            outbox,
+            pool,
             compute_us: 0.0,
             charge_ok: true,
             read_inbox: Cell::new(false),
-            oob_sends: Vec::new(),
+            oob_sends,
             validated,
-            events: RefCell::new(Vec::new()),
+            events: RefCell::new(events),
             rng,
         }
     }
@@ -171,6 +205,8 @@ impl<'a, S> Ctx<'a, S> {
             return;
         }
         let mut matched = 0usize;
+        // Distinct tags, kept sorted so membership is a binary search
+        // rather than an O(tags²) linear scan over many-tag inboxes.
         let mut tags: Vec<u32> = Vec::new();
         for m in self.inbox {
             let hit = match filter {
@@ -180,8 +216,8 @@ impl<'a, S> Ctx<'a, S> {
             };
             if hit {
                 matched += 1;
-                if !tags.contains(&m.tag) {
-                    tags.push(m.tag);
+                if let Err(at) = tags.binary_search(&m.tag) {
+                    tags.insert(at, m.tag);
                 }
             }
         }
@@ -238,18 +274,20 @@ impl<'a, S> Ctx<'a, S> {
 
     // ---- sending ---------------------------------------------------------
 
+    #[inline]
     fn push(
         &mut self,
         dst: ProcId,
         tag: u32,
         kind: MsgKind,
         logical_words: usize,
-        data: Box<[u8]>,
+        payload: Payload,
     ) {
         let bytes = logical_words * self.word;
-        self.push_sized(dst, tag, kind, logical_words, bytes, data);
+        self.push_sized(dst, tag, kind, logical_words, bytes, payload);
     }
 
+    #[inline]
     fn push_sized(
         &mut self,
         dst: ProcId,
@@ -257,7 +295,7 @@ impl<'a, S> Ctx<'a, S> {
         kind: MsgKind,
         logical_words: usize,
         logical_bytes: usize,
-        data: Box<[u8]>,
+        payload: Payload,
     ) {
         if dst >= self.p {
             // Record and drop: an installed validator reports this as rule
@@ -269,9 +307,11 @@ impl<'a, S> Ctx<'a, S> {
                 self.p
             );
             self.oob_sends.push(dst);
+            self.pool.recycle(payload);
             return;
         }
         if logical_words == 0 {
+            self.pool.recycle(payload);
             return;
         }
         self.outbox.push(Message {
@@ -281,7 +321,7 @@ impl<'a, S> Ctx<'a, S> {
             kind,
             logical_words,
             logical_bytes,
-            data,
+            payload,
         });
     }
 
@@ -292,7 +332,8 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Tagged variant of [`Ctx::send_words_u32`].
     pub fn send_words_u32_tagged(&mut self, dst: ProcId, tag: u32, vals: &[u32]) {
-        self.push(dst, tag, MsgKind::Words, vals.len(), encode_u32s(vals));
+        let payload = pooled_u32s(self.pool, vals);
+        self.push(dst, tag, MsgKind::Words, vals.len(), payload);
     }
 
     /// Sends `vals.len()` individual word messages carrying `f64` values.
@@ -303,7 +344,8 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Tagged variant of [`Ctx::send_words_f64`].
     pub fn send_words_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
-        self.push(dst, tag, MsgKind::Words, vals.len(), encode_f64s(vals));
+        let payload = pooled_f64s(self.pool, vals);
+        self.push(dst, tag, MsgKind::Words, vals.len(), payload);
     }
 
     /// Sends one word message carrying a `u32`.
@@ -323,12 +365,14 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Tagged variant of [`Ctx::send_block_u32`].
     pub fn send_block_u32_tagged(&mut self, dst: ProcId, tag: u32, vals: &[u32]) {
-        self.push(dst, tag, MsgKind::Block, vals.len(), encode_u32s(vals));
+        let payload = pooled_u32s(self.pool, vals);
+        self.push(dst, tag, MsgKind::Block, vals.len(), payload);
     }
 
     /// Sends one block message of `u64` values.
     pub fn send_block_u64(&mut self, dst: ProcId, vals: &[u64]) {
-        self.push(dst, 0, MsgKind::Block, vals.len(), encode_u64s(vals));
+        let payload = pooled_u64s(self.pool, vals);
+        self.push(dst, 0, MsgKind::Block, vals.len(), payload);
     }
 
     /// Sends one block message of `f64` values.
@@ -338,7 +382,8 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Tagged variant of [`Ctx::send_block_f64`].
     pub fn send_block_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
-        self.push(dst, tag, MsgKind::Block, vals.len(), encode_f64s(vals));
+        let payload = pooled_f64s(self.pool, vals);
+        self.push(dst, tag, MsgKind::Block, vals.len(), payload);
     }
 
     /// Sends `vals` grouped into fixed-size *packets* of `packet_bytes`
@@ -359,14 +404,8 @@ impl<'a, S> Ctx<'a, S> {
         }
         let payload_bytes = vals.len() * self.word;
         let packets = payload_bytes.div_ceil(packet_bytes);
-        self.push_sized(
-            dst,
-            0,
-            MsgKind::Words,
-            packets,
-            payload_bytes,
-            encode_u32s(vals),
-        );
+        let payload = pooled_u32s(self.pool, vals);
+        self.push_sized(dst, 0, MsgKind::Words, packets, payload_bytes, payload);
     }
 
     /// Sends one xnet (neighbour-grid) block of `f64` values. Only the
@@ -377,22 +416,21 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Tagged variant of [`Ctx::send_xnet_f64`].
     pub fn send_xnet_f64_tagged(&mut self, dst: ProcId, tag: u32, vals: &[f64]) {
-        self.push(dst, tag, MsgKind::Xnet, vals.len(), encode_f64s(vals));
+        let payload = pooled_f64s(self.pool, vals);
+        self.push(dst, tag, MsgKind::Xnet, vals.len(), payload);
     }
 
     /// Sends one xnet block of `u32` values.
     pub fn send_xnet_u32(&mut self, dst: ProcId, vals: &[u32]) {
-        self.push(dst, 0, MsgKind::Xnet, vals.len(), encode_u32s(vals));
+        let payload = pooled_u32s(self.pool, vals);
+        self.push(dst, 0, MsgKind::Xnet, vals.len(), payload);
     }
 
     pub(crate) fn finish(self) -> ProcOutcome {
         ProcOutcome {
-            outbox: self.outbox,
             compute_us: self.compute_us,
             charge_ok: self.charge_ok && self.compute_us.is_finite(),
             read_inbox: self.read_inbox.get(),
-            oob_sends: self.oob_sends,
-            events: self.events.into_inner(),
         }
     }
 }

@@ -33,7 +33,7 @@ pub mod validate;
 pub use compute::{ComputeModel, UniformCompute};
 pub use ctx::Ctx;
 pub use machine::Machine;
-pub use message::{Message, MsgKind, ProcId};
+pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
 pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
 pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};

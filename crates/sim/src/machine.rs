@@ -39,10 +39,10 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::compute::ComputeModel;
-use crate::ctx::{Ctx, ProcOutcome};
-use crate::message::Message;
+use crate::ctx::{Ctx, ProcAux};
+use crate::message::MsgKind;
 use crate::network::NetworkModel;
-use crate::pattern::CommPattern;
+use crate::pattern::{CommPattern, SendRecord};
 use crate::shadow::{SendMeta, ShadowEvent};
 use crate::trace::{RunBreakdown, SuperstepTrace};
 use crate::validate::{self, RunReport, StepReport, Validator};
@@ -51,7 +51,9 @@ use crate::validate::{self, RunReport, StepReport, Validator};
 pub struct Machine<S> {
     p: usize,
     states: Vec<S>,
-    inboxes: Vec<Vec<Message>>,
+    /// Per-processor scratch (inbox, outbox, event buffers, payload pool),
+    /// reused across supersteps so the hot path stops allocating.
+    procs: Vec<ProcAux>,
     net: Box<dyn NetworkModel>,
     compute: Arc<dyn ComputeModel>,
     clock: SimTime,
@@ -64,6 +66,16 @@ pub struct Machine<S> {
     /// Sanitizer installed via [`crate::validate::with_validator`] at
     /// construction time; observes every superstep and the final drop.
     validator: Option<Box<dyn Validator>>,
+    /// The superstep's communication pattern, rebuilt in place each step.
+    pattern: CommPattern,
+    /// Per-destination message counts for the delivery pre-pass.
+    deliver_counts: Vec<usize>,
+    /// Tracing scratch: words received per processor.
+    stat_recv: Vec<usize>,
+    /// Tracing scratch: per-processor activity flags.
+    stat_active: Vec<bool>,
+    /// Tracing scratch: per-round max block bytes.
+    stat_round_max: Vec<usize>,
 }
 
 impl<S: Send> Machine<S> {
@@ -78,7 +90,7 @@ impl<S: Send> Machine<S> {
         assert!(p > 0, "a machine needs at least one processor");
         Machine {
             p,
-            inboxes: (0..p).map(|_| Vec::new()).collect(),
+            procs: (0..p).map(|_| ProcAux::default()).collect(),
             states,
             net,
             compute,
@@ -90,6 +102,14 @@ impl<S: Send> Machine<S> {
             tracing: true,
             parallel: !validate::sequential_forced(),
             validator: validate::current_validator(p),
+            pattern: CommPattern {
+                p,
+                sends: (0..p).map(|_| Vec::new()).collect(),
+            },
+            deliver_counts: vec![0; p],
+            stat_recv: vec![0; p],
+            stat_active: vec![false; p],
+            stat_round_max: Vec::new(),
         }
     }
 
@@ -169,76 +189,141 @@ impl<S: Send> Machine<S> {
         let compute: &dyn ComputeModel = &*self.compute;
         let validated = self.validator.is_some();
 
-        let run_one = |pid: usize, state: &mut S, inbox: &Vec<Message>| {
+        let run_one = |pid: usize, state: &mut S, aux: &mut ProcAux| {
             let rng = StdRng::seed_from_u64(child_seed(seed, (step * p + pid) as u64));
-            let mut ctx = Ctx::new(pid, p, state, inbox, compute, rng, validated);
-            f(&mut ctx);
-            ctx.finish()
+            let outcome = {
+                let mut ctx = Ctx::new(pid, p, state, aux, compute, rng, validated);
+                f(&mut ctx);
+                ctx.finish()
+            };
+            aux.compute_us = outcome.compute_us;
+            aux.charge_ok = outcome.charge_ok;
+            aux.read_inbox = outcome.read_inbox;
         };
 
-        let results: Vec<ProcOutcome> = if self.parallel && p > 1 {
+        if self.parallel && p > 1 {
             self.states
                 .par_iter_mut()
-                .zip(self.inboxes.par_iter())
+                .zip(self.procs.par_iter_mut())
                 .enumerate()
-                .map(|(pid, (state, inbox))| run_one(pid, state, inbox))
-                .collect()
+                .for_each(|(pid, (state, aux))| run_one(pid, state, aux));
         } else {
-            self.states
+            for (pid, (state, aux)) in self
+                .states
                 .iter_mut()
-                .zip(self.inboxes.iter())
+                .zip(self.procs.iter_mut())
                 .enumerate()
-                .map(|(pid, (state, inbox))| run_one(pid, state, inbox))
-                .collect()
-        };
-
-        let mut outboxes: Vec<Vec<Message>> = Vec::with_capacity(p);
-        let mut compute_us: Vec<f64> = Vec::with_capacity(p);
-        let mut charge_ok: Vec<bool> = Vec::with_capacity(p);
-        let mut read_flags: Vec<bool> = Vec::with_capacity(p);
-        let mut oob_sends: Vec<Vec<usize>> = Vec::with_capacity(p);
-        let mut events: Vec<Vec<ShadowEvent>> = Vec::with_capacity(p);
-        let mut max_compute = 0.0f64;
-        for outcome in results {
-            max_compute = max_compute.max(outcome.compute_us);
-            compute_us.push(outcome.compute_us);
-            charge_ok.push(outcome.charge_ok);
-            read_flags.push(outcome.read_inbox);
-            oob_sends.push(outcome.oob_sends);
-            events.push(outcome.events);
-            outboxes.push(outcome.outbox);
+            {
+                run_one(pid, state, aux);
+            }
         }
 
-        let pattern = CommPattern::from_outboxes(p, &outboxes);
-        let comm = if pattern.is_empty() {
+        // Rebuild the communication pattern in place and size each inbox
+        // for the delivery pre-pass, in one sweep over the outboxes.
+        let mut max_compute = 0.0f64;
+        let mut total_records = 0usize;
+        for c in &mut self.deliver_counts {
+            *c = 0;
+        }
+        for (src, aux) in self.procs.iter().enumerate() {
+            max_compute = max_compute.max(aux.compute_us);
+            let sends = &mut self.pattern.sends[src];
+            sends.clear();
+            sends.reserve(aux.outbox.len());
+            for m in &aux.outbox {
+                sends.push(SendRecord {
+                    dst: m.dst,
+                    words: m.logical_words,
+                    bytes: m.logical_bytes,
+                    kind: m.kind,
+                });
+                self.deliver_counts[m.dst] += 1;
+            }
+            total_records += aux.outbox.len();
+        }
+
+        let comm = if total_records == 0 {
             self.net.barrier()
         } else {
-            self.net.route(&pattern, &mut self.net_rng)
+            self.net.route(&self.pattern, &mut self.net_rng)
         };
         let compute_time = SimTime::from_micros(max_compute);
         self.clock += compute_time + comm;
 
         if self.tracing {
+            // All pattern statistics in one pass over the send records,
+            // using the machine's reusable scratch buffers. Semantics are
+            // identical to the CommPattern query methods.
+            let pattern = &self.pattern;
+            let recv = &mut self.stat_recv;
+            let active = &mut self.stat_active;
+            for v in recv.iter_mut() {
+                *v = 0;
+            }
+            for a in active.iter_mut() {
+                *a = false;
+            }
+            let mut messages = 0usize;
+            let mut bytes = 0usize;
+            let mut h_send = 0usize;
+            let (mut word_msgs, mut block_msgs, mut xnet_msgs) = (0usize, 0usize, 0usize);
+            for (src, recs) in pattern.sends.iter().enumerate() {
+                let mut sent_words = 0usize;
+                for r in recs {
+                    bytes += r.bytes;
+                    match r.kind {
+                        MsgKind::Words => {
+                            messages += r.words;
+                            word_msgs += r.words;
+                            sent_words += r.words;
+                            recv[r.dst] += r.words;
+                        }
+                        MsgKind::Block => {
+                            messages += 1;
+                            block_msgs += 1;
+                        }
+                        MsgKind::Xnet => {
+                            messages += 1;
+                            xnet_msgs += 1;
+                        }
+                    }
+                    if r.words > 0 {
+                        active[src] = true;
+                        active[r.dst] = true;
+                    }
+                }
+                h_send = h_send.max(sent_words);
+            }
+            let h_recv = recv.iter().copied().max().unwrap_or(0);
+            let active = active.iter().filter(|&&a| a).count();
+            // Block/xnet rounds: round `r` holds the `r`-th record of that
+            // kind from each source; its cost driver is the largest block.
             let mut block_steps = 0usize;
             let mut block_bytes_sum = 0usize;
-            for round in pattern
-                .block_rounds()
-                .iter()
-                .chain(pattern.xnet_rounds().iter())
-            {
-                block_steps += 1;
-                block_bytes_sum += round.max_bytes();
+            for kind in [MsgKind::Block, MsgKind::Xnet] {
+                let round_max = &mut self.stat_round_max;
+                round_max.clear();
+                for recs in &pattern.sends {
+                    for (round, r) in recs.iter().filter(|r| r.kind == kind).enumerate() {
+                        if round == round_max.len() {
+                            round_max.push(r.bytes);
+                        } else {
+                            round_max[round] = round_max[round].max(r.bytes);
+                        }
+                    }
+                }
+                block_steps += round_max.len();
+                block_bytes_sum += round_max.iter().sum::<usize>();
             }
-            let (word_msgs, block_msgs, xnet_msgs) = pattern.kind_counts();
             self.traces.push(SuperstepTrace {
                 index: step,
                 compute: compute_time,
                 comm,
-                messages: pattern.total_messages(),
-                bytes: pattern.total_bytes(),
-                h_send: pattern.h_send(),
-                h_recv: pattern.h_recv(),
-                active: pattern.active_processors(),
+                messages,
+                bytes,
+                h_send,
+                h_recv,
+                active,
                 block_steps,
                 block_bytes_sum,
                 word_msgs,
@@ -248,11 +333,25 @@ impl<S: Send> Machine<S> {
         }
 
         if let Some(validator) = self.validator.as_mut() {
-            let inbox_count: Vec<usize> = self.inboxes.iter().map(Vec::len).collect();
-            let sends: Vec<Vec<SendMeta>> = outboxes
+            let inbox_count: Vec<usize> = self.procs.iter().map(|a| a.inbox.len()).collect();
+            let compute_us: Vec<f64> = self.procs.iter().map(|a| a.compute_us).collect();
+            let charge_ok: Vec<bool> = self.procs.iter().map(|a| a.charge_ok).collect();
+            let read_flags: Vec<bool> = self.procs.iter().map(|a| a.read_inbox).collect();
+            let oob_sends: Vec<Vec<usize>> = self
+                .procs
+                .iter_mut()
+                .map(|a| std::mem::take(&mut a.oob_sends))
+                .collect();
+            let events: Vec<Vec<ShadowEvent>> = self
+                .procs
+                .iter_mut()
+                .map(|a| std::mem::take(&mut a.events))
+                .collect();
+            let sends: Vec<Vec<SendMeta>> = self
+                .procs
                 .iter()
-                .map(|outbox| {
-                    outbox
+                .map(|aux| {
+                    aux.outbox
                         .iter()
                         .map(|m| SendMeta {
                             dst: m.dst,
@@ -266,7 +365,7 @@ impl<S: Send> Machine<S> {
             validator.check_step(&StepReport {
                 step,
                 p,
-                pattern: &pattern,
+                pattern: &self.pattern,
                 compute_us: &compute_us,
                 charge_ok: &charge_ok,
                 inbox_count: &inbox_count,
@@ -279,15 +378,25 @@ impl<S: Send> Machine<S> {
             });
         }
 
-        // Deliver: clear inboxes, then append in (src, send-order) order so
-        // receivers observe a deterministic sequence.
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        for outbox in outboxes {
-            for msg in outbox {
-                self.inboxes[msg.dst].push(msg);
+        // Deliver. First pass: recycle consumed inbox payloads back to
+        // their senders' pools and size each inbox exactly; second pass:
+        // move outbox messages in (src, send-order) order so receivers
+        // observe the same deterministic sequence as before.
+        for dst in 0..p {
+            let mut inbox = std::mem::take(&mut self.procs[dst].inbox);
+            for msg in inbox.drain(..) {
+                let src = msg.src;
+                self.procs[src].pool.recycle(msg.into_payload());
             }
+            inbox.reserve(self.deliver_counts[dst]);
+            self.procs[dst].inbox = inbox;
+        }
+        for src in 0..p {
+            let mut outbox = std::mem::take(&mut self.procs[src].outbox);
+            for msg in outbox.drain(..) {
+                self.procs[msg.dst].inbox.push(msg);
+            }
+            self.procs[src].outbox = outbox;
         }
 
         self.step_count += 1;
@@ -302,7 +411,7 @@ impl<S: Send> Machine<S> {
 impl<S> Drop for Machine<S> {
     fn drop(&mut self) {
         if let Some(validator) = self.validator.as_mut() {
-            let pending_inbox: Vec<usize> = self.inboxes.iter().map(Vec::len).collect();
+            let pending_inbox: Vec<usize> = self.procs.iter().map(|a| a.inbox.len()).collect();
             validator.finish(&RunReport {
                 supersteps: self.step_count,
                 pending_inbox: &pending_inbox,
@@ -360,6 +469,37 @@ mod tests {
         });
         m.superstep(|ctx| {
             assert!(ctx.msgs().is_empty(), "stale messages must not survive");
+        });
+    }
+
+    #[test]
+    fn inbox_is_cleared_between_supersteps_pooled() {
+        // Pin a multi-thread pool width before the rayon shim latches it,
+        // so a machine above the shim's sequential cutoff dispatches
+        // through the worker pool. Best-effort: if another test latched
+        // the width first, the same delivery code still runs sequentially.
+        static FORCE: std::sync::Once = std::sync::Once::new();
+        FORCE.call_once(|| {
+            if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+                std::env::set_var("RAYON_NUM_THREADS", "4");
+            }
+        });
+        let mut m = test_machine(64);
+        m.superstep(|ctx| {
+            if ctx.pid() == 0 {
+                ctx.send_word_u32(1, 5);
+            }
+        });
+        m.superstep(|ctx| {
+            if ctx.pid() == 1 {
+                assert_eq!(ctx.msgs().len(), 1);
+            }
+        });
+        m.superstep(|ctx| {
+            assert!(
+                ctx.msgs().is_empty(),
+                "stale messages must not survive the pooled path"
+            );
         });
     }
 

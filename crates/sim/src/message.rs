@@ -33,6 +33,152 @@ pub enum MsgKind {
     Xnet,
 }
 
+/// Payloads at or below this many bytes are stored inline in the
+/// [`Message`] value instead of on the heap — covers all single-word and
+/// small multi-word traffic (e.g. four `u32`s or two `f64`s).
+pub const INLINE_PAYLOAD: usize = 16;
+
+/// The value bytes of a [`Message`]: inline for small word traffic,
+/// heap-backed (and recyclable through a [`PayloadPool`]) for blocks.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Up to [`INLINE_PAYLOAD`] bytes stored in the message itself.
+    Inline {
+        /// Occupied prefix of `buf`.
+        len: u8,
+        /// Inline storage.
+        buf: [u8; INLINE_PAYLOAD],
+    },
+    /// Heap storage for larger payloads.
+    Heap(Vec<u8>),
+}
+
+impl Payload {
+    /// An empty inline payload.
+    pub fn empty() -> Self {
+        Payload::Inline {
+            len: 0,
+            buf: [0u8; INLINE_PAYLOAD],
+        }
+    }
+
+    /// Copies `bytes`, choosing inline storage when it fits.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.len() <= INLINE_PAYLOAD {
+            let mut buf = [0u8; INLINE_PAYLOAD];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Payload::Inline {
+                #[allow(clippy::cast_possible_truncation)] // <= INLINE_PAYLOAD
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            Payload::Heap(bytes.to_vec())
+        }
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Inline { len, buf } => &buf[..usize::from(*len)],
+            Payload::Heap(v) => v,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Payload {
+    fn from(data: Box<[u8]>) -> Self {
+        if data.len() <= INLINE_PAYLOAD {
+            Payload::from_slice(&data)
+        } else {
+            Payload::Heap(data.into_vec())
+        }
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// Smallest pooled buffer class, in bytes.
+const POOL_MIN_CLASS: usize = 32;
+/// Largest pooled buffer class, in bytes; bigger buffers are not retained.
+const POOL_MAX_CLASS: usize = 1 << 20;
+/// Number of power-of-two size classes between the min and max class.
+const POOL_CLASSES: usize = (POOL_MAX_CLASS / POOL_MIN_CLASS).ilog2() as usize + 1;
+/// Retained buffers per class (per processor); excess buffers are freed.
+const POOL_CLASS_CAP: usize = 32;
+
+/// A size-classed arena of heap payload buffers.
+///
+/// Each virtual processor owns one pool. Sends draw buffers from the
+/// sender's pool; after a message is consumed, [`Machine`] delivery
+/// recycles its heap buffer back to the *sender's* pool (sender-affine),
+/// so steady-state block traffic stops allocating even when the
+/// communication pattern is skewed.
+///
+/// [`Machine`]: crate::machine::Machine
+#[derive(Debug, Default)]
+pub(crate) struct PayloadPool {
+    /// `classes[c]` holds buffers with capacity ≥ `POOL_MIN_CLASS << c`.
+    classes: Vec<Vec<Vec<u8>>>,
+}
+
+impl PayloadPool {
+    /// Class whose buffers can hold `bytes`, or `None` above the max class.
+    fn class_for_alloc(bytes: usize) -> Option<usize> {
+        if bytes > POOL_MAX_CLASS {
+            return None;
+        }
+        let size = bytes.max(POOL_MIN_CLASS).next_power_of_two();
+        Some((size / POOL_MIN_CLASS).ilog2() as usize)
+    }
+
+    /// Class a buffer of `capacity` can serve, or `None` if unretainable
+    /// (too small, or above the max class).
+    fn class_for_recycle(capacity: usize) -> Option<usize> {
+        if !(POOL_MIN_CLASS..=POOL_MAX_CLASS).contains(&capacity) {
+            return None;
+        }
+        // Floor power of two: the buffer fully covers this class.
+        Some((capacity / POOL_MIN_CLASS).ilog2() as usize)
+    }
+
+    /// An empty buffer with capacity for at least `bytes`, recycled when
+    /// possible.
+    pub fn alloc(&mut self, bytes: usize) -> Vec<u8> {
+        if let Some(cls) = Self::class_for_alloc(bytes) {
+            if let Some(mut buf) = self.classes.get_mut(cls).and_then(Vec::pop) {
+                buf.clear();
+                return buf;
+            }
+            // Allocate the full class size so the buffer lands back in the
+            // same class on recycle.
+            Vec::with_capacity(POOL_MIN_CLASS << cls)
+        } else {
+            Vec::with_capacity(bytes)
+        }
+    }
+
+    /// Returns a consumed payload's heap buffer to the pool. Inline
+    /// payloads and oversized or over-cap buffers are simply dropped.
+    pub fn recycle(&mut self, payload: Payload) {
+        if let Payload::Heap(buf) = payload {
+            if let Some(cls) = Self::class_for_recycle(buf.capacity()) {
+                if self.classes.is_empty() {
+                    self.classes.resize_with(POOL_CLASSES, Vec::new);
+                }
+                if self.classes[cls].len() < POOL_CLASS_CAP {
+                    self.classes[cls].push(buf);
+                }
+            }
+        }
+    }
+}
+
 /// A message in flight between two virtual processors.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Message {
@@ -49,20 +195,30 @@ pub struct Message {
     /// Number of bytes on the (simulated) wire: `logical_words · w`.
     pub logical_bytes: usize,
     /// The actual values, for algorithm correctness.
-    pub data: Box<[u8]>,
+    pub(crate) payload: Payload,
 }
 
 impl Message {
+    /// The payload bytes (the actual values, for algorithm correctness).
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        self.payload.as_slice()
+    }
+
+    /// Consumes the message, yielding its payload for recycling.
+    pub(crate) fn into_payload(self) -> Payload {
+        self.payload
+    }
     /// Interprets the payload as `u32` values.
     ///
     /// # Panics
     /// Panics if the payload length is not a multiple of 4.
     pub fn as_u32s(&self) -> Vec<u32> {
         assert!(
-            self.data.len().is_multiple_of(4),
+            self.data().len().is_multiple_of(4),
             "payload is not u32-aligned"
         );
-        self.data
+        self.data()
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect()
@@ -71,10 +227,10 @@ impl Message {
     /// Interprets the payload as `u64` values.
     pub fn as_u64s(&self) -> Vec<u64> {
         assert!(
-            self.data.len().is_multiple_of(8),
+            self.data().len().is_multiple_of(8),
             "payload is not u64-aligned"
         );
-        self.data
+        self.data()
             .chunks_exact(8)
             .map(|c| {
                 u64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte slices"))
@@ -85,10 +241,10 @@ impl Message {
     /// Interprets the payload as `f64` values.
     pub fn as_f64s(&self) -> Vec<f64> {
         assert!(
-            self.data.len().is_multiple_of(8),
+            self.data().len().is_multiple_of(8),
             "payload is not f64-aligned"
         );
-        self.data
+        self.data()
             .chunks_exact(8)
             .map(|c| {
                 f64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte slices"))
@@ -102,7 +258,7 @@ impl Message {
     /// Panics if the payload is shorter than 4 bytes.
     pub fn word_u32(&self) -> u32 {
         u32::from_le_bytes(
-            self.data[..4]
+            self.data()[..4]
                 .try_into()
                 .expect("word_u32 requires a payload of at least one u32 (4 bytes)"),
         )
@@ -114,7 +270,7 @@ impl Message {
     /// Panics if the payload is shorter than 8 bytes.
     pub fn word_f64(&self) -> f64 {
         f64::from_le_bytes(
-            self.data[..8]
+            self.data()[..8]
                 .try_into()
                 .expect("word_f64 requires a payload of at least one f64 (8 bytes)"),
         )
@@ -148,10 +304,71 @@ pub fn encode_f64s(vals: &[f64]) -> Box<[u8]> {
     out.into_boxed_slice()
 }
 
+/// Encodes values into a [`Payload`] without touching the heap when the
+/// result fits inline; otherwise draws a recycled buffer from `pool`.
+macro_rules! pooled_encode {
+    ($name:ident, $ty:ty, $width:expr) => {
+        pub(crate) fn $name(pool: &mut PayloadPool, vals: &[$ty]) -> Payload {
+            let bytes = vals.len() * $width;
+            if bytes <= INLINE_PAYLOAD {
+                let mut buf = [0u8; INLINE_PAYLOAD];
+                for (chunk, v) in buf.chunks_exact_mut($width).zip(vals) {
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                }
+                Payload::Inline {
+                    #[allow(clippy::cast_possible_truncation)] // <= INLINE_PAYLOAD
+                    len: bytes as u8,
+                    buf,
+                }
+            } else {
+                let mut out = pool.alloc(bytes);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Payload::Heap(out)
+            }
+        }
+    };
+}
+
+pooled_encode!(pooled_u32s, u32, 4);
+pooled_encode!(pooled_u64s, u64, 8);
+pooled_encode!(pooled_f64s, f64, 8);
+
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // tests assert exact simulated values
 mod tests {
     use super::*;
+
+    #[test]
+    fn inline_threshold_and_pool_round_trip() {
+        let mut pool = PayloadPool::default();
+        // 4 u32s = 16 bytes: exactly at the inline boundary.
+        let p = pooled_u32s(&mut pool, &[1, 2, 3, 4]);
+        assert!(matches!(p, Payload::Inline { len: 16, .. }));
+        // 5 u32s = 20 bytes: spills to the heap via the pool.
+        let p = pooled_u32s(&mut pool, &[1, 2, 3, 4, 5]);
+        let Payload::Heap(ref buf) = p else {
+            panic!("20-byte payload must be heap-backed");
+        };
+        let cap = buf.capacity();
+        assert!(cap >= 32, "pool allocates whole classes");
+        // Recycle, then re-allocate: same buffer comes back, no growth.
+        pool.recycle(p);
+        let buf2 = pool.alloc(20);
+        assert_eq!(buf2.capacity(), cap);
+        assert!(buf2.is_empty());
+    }
+
+    #[test]
+    fn pool_drops_oversized_buffers() {
+        let mut pool = PayloadPool::default();
+        pool.recycle(Payload::Heap(Vec::with_capacity(POOL_MAX_CLASS * 2)));
+        pool.recycle(Payload::Heap(Vec::with_capacity(8)));
+        pool.recycle(Payload::empty());
+        // Nothing retainable was added; a fresh alloc is still served.
+        assert!(pool.alloc(64).capacity() >= 64);
+    }
 
     fn msg(data: Box<[u8]>) -> Message {
         Message {
@@ -161,7 +378,7 @@ mod tests {
             kind: MsgKind::Block,
             logical_words: 1,
             logical_bytes: 4,
-            data,
+            payload: Payload::from(data),
         }
     }
 

@@ -53,15 +53,30 @@ pub struct Segment {
     pub msg_bytes: usize,
 }
 
+/// Longest run of equal values in a sorted slice.
+fn max_run<T: PartialEq>(sorted: &[T]) -> usize {
+    let mut best = 0usize;
+    let mut run = 0usize;
+    for (i, v) in sorted.iter().enumerate() {
+        if i > 0 && sorted[i - 1] == *v {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        best = best.max(run);
+    }
+    best
+}
+
 impl Segment {
     /// Maximum number of senders targeting a single destination in one
     /// round of this segment (1 for a permutation round).
     pub fn max_in_degree(&self) -> usize {
-        let mut counts = std::collections::HashMap::new();
-        for &(_, dst) in &self.sends {
-            *counts.entry(dst).or_insert(0usize) += 1;
-        }
-        counts.values().copied().max().unwrap_or(0)
+        // Sort-and-count over a small local buffer: no hashing on the
+        // pricing path, same result as a multiset count.
+        let mut dsts: Vec<ProcId> = self.sends.iter().map(|&(_, dst)| dst).collect();
+        dsts.sort_unstable();
+        max_run(&dsts)
     }
 
     /// `true` when each round of the segment is a (partial) permutation:
@@ -86,39 +101,47 @@ impl BlockRound {
 
     /// Total bytes received by the most loaded destination.
     pub fn max_recv_bytes(&self) -> usize {
-        let mut counts = std::collections::HashMap::new();
-        for &(_, dst, b) in &self.sends {
-            *counts.entry(dst).or_insert(0usize) += b;
+        let mut loads: Vec<(ProcId, usize)> =
+            self.sends.iter().map(|&(_, dst, b)| (dst, b)).collect();
+        loads.sort_unstable_by_key(|&(dst, _)| dst);
+        let mut best = 0usize;
+        let mut run_dst = usize::MAX;
+        let mut run_bytes = 0usize;
+        for (dst, b) in loads {
+            if dst != run_dst {
+                run_dst = dst;
+                run_bytes = 0;
+            }
+            run_bytes += b;
+            best = best.max(run_bytes);
         }
-        counts.values().copied().max().unwrap_or(0)
+        best
     }
 
     /// Maximum number of blocks converging on one destination.
     pub fn max_in_degree(&self) -> usize {
-        let mut counts = std::collections::HashMap::new();
-        for &(_, dst, _) in &self.sends {
-            *counts.entry(dst).or_insert(0usize) += 1;
-        }
-        counts.values().copied().max().unwrap_or(0)
+        let mut dsts: Vec<ProcId> = self.sends.iter().map(|&(_, dst, _)| dst).collect();
+        dsts.sort_unstable();
+        max_run(&dsts)
     }
 }
 
 impl CommPattern {
     /// Builds the pattern from the per-processor outboxes of a superstep.
     pub fn from_outboxes(p: usize, outboxes: &[Vec<Message>]) -> Self {
-        let sends = outboxes
-            .iter()
-            .map(|out| {
-                out.iter()
-                    .map(|m| SendRecord {
-                        dst: m.dst,
-                        words: m.logical_words,
-                        bytes: m.logical_bytes,
-                        kind: m.kind,
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut sends = Vec::with_capacity(outboxes.len());
+        for out in outboxes {
+            let mut recs = Vec::with_capacity(out.len());
+            for m in out {
+                recs.push(SendRecord {
+                    dst: m.dst,
+                    words: m.logical_words,
+                    bytes: m.logical_bytes,
+                    kind: m.kind,
+                });
+            }
+            sends.push(recs);
+        }
         CommPattern { p, sends }
     }
 

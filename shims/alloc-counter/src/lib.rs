@@ -1,0 +1,64 @@
+//! A counting wrapper around the system allocator, for asserting that a
+//! code path performs zero heap allocations.
+//!
+//! Install it as the global allocator in a test binary and compare
+//! [`allocations`] snapshots around the region under test:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! let before = alloc_counter::allocations();
+//! hot_path();
+//! assert_eq!(alloc_counter::allocations() - before, 0);
+//! ```
+//!
+//! Counters are process-wide atomics: keep one `#[test]` per binary (or
+//! serialize tests) so other threads' allocations don't pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations (including reallocations) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap deallocations since process start.
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed allocator that counts every alloc/realloc/dealloc.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`, which upholds the GlobalAlloc
+// contract; the atomic counters have no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -1,19 +1,27 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! Implements the one iterator chain the simulator uses —
-//! `states.par_iter_mut().zip(inboxes.par_iter()).enumerate().map(f).collect::<Vec<_>>()`
-//! — with real data parallelism: the index space is split into one
-//! contiguous piece per available core and executed under
-//! `std::thread::scope`, then results are concatenated in order, so
-//! output ordering is identical to the sequential path.
+//! Implements the iterator chains the simulator uses —
+//! `states.par_iter_mut().zip(procs.par_iter_mut()).enumerate().for_each(f)`
+//! and `...map(f).collect::<Vec<_>>()` — with real data parallelism: the
+//! index space is split into one contiguous piece per pool thread, pieces
+//! run on a lazily-initialized persistent worker pool, and results are
+//! concatenated in order, so output ordering is identical to the
+//! sequential path.
 //!
 //! Differences from real rayon, acceptable for this workspace:
 //! - no work-stealing: pieces are static, fine for the uniform-cost
 //!   per-processor closures the simulator runs;
-//! - `map` requires `F: Clone` (each piece owns a clone of the closure);
-//! - threads are spawned per `collect` call rather than pooled.
-
-use std::num::NonZeroUsize;
+//! - `map`/`for_each` require `F: Clone` (each piece owns a clone);
+//! - no nested parallelism: a closure running on the pool must not
+//!   itself call `collect`/`for_each` on a parallel iterator (the
+//!   simulator never does);
+//! - jobs below [`pool::SEQUENTIAL_CUTOFF`] items run inline on the
+//!   caller, so tiny machines never pay for synchronization.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` if set (like real rayon),
+//! else `std::thread::available_parallelism()`, and is latched on first
+//! use. Workers are spawned once and live for the process lifetime; an
+//! idle pool costs nothing but parked threads.
 
 /// A splittable, exactly-sized parallel iterator over `Send` items.
 pub trait ParallelIterator: Sized + Send {
@@ -28,8 +36,17 @@ pub trait ParallelIterator: Sized + Send {
     /// Split into `[0, idx)` and `[idx, len)` pieces.
     fn split_at(self, idx: usize) -> (Self, Self);
 
+    /// Drain this piece sequentially, feeding each produced item to `f`.
+    ///
+    /// This is the allocation-free core executor: adapters implement it
+    /// by composition instead of materializing intermediate `Vec`s.
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F);
+
     /// Drain this piece sequentially, appending produced items to `out`.
-    fn drain_into(self, out: &mut Vec<Self::Item>);
+    fn drain_into(self, out: &mut Vec<Self::Item>) {
+        out.reserve(self.len());
+        self.drive(&mut |x| out.push(x));
+    }
 
     fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
         Zip { a: self, b: other }
@@ -50,6 +67,15 @@ pub trait ParallelIterator: Sized + Send {
         Map { inner: self, f }
     }
 
+    /// Consume every item for effect. `()` is zero-sized, so the
+    /// underlying collect never touches the heap.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Clone + Send,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self)
     }
@@ -62,45 +88,247 @@ pub trait FromParallelIterator<T: Send>: Sized {
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
         let total = iter.len();
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(total);
-        if threads <= 1 {
+        if total < pool::SEQUENTIAL_CUTOFF || pool::thread_count() <= 1 {
             let mut out = Vec::with_capacity(total);
             iter.drain_into(&mut out);
             return out;
         }
+        pool::parallel_collect(iter)
+    }
+}
 
-        // Split into `threads` contiguous pieces of near-equal size.
-        let mut pieces = Vec::with_capacity(threads);
-        let mut rest = iter;
-        let mut remaining = total;
-        for t in (1..=threads).rev() {
-            let take = remaining.div_ceil(t);
-            let (head, tail) = rest.split_at(take);
-            pieces.push(head);
-            rest = tail;
-            remaining -= take;
+mod pool {
+    //! The persistent worker pool and the scoped fork/join built on it.
+    //!
+    //! `parallel_collect` splits the iterator into at most one piece per
+    //! pool thread, parks piece descriptors and output vectors on the
+    //! *caller's stack*, enqueues type-erased jobs, runs piece 0 itself
+    //! and blocks on a latch until the workers signal completion. The
+    //! latch wait establishes the happens-before edge that makes lending
+    //! stack data to detached worker threads sound, so no per-call thread
+    //! spawning (or heap-allocated closure boxing) is needed.
+
+    use super::ParallelIterator;
+    use std::collections::VecDeque;
+    use std::num::NonZeroUsize;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, Once, OnceLock};
+    use std::thread::Thread;
+
+    /// Below this many items a collect runs inline on the caller: the
+    /// latch handshake costs more than the work for tiny machines.
+    pub const SEQUENTIAL_CUTOFF: usize = 32;
+
+    /// Upper bound on pieces per collect (and thus on pool threads);
+    /// keeps the per-call descriptors in fixed stack arrays.
+    const MAX_PIECES: usize = 64;
+
+    static THREADS: OnceLock<usize> = OnceLock::new();
+
+    /// The latched pool width: `RAYON_NUM_THREADS` if set and positive,
+    /// else the machine's available parallelism, capped at `MAX_PIECES`.
+    pub fn thread_count() -> usize {
+        *THREADS.get_or_init(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+                .min(MAX_PIECES)
+        })
+    }
+
+    /// A type-erased unit of work pointing into some caller's stack.
+    struct RawJob {
+        data: *mut (),
+        run: unsafe fn(*mut ()),
+    }
+
+    // SAFETY: the pointed-to JobData is only touched by exactly one
+    // worker, and the caller keeps the referenced stack frame alive
+    // until the latch signals that the worker is done with it.
+    unsafe impl Send for RawJob {}
+
+    struct Pool {
+        queue: Mutex<VecDeque<RawJob>>,
+        available: Condvar,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static SPAWN: Once = Once::new();
+
+    fn pool() -> &'static Pool {
+        let p = POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        SPAWN.call_once(|| {
+            // One worker less than the pool width: the caller thread
+            // always executes piece 0 itself.
+            for i in 1..thread_count() {
+                std::thread::Builder::new()
+                    .name(format!("pcm-par-{i}"))
+                    .spawn(move || worker_loop(POOL.get().expect("pool initialized")))
+                    .expect("failed to spawn pool worker");
+            }
+        });
+        p
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        loop {
+            let job = {
+                let mut q = pool.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = pool.available.wait(q).expect("pool queue poisoned");
+                }
+            };
+            // SAFETY: `job` came from `parallel_collect`, whose caller is
+            // blocked on the latch until we signal; the pointed-to data
+            // is alive and exclusively ours.
+            unsafe { (job.run)(job.data) };
+        }
+    }
+
+    /// Completion latch: counts outstanding worker pieces and parks the
+    /// caller. Built on park/unpark so nothing is touched after the final
+    /// decrement except a cloned `Thread` handle.
+    struct Latch {
+        remaining: AtomicUsize,
+        panicked: AtomicBool,
+        owner: Thread,
+    }
+
+    impl Latch {
+        fn new(count: usize) -> Self {
+            Latch {
+                remaining: AtomicUsize::new(count),
+                panicked: AtomicBool::new(false),
+                owner: std::thread::current(),
+            }
         }
 
-        let results: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pieces
-                .into_iter()
-                .map(|piece| {
-                    scope.spawn(move || {
-                        let mut out = Vec::with_capacity(piece.len());
-                        piece.drain_into(&mut out);
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+        fn signal(&self, ok: bool) {
+            if !ok {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            // Clone before the decrement: once `remaining` hits zero the
+            // caller may free the latch.
+            let owner = self.owner.clone();
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                owner.unpark();
+            }
+        }
+
+        /// Blocks until all pieces signalled; returns whether any panicked.
+        fn wait(&self) -> bool {
+            while self.remaining.load(Ordering::Acquire) > 0 {
+                std::thread::park();
+            }
+            self.panicked.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Per-piece descriptor, parked on the caller's stack.
+    struct JobData<I: ParallelIterator> {
+        piece: I,
+        out: *mut Vec<I::Item>,
+        latch: *const Latch,
+    }
+
+    /// The type-erased entry point a worker runs for one piece.
+    ///
+    /// # Safety
+    /// `data` must point to a live `Option<JobData<I>>` holding `Some`,
+    /// and the caller must outlive the latch signal.
+    unsafe fn run_piece<I: ParallelIterator>(data: *mut ()) {
+        // SAFETY: contract above — exclusive live pointer to the slot.
+        let slot = unsafe { &mut *data.cast::<Option<JobData<I>>>() };
+        let job = slot.take().expect("piece already taken");
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `out` points at an element only this piece touches.
+            job.piece.drain_into(unsafe { &mut *job.out });
+        }))
+        .is_ok();
+        // SAFETY: the latch outlives every signal — the caller blocks in
+        // `wait` until all pieces have signalled.
+        unsafe { (*job.latch).signal(ok) };
+    }
+
+    pub fn parallel_collect<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+        let total = iter.len();
+        let n = thread_count().min(total).min(MAX_PIECES);
+        debug_assert!(n >= 2, "parallel_collect called below the cutoff");
+        let pool = pool();
+
+        // All shared state lives on this stack frame; `latch.wait()`
+        // below keeps it alive until every worker is done with it.
+        let mut jobs: [Option<JobData<I>>; MAX_PIECES] = std::array::from_fn(|_| None);
+        let mut outs: [Vec<I::Item>; MAX_PIECES] = std::array::from_fn(|_| Vec::new());
+        let latch = Latch::new(n - 1);
+
+        // Split into `n` contiguous pieces of near-equal size.
+        let mut piece0 = None;
+        let mut rest = iter;
+        let mut remaining = total;
+        let outs_base = outs.as_mut_ptr();
+        for (k, job) in jobs.iter_mut().enumerate().take(n) {
+            let take = remaining.div_ceil(n - k);
+            let (head, tail) = rest.split_at(take);
+            remaining -= take;
+            rest = tail;
+            if k == 0 {
+                piece0 = Some(head);
+            } else {
+                *job = Some(JobData {
+                    piece: head,
+                    // SAFETY: k < n <= MAX_PIECES; in-bounds element.
+                    out: unsafe { outs_base.add(k) },
+                    latch: &latch,
+                });
+            }
+        }
+
+        // Hand pieces 1..n to the pool. All element pointers derive from
+        // a single base raw pointer, and the arrays are not referenced
+        // again until after `latch.wait()`.
+        let jobs_base = jobs.as_mut_ptr();
+        {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            for k in 1..n {
+                q.push_back(RawJob {
+                    // SAFETY: k < n <= MAX_PIECES; in-bounds element.
+                    data: unsafe { jobs_base.add(k) }.cast::<()>(),
+                    run: run_piece::<I>,
+                });
+            }
+            pool.available.notify_all();
+        }
+
+        // Run piece 0 here. Catch panics so we still wait on the latch:
+        // unwinding past it would free stack data workers are writing.
+        let piece0 = piece0.expect("piece 0 assigned");
+        let r0 = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: element 0 is only touched by this thread.
+            piece0.drain_into(unsafe { &mut *outs_base });
+        }));
+        let worker_panicked = latch.wait();
+        if let Err(payload) = r0 {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a parallel pool worker panicked");
 
         let mut out = Vec::with_capacity(total);
-        for part in results {
-            out.extend(part);
+        for part in outs.iter_mut().take(n) {
+            out.append(part);
         }
         out
     }
@@ -122,8 +350,10 @@ impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
         (SliceIter { slice: a }, SliceIter { slice: b })
     }
 
-    fn drain_into(self, out: &mut Vec<Self::Item>) {
-        out.extend(self.slice.iter());
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for x in self.slice {
+            f(x);
+        }
     }
 }
 
@@ -143,8 +373,10 @@ impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
         (SliceIterMut { slice: a }, SliceIterMut { slice: b })
     }
 
-    fn drain_into(self, out: &mut Vec<Self::Item>) {
-        out.extend(self.slice.iter_mut());
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for x in self.slice {
+            f(x);
+        }
     }
 }
 
@@ -152,6 +384,10 @@ pub struct Zip<A, B> {
     a: A,
     b: B,
 }
+
+/// Items buffered per lockstep chunk when driving a `Zip`; sized so the
+/// scratch stays in a small stack array instead of the heap.
+const ZIP_CHUNK: usize = 64;
 
 impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
     type Item = (A::Item, B::Item);
@@ -166,15 +402,33 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
         (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
     }
 
-    fn drain_into(self, out: &mut Vec<Self::Item>) {
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        // Lockstep in fixed-size chunks: drive a chunk of `a` into a
+        // stack buffer, then drive the matching chunk of `b`, pairing.
         let n = self.len();
-        let mut av = Vec::with_capacity(n);
-        let mut bv = Vec::with_capacity(n);
-        let (a, _) = self.a.split_at(n);
-        let (b, _) = self.b.split_at(n);
-        a.drain_into(&mut av);
-        b.drain_into(&mut bv);
-        out.extend(av.into_iter().zip(bv));
+        let (mut a, _) = self.a.split_at(n);
+        let (mut b, _) = self.b.split_at(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let step = remaining.min(ZIP_CHUNK);
+            let (a_head, a_tail) = a.split_at(step);
+            let (b_head, b_tail) = b.split_at(step);
+            a = a_tail;
+            b = b_tail;
+            let mut buf: [Option<A::Item>; ZIP_CHUNK] = std::array::from_fn(|_| None);
+            let mut filled = 0usize;
+            a_head.drive(&mut |x| {
+                buf[filled] = Some(x);
+                filled += 1;
+            });
+            let mut taken = 0usize;
+            b_head.drive(&mut |y| {
+                let x = buf[taken].take().expect("zip sides agree on length");
+                taken += 1;
+                f((x, y));
+            });
+            remaining -= step;
+        }
     }
 }
 
@@ -204,15 +458,12 @@ impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
         )
     }
 
-    fn drain_into(self, out: &mut Vec<Self::Item>) {
-        let mut items = Vec::with_capacity(self.inner.len());
-        self.inner.drain_into(&mut items);
-        out.extend(
-            items
-                .into_iter()
-                .enumerate()
-                .map(|(i, x)| (self.base + i, x)),
-        );
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        let mut i = self.base;
+        self.inner.drive(&mut |x| {
+            f((i, x));
+            i += 1;
+        });
     }
 }
 
@@ -247,10 +498,9 @@ where
         )
     }
 
-    fn drain_into(self, out: &mut Vec<Self::Item>) {
-        let mut items = Vec::with_capacity(self.inner.len());
-        self.inner.drain_into(&mut items);
-        out.extend(items.into_iter().map(self.f));
+    fn drive<G: FnMut(Self::Item)>(self, g: &mut G) {
+        let f = self.f;
+        self.inner.drive(&mut |x| g(f(x)));
     }
 }
 
@@ -301,9 +551,18 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Once;
+
+    /// Pins the pool width to 4 before any collect can latch it, so these
+    /// tests exercise the pooled path even on a single-core machine.
+    fn force_pool() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+    }
 
     #[test]
     fn full_chain_matches_sequential() {
+        force_pool();
         let mut states: Vec<u64> = (0..97).collect();
         let inboxes: Vec<u64> = (0..97).map(|i| i * 10).collect();
 
@@ -331,6 +590,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_element_collect() {
+        force_pool();
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
@@ -338,5 +598,56 @@ mod tests {
         let one = vec![41u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn for_each_mutates_every_element() {
+        force_pool();
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().enumerate().for_each(|(i, x)| {
+            *x = *x * 3 + i as u64;
+        });
+        let expected: Vec<u64> = (0..1000u64).map(|i| i * 3 + i).collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn pool_is_reused_across_collects() {
+        force_pool();
+        // Many collects above the cutoff: each would previously spawn
+        // fresh OS threads; with the pool they all reuse the same workers
+        // and still produce ordered output.
+        for round in 0..50u64 {
+            let v: Vec<u64> = (0..257).map(|i| i + round).collect();
+            let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+            let expected: Vec<u64> = (0..257).map(|i| (i + round) * 2).collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn zip_of_unequal_lengths_truncates() {
+        force_pool();
+        let a: Vec<u32> = (0..300).collect();
+        let b: Vec<u32> = (0..200).collect();
+        let out: Vec<u32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        let expected: Vec<u32> = (0..200).map(|i| i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        force_pool();
+        let v: Vec<u32> = (0..400).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = v
+                .par_iter()
+                .map(|&x| {
+                    assert!(x != 399, "intentional");
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic in a piece must propagate");
     }
 }

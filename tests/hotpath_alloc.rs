@@ -1,0 +1,86 @@
+//! Zero-allocation guarantee for the superstep hot path.
+//!
+//! With tracing off and no validator installed, steady-state supersteps
+//! carrying word-sized traffic (inline payloads, <= 16 bytes) must not
+//! touch the heap at all: outboxes, inboxes, the communication pattern
+//! and the delivery pre-pass all reuse buffers warmed up in the first few
+//! supersteps, and the pooled executor keeps its scratch on the caller's
+//! stack.
+//!
+//! The binary installs a counting global allocator, so it holds exactly
+//! one test: other tests in the same process would pollute the counter.
+
+// Tests cast small pids freely.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::sync::{Arc, Once};
+
+use pcm_sim::{Ctx, IdealNetwork, Machine, UniformCompute};
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+/// Pool width 4 at `p >= 32` engages the pooled dispatch path even on a
+/// single-core runner.
+fn force_pool() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+        }
+    });
+}
+
+/// One superstep of word traffic: read the inbox, send two inline-payload
+/// word messages. Mirrors the `word_exchange` throughput benchmark.
+fn word_step(ctx: &mut Ctx<'_, u64>) {
+    ctx.charge(1.0);
+    let mut sum = 0u32;
+    for msg in ctx.msgs() {
+        sum = sum.wrapping_add(msg.word_u32());
+    }
+    *ctx.state = ctx.state.wrapping_add(u64::from(sum));
+    let p = ctx.nprocs();
+    let pid = ctx.pid();
+    let word = (pid as u32).wrapping_add(sum);
+    // 16 bytes: exactly at the inline-payload boundary.
+    ctx.send_words_u32((pid * 7 + 3) % p, &[word, word ^ 1, word ^ 2, word ^ 3]);
+    ctx.send_word_u32((pid + 1) % p, word);
+}
+
+fn steady_state_delta(parallel: bool) -> u64 {
+    let p = 256;
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u64; p],
+        99,
+    );
+    m.set_tracing(false);
+    m.set_parallel(parallel);
+    // Warm-up: grows outbox/inbox/pattern capacities, spawns the pool
+    // workers and latches per-thread parker state.
+    for _ in 0..50 {
+        m.superstep(word_step);
+    }
+    let before = alloc_counter::allocations();
+    for _ in 0..100 {
+        m.superstep(word_step);
+    }
+    alloc_counter::allocations() - before
+}
+
+#[test]
+fn steady_state_supersteps_do_not_allocate() {
+    force_pool();
+    let sequential = steady_state_delta(false);
+    assert_eq!(
+        sequential, 0,
+        "sequential hot path allocated {sequential} times in 100 supersteps"
+    );
+    let pooled = steady_state_delta(true);
+    assert_eq!(
+        pooled, 0,
+        "pooled hot path allocated {pooled} times in 100 supersteps"
+    );
+}

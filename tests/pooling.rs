@@ -1,0 +1,242 @@
+//! Pooled-executor equivalence: with the worker pool forced on (every
+//! test here pins `RAYON_NUM_THREADS=4` before the shim can latch its
+//! width), machines at `p >= 32` dispatch supersteps through the
+//! persistent pool. These tests pin the contract that pooling is purely
+//! an execution strategy:
+//!
+//! * pooled and forced-sequential runs produce bit-identical simulated
+//!   times, states and run digests on all three machines;
+//! * recycled inboxes and payload buffers never leak stale bytes,
+//!   messages or shadow events into a later superstep;
+//! * the `pcm-race` analyzer stays clean on the pooled path.
+
+// Tests assert exact simulated values and cast small pids freely.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::sync::{Arc, Once};
+
+use pcm::algos::matmul::{self, MatmulVariant};
+use pcm::algos::sort::bitonic::{self, ExchangeMode};
+use pcm::algos::RunResult;
+use pcm::Platform;
+use pcm_check::{render, Digest};
+use pcm_race::{check_races, errors, RaceConfig};
+use pcm_sim::{with_sequential, Ctx, IdealNetwork, Machine, UniformCompute};
+
+const SEED: u64 = 2026;
+
+/// Pool width 4 at or above `p = 32` engages the pooled path even on a
+/// single-core runner. Every test calls this before any parallel collect
+/// so the shim's latched width is deterministic for the whole binary.
+fn force_pool() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+        }
+    });
+}
+
+/// The three simulated machines, scaled to `p` processors.
+fn machines(p: usize) -> Vec<Platform> {
+    vec![
+        Platform::maspar_with(p),
+        Platform::gcel_with(p),
+        Platform::cm5_with(p),
+    ]
+}
+
+/// Folds everything an algorithm run produced into a state digest
+/// (mirrors `tests/golden.rs`).
+fn digest_run(r: &RunResult) -> u64 {
+    let mut d = Digest::new();
+    d.push_f64(r.time.as_micros());
+    d.push_u64(u64::from(r.verified));
+    d.push_f64(r.breakdown.compute.as_micros());
+    d.push_f64(r.breakdown.comm.as_micros());
+    d.push_usize(r.breakdown.supersteps);
+    d.push_usize(r.breakdown.messages);
+    d.push_usize(r.breakdown.bytes);
+    d.push_usize(r.stats.max_bucket);
+    d.push_f64(r.stats.mflops);
+    d.finish()
+}
+
+type KernelRun<'a> = Box<dyn Fn() -> RunResult + 'a>;
+
+/// Pooled vs forced-sequential whole-kernel runs: identical times and
+/// digests on all three machines at a pool-engaging processor count.
+#[test]
+fn pooled_kernels_match_forced_sequential() {
+    force_pool();
+    for plat in machines(64) {
+        let runs: Vec<(&str, KernelRun<'_>)> = vec![
+            (
+                "bitonic words m=24",
+                Box::new(|| bitonic::run(&plat, 24, ExchangeMode::Words, SEED)),
+            ),
+            (
+                "matmul naive n=16",
+                Box::new(|| matmul::run(&plat, 16, MatmulVariant::BspNaive, SEED)),
+            ),
+        ];
+        for (label, run) in runs {
+            let pooled = run();
+            let sequential = with_sequential(&run);
+            assert!(
+                pooled.verified,
+                "{label} on {}: pooled run failed",
+                plat.name()
+            );
+            assert_eq!(
+                pooled.time.as_micros().to_bits(),
+                sequential.time.as_micros().to_bits(),
+                "{label} on {}: simulated time diverged",
+                plat.name()
+            );
+            assert_eq!(
+                digest_run(&pooled),
+                digest_run(&sequential),
+                "{label} on {}: run digest diverged",
+                plat.name()
+            );
+        }
+    }
+}
+
+/// Pooled vs forced-sequential raw machine: identical `(time, states)`
+/// for a workload that exercises inline words, pooled block payloads and
+/// the per-processor RNG streams.
+#[test]
+fn pooled_machine_matches_forced_sequential() {
+    force_pool();
+    let run = || {
+        let p = 64;
+        let mut m = Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![0u64; p],
+            SEED,
+        );
+        for round in 0..10u32 {
+            m.superstep(move |ctx| {
+                ctx.charge(f64::from(round) + ctx.pid() as f64 * 0.25);
+                let dst = (ctx.pid() * 7 + 3) % ctx.nprocs();
+                ctx.send_word_u32(dst, round * 1000 + ctx.pid() as u32);
+                // 32 u32s: heap payload drawn from the sender's pool.
+                let block: Vec<u32> = (0..32).map(|i| i + round).collect();
+                ctx.send_block_u32((ctx.pid() + 1) % ctx.nprocs(), &block);
+            });
+            m.superstep(|ctx| {
+                let mut acc = *ctx.state;
+                for msg in ctx.msgs() {
+                    for b in msg.data() {
+                        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*b));
+                    }
+                }
+                *ctx.state = acc;
+            });
+        }
+        (m.time().as_micros().to_bits(), m.into_states())
+    };
+    let pooled = run();
+    let sequential = with_sequential(run);
+    assert_eq!(pooled, sequential);
+}
+
+/// Recycled inboxes and pooled payload buffers must never surface stale
+/// bytes: after large heap payloads are consumed and their buffers
+/// recycled, later (shorter) messages must carry exactly their own data,
+/// and quiet supersteps must observe empty inboxes.
+#[test]
+fn recycled_buffers_never_leak_stale_data() {
+    force_pool();
+    let p = 64;
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u32; p],
+        SEED,
+    );
+    // Round 1: long, distinctive heap payloads (128 bytes each).
+    m.superstep(|ctx| {
+        let pid = ctx.pid() as u32;
+        let vals: Vec<u32> = (0..32).map(|i| pid * 100 + i).collect();
+        ctx.send_block_u32((ctx.pid() + 1) % ctx.nprocs(), &vals);
+    });
+    m.superstep(|ctx| {
+        let prev = ((ctx.pid() + ctx.nprocs() - 1) % ctx.nprocs()) as u32;
+        assert_eq!(ctx.msgs().len(), 1);
+        let expected: Vec<u32> = (0..32).map(|i| prev * 100 + i).collect();
+        assert_eq!(ctx.msgs()[0].as_u32s(), expected);
+        // Round 2: shorter payloads that reuse the recycled buffers. Any
+        // stale suffix from the 128-byte round would change the length or
+        // the decoded values.
+        let pid = ctx.pid() as u32;
+        let vals: Vec<u32> = (0..10).map(|i| pid * 7 + i).collect();
+        ctx.send_block_u32((ctx.pid() + 1) % ctx.nprocs(), &vals);
+    });
+    m.superstep(|ctx| {
+        let prev = ((ctx.pid() + ctx.nprocs() - 1) % ctx.nprocs()) as u32;
+        assert_eq!(ctx.msgs().len(), 1);
+        assert_eq!(ctx.msgs()[0].data().len(), 40, "stale bytes leaked");
+        let expected: Vec<u32> = (0..10).map(|i| prev * 7 + i).collect();
+        assert_eq!(ctx.msgs()[0].as_u32s(), expected);
+    });
+    // Quiet round: recycled inboxes must come back empty.
+    m.superstep(|ctx| {
+        assert!(ctx.msgs().is_empty(), "stale messages survived delivery");
+    });
+}
+
+/// The happens-before analyzer (which also shadows every send/consume
+/// event) stays clean when supersteps run on the worker pool.
+#[test]
+fn race_analyzer_is_clean_on_pooled_path() {
+    force_pool();
+    for plat in machines(64) {
+        let label = format!("bitonic words m=24 on {} p=64 (pooled)", plat.name());
+        let (result, violations) = check_races(RaceConfig::exclusive(), || {
+            bitonic::run(&plat, 24, ExchangeMode::Words, SEED)
+        });
+        assert!(result.verified, "{label}: result failed verification");
+        let errs = errors(&violations);
+        assert!(
+            errs.is_empty(),
+            "{label}: race findings:\n{}",
+            render(&violations)
+        );
+    }
+}
+
+/// Shadow events are drained every superstep even on the pooled path: a
+/// second analyzed run on the same thread starts from a clean slate and
+/// reports the same (empty) finding set.
+#[test]
+fn shadow_events_do_not_leak_across_analyzed_runs() {
+    force_pool();
+    let workload = || {
+        let p = 64;
+        let mut m = Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![0u32; p],
+            SEED,
+        );
+        m.superstep(|ctx: &mut Ctx<'_, u32>| {
+            let pid = ctx.pid() as u32;
+            ctx.send_word_u32((ctx.pid() + 1) % ctx.nprocs(), pid);
+        });
+        m.superstep(|ctx: &mut Ctx<'_, u32>| {
+            *ctx.state = ctx.msgs()[0].word_u32();
+        });
+    };
+    let ((), first) = check_races(RaceConfig::exclusive(), workload);
+    let ((), second) = check_races(RaceConfig::exclusive(), workload);
+    assert!(errors(&first).is_empty(), "{}", render(&first));
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "stale shadow events changed a repeated run's findings"
+    );
+}
