@@ -1,8 +1,8 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden fmt clippy bench bench-smoke
+.PHONY: ci build test sanitize race golden audit doc fmt clippy bench bench-smoke
 
-ci: build test fmt clippy
+ci: build test audit doc fmt clippy
 
 build:
 	cargo build --release
@@ -18,6 +18,13 @@ race:
 
 golden:
 	cargo test -q --test golden
+
+# Static schedule audit: full sweep + machine-readable findings report.
+audit:
+	cargo run --release -p pcm-audit --bin pcm-audit -- --out AUDIT_report.json
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Criterion suites plus the recorded throughput report (BENCH_simulator.json).
 bench:

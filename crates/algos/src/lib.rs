@@ -16,10 +16,11 @@
 //! * [`vendor`] — analogues of the MPL `matmul` intrinsic and CMSSL's
 //!   `gen_matrix_mult` (Sec. 7);
 //! * [`primitives`] — the BSP communication primitives (broadcast,
-//!   all-gather, multi-scan) of the paper's reference [16];
+//!   all-gather, multi-scan) of the paper's reference \[16\];
 //! * [`verify`] — sequential references; every run is checked.
 
 pub mod apsp;
+pub mod bounds;
 pub mod lu;
 pub mod matmul;
 pub mod primitives;

@@ -1,7 +1,7 @@
 //! Standalone collective operations on a simulated machine.
 //!
 //! These are the BSP communication primitives of the paper's reference
-//! [16] (Juurlink & Wijshoff, "Communication Primitives for BSP
+//! \[16\] (Juurlink & Wijshoff, "Communication Primitives for BSP
 //! Computers"), implemented over a simple word-vector state. The
 //! algorithms embed specialized copies of these patterns; the standalone
 //! versions exist so the primitives can be measured and tested in

@@ -5,7 +5,7 @@
 //! third contender was a counting-based radix sort. This module implements
 //! it on the simulator: each 8-bit pass computes local digit histograms,
 //! resolves global bucket offsets with the multi-scan primitive the paper
-//! analyzes (`T_scan = 2·(g·P + L)` — reference [16]), and routes every key
+//! analyzes (`T_scan = 2·(g·P + L)` — reference \[16\]), and routes every key
 //! to its globally ranked position. Four passes leave the keys globally
 //! sorted by processor order.
 //!

@@ -338,7 +338,7 @@ pub fn run(
 
 /// Word-message multi-scan: 2 supersteps of `P`-relations, cost
 /// `2·(g·P + L)` — the optimal BSP multi-scan of the paper's reference
-/// [16].
+/// \[16\].
 fn multiscan_words(machine: &mut Machine<SampleState>, p: usize) {
     machine.superstep(|ctx| {
         let pid = ctx.pid();

@@ -1,0 +1,341 @@
+//! The sweep registry: every algorithm family the auditor certifies, with
+//! its declared bounds, optional cost contract, audit grid, validity
+//! predicate and runnable variants.
+//!
+//! The variant lists mirror `tests/sanitizer.rs` — every schedule the
+//! sanitizer sweeps is also statically audited — plus the standalone
+//! collectives, which the sanitizer only exercises indirectly through the
+//! algorithms that embed them.
+
+use pcm_algos::apsp::{self, ApspVariant};
+use pcm_algos::bounds::{self, AuditBounds};
+use pcm_algos::lu::{self, LuVariant};
+use pcm_algos::matmul::{self, MatmulVariant};
+use pcm_algos::primitives::collectives::{self, CollState};
+use pcm_algos::sort::bitonic::{self, ExchangeMode};
+use pcm_algos::sort::parallel_radix::{self, RadixVariant};
+use pcm_algos::sort::sample::{self, SampleVariant};
+use pcm_algos::vendor;
+use pcm_machines::Platform;
+use pcm_models::contract;
+use pcm_models::predict::matmul::q_for;
+use pcm_models::CostContract;
+
+/// Fixed seed for every audited run (the schedule, not the seed, is under
+/// audit; a fixed seed keeps the sweep deterministic).
+pub const SEED: u64 = 2026;
+
+/// Runs one variant at `(platform, n, seed)` and reports whether the
+/// result verified against its sequential reference.
+pub type Runner = Box<dyn Fn(&Platform, usize, u64) -> bool + Send + Sync>;
+
+/// One runnable schedule of a family.
+pub struct Variant {
+    /// Variant name, as the sanitizer labels it.
+    pub name: &'static str,
+    /// Executes the variant and returns its verification flag.
+    pub run: Runner,
+}
+
+/// One algorithm family in the audit sweep.
+pub struct Family {
+    /// Family name, matching `pcm_algos::bounds`.
+    pub name: &'static str,
+    /// Declared static buffer envelope.
+    pub bounds: AuditBounds,
+    /// Cost contract, when a predictor ships one (vendor kernels and the
+    /// standalone collectives have none).
+    pub contract: Option<CostContract>,
+    /// `(n, p)` sweep grid.
+    pub grid: &'static [(usize, usize)],
+    /// Points of the symbolic A06 grid the family can run on.
+    pub valid: fn(n: usize, p: usize) -> bool,
+    /// Runnable schedules.
+    pub variants: Vec<Variant>,
+}
+
+/// The three simulated machines, scaled to `p` processors.
+pub fn machines(p: usize) -> Vec<Platform> {
+    vec![
+        Platform::maspar_with(p),
+        Platform::gcel_with(p),
+        Platform::cm5_with(p),
+    ]
+}
+
+fn matmul_variant(v: MatmulVariant) -> Runner {
+    Box::new(move |plat, n, seed| matmul::run(plat, n, v, seed).verified)
+}
+
+fn bitonic_variant(mode: ExchangeMode) -> Runner {
+    Box::new(move |plat, m, seed| bitonic::run(plat, m, mode, seed).verified)
+}
+
+fn sample_variant(v: SampleVariant) -> Runner {
+    Box::new(move |plat, m, seed| sample::run(plat, m, 2, v, seed).verified)
+}
+
+fn radix_variant(v: RadixVariant) -> Runner {
+    Box::new(move |plat, m, seed| parallel_radix::run(plat, m, v, seed).verified)
+}
+
+fn apsp_variant(v: ApspVariant) -> Runner {
+    Box::new(move |plat, n, seed| apsp::run(plat, n, v, seed).verified)
+}
+
+fn lu_variant(v: LuVariant) -> Runner {
+    Box::new(move |plat, n, seed| lu::run(plat, n, v, seed).verified)
+}
+
+fn coll_machine(plat: &Platform, data: Vec<Vec<u32>>, seed: u64) -> pcm_sim::Machine<CollState> {
+    collectives::machine_with(plat, data, seed)
+}
+
+/// The full registry, one entry per algorithm family.
+#[allow(clippy::cast_possible_truncation)] // audit grid sizes fit in u32
+pub fn registry() -> Vec<Family> {
+    vec![
+        Family {
+            name: "matmul",
+            bounds: bounds::matmul(),
+            contract: Some(contract::matmul()),
+            grid: &[(8, 16), (16, 64), (32, 64)],
+            valid: |n, p| {
+                let q = q_for(p);
+                q > 0 && n % (q * q) == 0
+            },
+            variants: vec![
+                Variant {
+                    name: "BspNaive",
+                    run: matmul_variant(MatmulVariant::BspNaive),
+                },
+                Variant {
+                    name: "BspStaggered",
+                    run: matmul_variant(MatmulVariant::BspStaggered),
+                },
+                Variant {
+                    name: "Bpram",
+                    run: matmul_variant(MatmulVariant::Bpram),
+                },
+            ],
+        },
+        Family {
+            name: "bitonic",
+            bounds: bounds::bitonic(),
+            contract: Some(contract::bitonic()),
+            grid: &[(16, 16), (24, 64), (16, 256)],
+            valid: |_n, p| p.is_power_of_two(),
+            variants: vec![
+                Variant {
+                    name: "Words",
+                    run: bitonic_variant(ExchangeMode::Words),
+                },
+                Variant {
+                    name: "WordsResync8",
+                    run: bitonic_variant(ExchangeMode::WordsResync { interval: 8 }),
+                },
+                Variant {
+                    name: "Packets16",
+                    run: bitonic_variant(ExchangeMode::Packets { bytes: 16 }),
+                },
+                Variant {
+                    name: "Block",
+                    run: bitonic_variant(ExchangeMode::Block),
+                },
+            ],
+        },
+        Family {
+            name: "samplesort",
+            bounds: bounds::samplesort(),
+            contract: Some(contract::samplesort()),
+            grid: &[(16, 16), (24, 64), (16, 256)],
+            valid: |_n, p| p.is_power_of_two(),
+            variants: vec![
+                Variant {
+                    name: "BspWords",
+                    run: sample_variant(SampleVariant::BspWords),
+                },
+                Variant {
+                    name: "Bpram",
+                    run: sample_variant(SampleVariant::Bpram),
+                },
+                Variant {
+                    name: "BpramStaggered",
+                    run: sample_variant(SampleVariant::BpramStaggered),
+                },
+            ],
+        },
+        Family {
+            name: "parallel_radix",
+            bounds: bounds::parallel_radix(),
+            contract: Some(contract::parallel_radix()),
+            grid: &[(32, 16), (16, 64), (16, 256)],
+            valid: |_n, p| p.is_power_of_two() && p <= 256,
+            variants: vec![
+                Variant {
+                    name: "Words",
+                    run: radix_variant(RadixVariant::Words),
+                },
+                Variant {
+                    name: "Blocks",
+                    run: radix_variant(RadixVariant::Blocks),
+                },
+            ],
+        },
+        Family {
+            name: "apsp",
+            bounds: bounds::apsp(),
+            contract: Some(contract::apsp()),
+            grid: &[(8, 16), (16, 64), (16, 256)],
+            valid: square_blocked,
+            variants: vec![
+                Variant {
+                    name: "Words",
+                    run: apsp_variant(ApspVariant::Words),
+                },
+                Variant {
+                    name: "Blocks",
+                    run: apsp_variant(ApspVariant::Blocks),
+                },
+            ],
+        },
+        Family {
+            name: "lu",
+            bounds: bounds::lu(),
+            contract: Some(contract::lu()),
+            grid: &[(8, 16), (16, 64), (16, 256)],
+            valid: square_blocked,
+            variants: vec![
+                Variant {
+                    name: "Words",
+                    run: lu_variant(LuVariant::Words),
+                },
+                Variant {
+                    name: "Blocks",
+                    run: lu_variant(LuVariant::Blocks),
+                },
+            ],
+        },
+        Family {
+            name: "vendor",
+            bounds: bounds::vendor(),
+            contract: None,
+            grid: &[(8, 16), (16, 64)],
+            valid: |_n, _p| false,
+            variants: vec![
+                Variant {
+                    name: "maspar_matmul",
+                    run: Box::new(|plat, n, seed| vendor::maspar_matmul(plat, n, seed).verified),
+                },
+                Variant {
+                    name: "cmssl_matmul",
+                    run: Box::new(|plat, n, seed| vendor::cmssl_matmul(plat, n, seed).verified),
+                },
+            ],
+        },
+        Family {
+            name: "collectives",
+            bounds: bounds::collectives(),
+            contract: None,
+            grid: &[(16, 16), (32, 64)],
+            valid: |_n, _p| false,
+            variants: vec![
+                Variant {
+                    name: "broadcast",
+                    run: Box::new(|plat, n, seed| {
+                        let p = plat.p();
+                        let mut data = vec![Vec::new(); p];
+                        data[0] = (0..n as u32).collect();
+                        let expect = data[0].clone();
+                        let mut m = coll_machine(plat, data, seed);
+                        collectives::broadcast(&mut m, 0);
+                        m.states().iter().all(|s| s.out == expect)
+                    }),
+                },
+                Variant {
+                    name: "all_gather",
+                    run: Box::new(|plat, n, seed| {
+                        let p = plat.p();
+                        let data: Vec<Vec<u32>> = (0..p)
+                            .map(|i| {
+                                let base = (i * n) as u32;
+                                (base..base + n as u32).collect()
+                            })
+                            .collect();
+                        let expect: Vec<u32> = (0..(p * n) as u32).collect();
+                        let mut m = coll_machine(plat, data, seed);
+                        collectives::all_gather(&mut m);
+                        m.states().iter().all(|s| s.out == expect)
+                    }),
+                },
+                Variant {
+                    name: "multi_scan",
+                    run: Box::new(|plat, _n, seed| {
+                        let p = plat.p();
+                        let data = vec![vec![1u32; p]; p];
+                        let mut m = coll_machine(plat, data, seed);
+                        collectives::multi_scan(&mut m);
+                        m.states()
+                            .iter()
+                            .enumerate()
+                            .all(|(i, s)| s.out == vec![i as u32; p])
+                    }),
+                },
+            ],
+        },
+    ]
+}
+
+/// Valid for square processor grids that tile `n` exactly (APSP and LU).
+fn square_blocked(n: usize, p: usize) -> bool {
+    let side = p.isqrt();
+    side * side == p && side > 0 && n.is_multiple_of(side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_the_declared_bounds_set() {
+        let fams = registry();
+        assert_eq!(fams.len(), bounds::all().len());
+        for f in &fams {
+            assert_eq!(f.name, f.bounds.family, "registry/bounds name drift");
+            assert!(!f.variants.is_empty());
+            assert!(!f.grid.is_empty());
+        }
+    }
+
+    #[test]
+    fn contracts_cover_exactly_the_predictor_families() {
+        let with: Vec<&str> = registry()
+            .iter()
+            .filter(|f| f.contract.is_some())
+            .map(|f| f.name)
+            .collect();
+        assert_eq!(
+            with,
+            [
+                "matmul",
+                "bitonic",
+                "samplesort",
+                "parallel_radix",
+                "apsp",
+                "lu"
+            ]
+        );
+    }
+
+    #[test]
+    fn grids_satisfy_each_family_validity_predicate() {
+        for f in registry() {
+            if f.contract.is_none() {
+                continue;
+            }
+            for &(n, p) in f.grid {
+                assert!((f.valid)(n, p), "{}: invalid grid point ({n}, {p})", f.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The full audit sweep: every family × machine × `(n, p)` grid point.
+//!
+//! For each point the sweep extracts the communication plan of every
+//! variant with `pcm_sim::extract_plans` (a dry run — no network pricing
+//! executes), certifies rules A01–A05 on it, certifies the contract shape
+//! (A06) once per family, and replays a sample of the grid through the
+//! priced simulator to confirm the static bounds dominate observed traces.
+
+use crate::checker::{audit_plan, certify_contract_shape, differential_gate, PlanAudit};
+use crate::families::{machines, registry, Family, SEED};
+use crate::rules::{AuditRule, Finding};
+use pcm_machines::Platform;
+use pcm_sim::extract_plans;
+
+/// Problem sizes of the symbolic A06 grid.
+pub const SHAPE_NS: [usize; 6] = [8, 16, 32, 64, 128, 256];
+/// Processor counts of the symbolic A06 grid.
+pub const SHAPE_PS: [usize; 4] = [16, 64, 256, 1024];
+
+/// Sweep configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOptions {
+    /// Restrict to the first grid point and the MasPar per family — the
+    /// smoke configuration for quick local runs.
+    pub fast: bool,
+}
+
+/// Sweep volume counters, for the report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Dry-run plans audited (one per family × machine × point × variant).
+    pub plans_audited: usize,
+    /// Family × `(n, p)` grid points visited.
+    pub grid_points: usize,
+    /// Points replayed through the priced simulator.
+    pub differential_points: usize,
+    /// Contracts whose symbolic shape was certified.
+    pub shape_contracts: usize,
+}
+
+/// Everything one sweep produced.
+pub struct SweepOutcome {
+    /// All findings, in sweep order (empty = certified clean).
+    pub findings: Vec<Finding>,
+    /// Volume counters.
+    pub stats: SweepStats,
+}
+
+fn audit_point(
+    family: &Family,
+    plat: &Platform,
+    n: usize,
+    p: usize,
+    findings: &mut Vec<Finding>,
+    stats: &mut SweepStats,
+) {
+    for variant in &family.variants {
+        let cx = PlanAudit {
+            family: family.name,
+            variant: variant.name,
+            machine: plat.name(),
+            n,
+            p,
+            word: plat.word(),
+            bounds: &family.bounds,
+            contract: family.contract.as_ref(),
+        };
+        let (verified, plans) = extract_plans(|| (variant.run)(plat, n, SEED));
+        if !verified {
+            findings.push(Finding {
+                rule: AuditRule::MsgConservation,
+                family: family.name.to_string(),
+                variant: variant.name.to_string(),
+                machine: plat.name().to_string(),
+                n,
+                p,
+                step: None,
+                detail: "dry run failed result verification".into(),
+            });
+        }
+        for plan in &plans {
+            findings.extend(audit_plan(plan, &cx));
+            stats.plans_audited += 1;
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn sweep(opts: SweepOptions) -> SweepOutcome {
+    let mut findings = Vec::new();
+    let mut stats = SweepStats::default();
+
+    for family in registry() {
+        // A06: symbolic shape of the contract, once per family.
+        if let Some(c) = family.contract.as_ref() {
+            findings.extend(certify_contract_shape(
+                family.name,
+                c,
+                &SHAPE_NS,
+                &SHAPE_PS,
+                family.valid,
+            ));
+            stats.shape_contracts += 1;
+        }
+
+        let grid = if opts.fast {
+            &family.grid[..1]
+        } else {
+            family.grid
+        };
+        for &(n, p) in grid {
+            stats.grid_points += 1;
+            let plats = machines(p);
+            let plats = if opts.fast { &plats[..1] } else { &plats[..] };
+            for plat in plats {
+                audit_point(&family, plat, n, p, &mut findings, &mut stats);
+            }
+        }
+
+        // Differential gate: replay through the priced simulator on the
+        // first variant × MasPar, across the (restricted) grid.
+        let variant = &family.variants[0];
+        for &(n, p) in grid {
+            let plat = &machines(p)[0];
+            let cx = PlanAudit {
+                family: family.name,
+                variant: variant.name,
+                machine: plat.name(),
+                n,
+                p,
+                word: plat.word(),
+                bounds: &family.bounds,
+                contract: family.contract.as_ref(),
+            };
+            findings.extend(differential_gate(&cx, &|| (variant.run)(plat, n, SEED)));
+            stats.differential_points += 1;
+        }
+    }
+
+    SweepOutcome { findings, stats }
+}

@@ -149,8 +149,8 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("col..n is non-empty: col < n");
         assert!(
             a[pivot][col].abs() > 1e-12,
             "singular system in least-squares fit"

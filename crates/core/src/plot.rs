@@ -1,7 +1,7 @@
 //! ASCII chart rendering for reproduced figures.
 //!
 //! The paper's figures are log-scale line plots; the `reproduce` CLI
-//! renders each [`Figure`](crate::series::Figure) both as an aligned table
+//! renders each [`crate::series::Figure`] both as an aligned table
 //! (exact values) and as an ASCII chart (shape at a glance). One glyph per
 //! series, log or linear y-axis chosen from the data spread.
 

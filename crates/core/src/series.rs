@@ -185,7 +185,7 @@ impl Figure {
                 }
             }
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
 
         let mut header: Vec<String> = vec![self.x_label.clone()];
         header.extend(

@@ -71,8 +71,8 @@ impl ModelAccount {
         self.totals()
             .into_iter()
             .map(|(name, t)| (name, t.relative_error(measured)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("four models")
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("totals() always returns four models")
     }
 }
 

@@ -116,7 +116,162 @@ impl std::fmt::Display for ContractBreach {
     }
 }
 
+/// One way a contract's closed-form bounds fail *shape* certification —
+/// anomalies in the symbolic `(n, p)` behaviour of the bound itself,
+/// independent of any executed run. The `pcm-audit` static analyzer
+/// reports these under rule A06.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundAnomaly {
+    /// The h-relation bound shrank when the problem grew at fixed `p`.
+    NonMonotoneInN {
+        /// Fixed processor count.
+        p: usize,
+        /// Smaller problem size.
+        n_lo: usize,
+        /// Larger problem size.
+        n_hi: usize,
+        /// Bound at `n_lo`.
+        lo: usize,
+        /// Bound at `n_hi`.
+        hi: usize,
+    },
+    /// The total communication volume bound `p·max_h` shrank when
+    /// processors were added at fixed `n`: the contract claims adding
+    /// processors removes words from the wire, which no algorithm in the
+    /// suite does.
+    ShrinkingVolumeInP {
+        /// Fixed problem size.
+        n: usize,
+        /// Smaller processor count.
+        p_lo: usize,
+        /// Larger processor count.
+        p_hi: usize,
+        /// Volume bound at `p_lo`.
+        lo: usize,
+        /// Volume bound at `p_hi`.
+        hi: usize,
+    },
+    /// The superstep range is empty (`min > max`) at a valid grid point.
+    EmptySuperstepRange {
+        /// Problem size.
+        n: usize,
+        /// Processor count.
+        p: usize,
+        /// Contract minimum.
+        min: usize,
+        /// Contract maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for BoundAnomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BoundAnomaly::NonMonotoneInN {
+                p,
+                n_lo,
+                n_hi,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "h bound shrinks in n at p={p}: h({n_lo})={lo} > h({n_hi})={hi}"
+            ),
+            BoundAnomaly::ShrinkingVolumeInP {
+                n,
+                p_lo,
+                p_hi,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "volume bound p·h shrinks in p at n={n}: {p_lo}·h={lo} > {p_hi}·h={hi}"
+            ),
+            BoundAnomaly::EmptySuperstepRange { n, p, min, max } => {
+                write!(f, "empty superstep range {min}..={max} at n={n} p={p}")
+            }
+        }
+    }
+}
+
 impl CostContract {
+    /// The h-relation bound at one grid point, in words.
+    pub fn h_bound(&self, n: usize, p: usize) -> usize {
+        (self.max_h)(n, p)
+    }
+
+    /// The inclusive superstep-count range at one grid point.
+    pub fn superstep_range(&self, n: usize, p: usize) -> (usize, usize) {
+        (self.supersteps)(n, p)
+    }
+
+    /// Certifies the symbolic *shape* of the contract's bounds over the
+    /// `ns × ps` grid, restricted to points where `valid(n, p)` holds
+    /// (algorithms impose divisibility constraints; comparing bounds at
+    /// points the algorithm cannot run on would be meaningless):
+    ///
+    /// * `max_h` is non-decreasing in `n` at fixed `p` (a bigger problem
+    ///   never moves fewer words per processor),
+    /// * the volume bound `p·max_h` is non-decreasing in `p` at fixed `n`
+    ///   (adding processors never shrinks the total wire volume the
+    ///   contract admits — the per-processor bound itself may shrink),
+    /// * the superstep range is non-empty at every valid point.
+    pub fn certify_shape(
+        &self,
+        ns: &[usize],
+        ps: &[usize],
+        valid: impl Fn(usize, usize) -> bool,
+    ) -> Vec<BoundAnomaly> {
+        let mut anomalies = Vec::new();
+        for &p in ps {
+            let mut prev: Option<(usize, usize)> = None;
+            for &n in ns {
+                if !valid(n, p) {
+                    continue;
+                }
+                let (min, max) = self.superstep_range(n, p);
+                if min > max {
+                    anomalies.push(BoundAnomaly::EmptySuperstepRange { n, p, min, max });
+                }
+                let h = self.h_bound(n, p);
+                if let Some((n_lo, lo)) = prev {
+                    if h < lo {
+                        anomalies.push(BoundAnomaly::NonMonotoneInN {
+                            p,
+                            n_lo,
+                            n_hi: n,
+                            lo,
+                            hi: h,
+                        });
+                    }
+                }
+                prev = Some((n, h));
+            }
+        }
+        for &n in ns {
+            let mut prev: Option<(usize, usize)> = None;
+            for &p in ps {
+                if !valid(n, p) {
+                    continue;
+                }
+                let volume = p.saturating_mul(self.h_bound(n, p));
+                if let Some((p_lo, lo)) = prev {
+                    if volume < lo {
+                        anomalies.push(BoundAnomaly::ShrinkingVolumeInP {
+                            n,
+                            p_lo,
+                            p_hi: p,
+                            lo,
+                            hi: volume,
+                        });
+                    }
+                }
+                prev = Some((p, volume));
+            }
+        }
+        anomalies
+    }
+
     /// Diffs the contract against a recorded trace stream; returns every
     /// breach (empty = conformant).
     pub fn check(&self, n: usize, p: usize, traces: &[SuperstepTrace]) -> Vec<ContractBreach> {

@@ -53,7 +53,11 @@ pub fn bcast_ebsp(m: &MachineParams, n: usize) -> SimTime {
     };
     let sq = (m.p as f64).sqrt();
     let mm = block_side(m, n);
-    let t_unb = |active: f64| m.ebsp.t_unb(active.min(m.p as f64)).unwrap();
+    let t_unb = |active: f64| {
+        m.ebsp
+            .t_unb(active.min(m.p as f64))
+            .expect("the PartialPermutation guard above makes t_unb defined")
+    };
     let mut t = mm * t_unb(sq) + mm * t_unb(m.p as f64);
     // A doubling-step count: a handful at most.
     #[allow(clippy::cast_possible_truncation)]

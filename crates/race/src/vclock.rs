@@ -142,6 +142,64 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_sees_nothing() {
+        // A machine that never ran a superstep: fresh clocks see no epoch,
+        // and a barrier over zero processors is a no-op.
+        let c = VClock::new(4);
+        for pid in 0..4 {
+            assert!(!c.sees(Epoch { pid, step: 0 }));
+        }
+        let mut none: Vec<VClock> = Vec::new();
+        global_barrier(&mut none, 0);
+        assert!(none.is_empty());
+        assert!(VClock::new(0).is_empty());
+        assert!(!VClock::new(1).is_empty());
+    }
+
+    #[test]
+    fn single_processor_trace_is_totally_ordered() {
+        // With P = 1 every pair of epochs is ordered by program order and
+        // a barrier only joins the clock with itself.
+        let mut clocks = vec![VClock::new(1)];
+        for step in 0..3 {
+            let before = Epoch { pid: 0, step };
+            assert!(before.happens_before(Epoch {
+                pid: 0,
+                step: step + 1
+            }));
+            global_barrier(&mut clocks, step);
+            assert!(clocks[0].sees(before));
+        }
+        assert_eq!(clocks[0].get(0), 3);
+        assert!(!clocks[0].sees(Epoch { pid: 0, step: 3 }));
+    }
+
+    #[test]
+    fn concurrent_but_ordered_pairs_stay_concurrent() {
+        // Two events in the same superstep on different processors are
+        // delivered in a deterministic (src) order by the simulator, but
+        // neither happens-before the other — delivery order is not
+        // causality. Both become visible to everyone after one barrier.
+        let a = Epoch { pid: 0, step: 2 };
+        let b = Epoch { pid: 3, step: 2 };
+        assert!(!a.happens_before(b));
+        assert!(!b.happens_before(a));
+        let later = Epoch { pid: 1, step: 3 };
+        assert!(a.happens_before(later) && b.happens_before(later));
+
+        let p = 4;
+        let mut clocks: Vec<VClock> = (0..p).map(|_| VClock::new(p)).collect();
+        for step in 0..=2 {
+            // Mid-superstep, neither event is visible to the other's proc.
+            assert!(!clocks[a.pid].sees(b) && !clocks[b.pid].sees(a));
+            global_barrier(&mut clocks, step);
+        }
+        for c in &clocks {
+            assert!(c.sees(a) && c.sees(b));
+        }
+    }
+
+    #[test]
     fn vclock_agrees_with_epoch_arithmetic() {
         // The collapsed happens-before (superstep arithmetic) must match
         // what the explicit clocks compute under global barriers.

@@ -25,6 +25,7 @@ pub mod machine;
 pub mod message;
 pub mod network;
 pub mod pattern;
+pub mod plan;
 pub mod shadow;
 pub mod topology;
 pub mod trace;
@@ -33,9 +34,10 @@ pub mod validate;
 pub use compute::{ComputeModel, UniformCompute};
 pub use ctx::Ctx;
 pub use machine::Machine;
-pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD};
+pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD, MAX_POOLED_PAYLOAD};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
 pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
+pub use plan::{extract_plans, RunPlan, StepPlan};
 pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};
 pub use trace::{RunBreakdown, SuperstepTrace};
 pub use validate::{with_sequential, with_validator, RunReport, StepReport, Validator};

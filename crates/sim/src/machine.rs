@@ -43,6 +43,7 @@ use crate::ctx::{Ctx, ProcAux};
 use crate::message::MsgKind;
 use crate::network::NetworkModel;
 use crate::pattern::{CommPattern, SendRecord};
+use crate::plan::{self, PlanRecorder, StepPlan};
 use crate::shadow::{SendMeta, ShadowEvent};
 use crate::trace::{RunBreakdown, SuperstepTrace};
 use crate::validate::{self, RunReport, StepReport, Validator};
@@ -66,6 +67,10 @@ pub struct Machine<S> {
     /// Sanitizer installed via [`crate::validate::with_validator`] at
     /// construction time; observes every superstep and the final drop.
     validator: Option<Box<dyn Validator>>,
+    /// Dry-run plan recorder installed via [`crate::plan::extract_plans`]
+    /// at construction time. When present the machine skips network
+    /// pricing and tracing, and clones each superstep's pattern instead.
+    plan: Option<PlanRecorder>,
     /// The superstep's communication pattern, rebuilt in place each step.
     pattern: CommPattern,
     /// Per-destination message counts for the delivery pre-pass.
@@ -102,6 +107,7 @@ impl<S: Send> Machine<S> {
             tracing: true,
             parallel: !validate::sequential_forced(),
             validator: validate::current_validator(p),
+            plan: plan::current_recorder(p),
             pattern: CommPattern {
                 p,
                 sends: (0..p).map(|_| Vec::new()).collect(),
@@ -242,15 +248,32 @@ impl<S: Send> Machine<S> {
             total_records += aux.outbox.len();
         }
 
-        let comm = if total_records == 0 {
+        // Dry-run extraction: clone the plan, skip pricing and tracing.
+        if let Some(rec) = self.plan.as_mut() {
+            rec.record(StepPlan {
+                step,
+                pattern: self.pattern.clone(),
+                inbox_count: self.procs.iter().map(|a| a.inbox.len()).collect(),
+                inbox_read: self.procs.iter().map(|a| a.read_inbox).collect(),
+            });
+        }
+        let dry_run = self.plan.is_some();
+
+        let comm = if dry_run {
+            SimTime::ZERO
+        } else if total_records == 0 {
             self.net.barrier()
         } else {
             self.net.route(&self.pattern, &mut self.net_rng)
         };
-        let compute_time = SimTime::from_micros(max_compute);
+        let compute_time = if dry_run {
+            SimTime::ZERO
+        } else {
+            SimTime::from_micros(max_compute)
+        };
         self.clock += compute_time + comm;
 
-        if self.tracing {
+        if self.tracing && !dry_run {
             // All pattern statistics in one pass over the send records,
             // using the machine's reusable scratch buffers. Semantics are
             // identical to the CommPattern query methods.
@@ -410,6 +433,9 @@ impl<S: Send> Machine<S> {
 
 impl<S> Drop for Machine<S> {
     fn drop(&mut self) {
+        if let Some(rec) = self.plan.take() {
+            rec.finish(self.procs.iter().map(|a| a.inbox.len()).collect());
+        }
         if let Some(validator) = self.validator.as_mut() {
             let pending_inbox: Vec<usize> = self.procs.iter().map(|a| a.inbox.len()).collect();
             validator.finish(&RunReport {

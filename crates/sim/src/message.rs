@@ -39,7 +39,7 @@ pub enum MsgKind {
 pub const INLINE_PAYLOAD: usize = 16;
 
 /// The value bytes of a [`Message`]: inline for small word traffic,
-/// heap-backed (and recyclable through a [`PayloadPool`]) for blocks.
+/// heap-backed (and recyclable through a `PayloadPool`) for blocks.
 #[derive(Clone, Debug)]
 pub enum Payload {
     /// Up to [`INLINE_PAYLOAD`] bytes stored in the message itself.
@@ -107,6 +107,13 @@ impl PartialEq for Payload {
 const POOL_MIN_CLASS: usize = 32;
 /// Largest pooled buffer class, in bytes; bigger buffers are not retained.
 const POOL_MAX_CLASS: usize = 1 << 20;
+
+/// Largest heap payload the per-processor `PayloadPool` will retain and
+/// recycle. Payloads above this size fall back to plain allocation on
+/// every send — the static analyzer's buffer-capacity rule (A04 in
+/// `pcm-audit`) certifies that no algorithm's plan ever crosses it, so the
+/// allocation-free superstep hot path holds across the whole sweep grid.
+pub const MAX_POOLED_PAYLOAD: usize = POOL_MAX_CLASS;
 /// Number of power-of-two size classes between the min and max class.
 const POOL_CLASSES: usize = (POOL_MAX_CLASS / POOL_MIN_CLASS).ilog2() as usize + 1;
 /// Retained buffers per class (per processor); excess buffers are freed.

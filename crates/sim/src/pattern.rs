@@ -532,6 +532,60 @@ mod tests {
             }
         }
 
+        /// The sort-based fast paths agree with a brute-force multiset
+        /// reference: `Segment::max_in_degree` against a per-destination
+        /// hash count, `BlockRound::max_recv_bytes` / `max_in_degree`
+        /// against per-destination hash sums, on random mixed patterns.
+        #[test]
+        fn degree_fast_paths_match_brute_force(
+            recs in proptest::collection::vec(
+                // Each record is one integer: dst in 0..6, words in 1..12,
+                // words-or-block flag (the shim has no tuple strategies).
+                proptest::collection::vec(0usize..132, 0..5), 1..7)
+        ) {
+            let p = 6usize;
+            let sends: Vec<Vec<SendRecord>> = recs
+                .iter()
+                .map(|rs| {
+                    rs.iter()
+                        .map(|&v| {
+                            let (dst, w, is_block) = (v % 6, v / 6 % 11 + 1, v >= 66);
+                            SendRecord {
+                                dst,
+                                words: w,
+                                bytes: w * 4,
+                                kind: if is_block { MsgKind::Block } else { MsgKind::Words },
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let pattern = CommPattern { p, sends };
+
+            for seg in pattern.word_segments() {
+                let mut counts = std::collections::HashMap::new();
+                for &(_, dst) in &seg.sends {
+                    *counts.entry(dst).or_insert(0usize) += 1;
+                }
+                let expect = counts.values().copied().max().unwrap_or(0);
+                proptest::prop_assert_eq!(seg.max_in_degree(), expect);
+                proptest::prop_assert_eq!(seg.is_permutation(), expect <= 1);
+            }
+
+            for round in pattern.block_rounds() {
+                let mut loads = std::collections::HashMap::new();
+                let mut counts = std::collections::HashMap::new();
+                for &(_, dst, b) in &round.sends {
+                    *loads.entry(dst).or_insert(0usize) += b;
+                    *counts.entry(dst).or_insert(0usize) += 1;
+                }
+                let max_load = loads.values().copied().max().unwrap_or(0);
+                let max_count = counts.values().copied().max().unwrap_or(0);
+                proptest::prop_assert_eq!(round.max_recv_bytes(), max_load);
+                proptest::prop_assert_eq!(round.max_in_degree(), max_count);
+            }
+        }
+
         /// Block rounds respect per-processor order and cover every block.
         #[test]
         fn block_rounds_cover_all_blocks(

@@ -15,7 +15,7 @@
 //! - no nested parallelism: a closure running on the pool must not
 //!   itself call `collect`/`for_each` on a parallel iterator (the
 //!   simulator never does);
-//! - jobs below [`pool::SEQUENTIAL_CUTOFF`] items run inline on the
+//! - jobs below `pool::SEQUENTIAL_CUTOFF` items run inline on the
 //!   caller, so tiny machines never pay for synchronization.
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` if set (like real rayon),

@@ -23,7 +23,10 @@
 //!   `reproduce` CLI,
 //! * [`check`] — the sanitizer: runtime protocol rules, model-conformance
 //!   linting against each predictor's cost contract, and a determinism
-//!   auditor (see the "Sanitizer" section of DESIGN.md).
+//!   auditor (see the "Sanitizer" section of DESIGN.md),
+//! * [`audit`] — the static superstep-schedule verifier: abstract
+//!   interpretation of extracted communication plans with cost-bound
+//!   certification (see the "Static audit" section of DESIGN.md).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 //! ```
 
 pub use pcm_algos as algos;
+pub use pcm_audit as audit;
 pub use pcm_calibrate as calibrate;
 pub use pcm_check as check;
 pub use pcm_core as core;
