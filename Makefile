@@ -1,8 +1,8 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden audit doc fmt clippy bench bench-smoke
+.PHONY: ci build test sanitize race golden audit sym analyze doc fmt clippy bench bench-smoke
 
-ci: build test audit doc fmt clippy
+ci: build test audit sym doc fmt clippy
 
 build:
 	cargo build --release
@@ -22,6 +22,14 @@ golden:
 # Static schedule audit: full sweep + machine-readable findings report.
 audit:
 	cargo run --release -p pcm-audit --bin pcm-audit -- --out AUDIT_report.json
+
+# Symbolic model verification: certify every closed form (units, domains,
+# dominance, differential, leading terms, crossovers) + findings report.
+sym:
+	cargo run --release -p pcm-sym --bin pcm-sym -- --out SYM_report.json
+
+# Every static analyzer in one pass.
+analyze: sanitize race audit sym
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -1,0 +1,212 @@
+//! Physical dimensions for cost expressions.
+//!
+//! Every quantity in the paper's closed forms carries one of four base
+//! dimensions — simulated time (µs), machine words, raw bytes, and local
+//! operations — or a product of their integer powers (`g` is µs/word,
+//! `sigma` is µs/byte, `w` is bytes/word, `alpha` is µs/op). Keeping words
+//! and bytes as *distinct* axes is the point: the classic transcription
+//! slip of charging `sigma·h` where the formula needs `sigma·w·h` becomes
+//! a type error instead of a silently wrong figure.
+//!
+//! [`Dim`] is a vector of exponents over those four axes; [`Qty`] pairs a
+//! value with its dimension. The symbolic IR in [`crate::symexpr`] infers
+//! a [`Dim`] for every expression and rejects additions of unlike
+//! dimensions, which is rule S01 of the `pcm-sym` verifier.
+
+use std::fmt;
+
+/// A dimension: integer exponents over (µs, words, bytes, ops).
+///
+/// Multiplication adds exponents, division subtracts them, and a square
+/// root halves them (and is therefore only defined when every exponent is
+/// even). The all-zero dimension is dimensionless.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Exponent of simulated microseconds.
+    pub us: i8,
+    /// Exponent of machine words.
+    pub words: i8,
+    /// Exponent of raw bytes.
+    pub bytes: i8,
+    /// Exponent of local operations (compound ops, key inspections).
+    pub ops: i8,
+}
+
+impl Dim {
+    /// Dimensionless (pure count or ratio).
+    pub const NONE: Dim = Dim::new(0, 0, 0, 0);
+    /// Simulated time in µs — what every closed form must reduce to.
+    pub const US: Dim = Dim::new(1, 0, 0, 0);
+    /// Machine words.
+    pub const WORDS: Dim = Dim::new(0, 1, 0, 0);
+    /// Raw bytes.
+    pub const BYTES: Dim = Dim::new(0, 0, 1, 0);
+    /// Local operations.
+    pub const OPS: Dim = Dim::new(0, 0, 0, 1);
+    /// µs per word — the BSP bandwidth factor `g`.
+    pub const US_PER_WORD: Dim = Dim::new(1, -1, 0, 0);
+    /// µs per byte — the MP-BPRAM transfer rate `sigma`.
+    pub const US_PER_BYTE: Dim = Dim::new(1, 0, -1, 0);
+    /// µs per operation — the local compute coefficients `alpha`, `gamma`.
+    pub const US_PER_OP: Dim = Dim::new(1, 0, 0, -1);
+    /// Bytes per word — the word size `w`.
+    pub const BYTES_PER_WORD: Dim = Dim::new(0, -1, 1, 0);
+
+    /// Builds a dimension from raw exponents.
+    pub const fn new(us: i8, words: i8, bytes: i8, ops: i8) -> Dim {
+        Dim {
+            us,
+            words,
+            bytes,
+            ops,
+        }
+    }
+
+    /// `true` for the dimensionless (all-zero) dimension.
+    pub fn is_none(self) -> bool {
+        self == Dim::NONE
+    }
+
+    /// Dimension of a product.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // named form mirrors `inv`/`pow`
+    pub fn mul(self, o: Dim) -> Dim {
+        Dim::new(
+            self.us + o.us,
+            self.words + o.words,
+            self.bytes + o.bytes,
+            self.ops + o.ops,
+        )
+    }
+
+    /// Dimension of a reciprocal.
+    #[must_use]
+    pub fn inv(self) -> Dim {
+        Dim::new(-self.us, -self.words, -self.bytes, -self.ops)
+    }
+
+    /// Dimension of an integer power.
+    #[must_use]
+    pub fn pow(self, k: i32) -> Dim {
+        let k = i8::try_from(k).expect("dimension exponents stay tiny");
+        Dim::new(self.us * k, self.words * k, self.bytes * k, self.ops * k)
+    }
+
+    /// Dimension of a square root, defined only when every exponent is
+    /// even (`sqrt(µs²)` is µs; `sqrt(words)` has no dimension here).
+    pub fn sqrt(self) -> Option<Dim> {
+        if self.us % 2 == 0 && self.words % 2 == 0 && self.bytes % 2 == 0 && self.ops % 2 == 0 {
+            Some(Dim::new(
+                self.us / 2,
+                self.words / 2,
+                self.bytes / 2,
+                self.ops / 2,
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return f.write_str("1");
+        }
+        let axes: [(&str, i8); 4] = [
+            ("us", self.us),
+            ("word", self.words),
+            ("byte", self.bytes),
+            ("op", self.ops),
+        ];
+        let mut first = true;
+        for (name, e) in axes {
+            if e == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str("·")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{name}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A value with its dimension.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Qty {
+    /// Numeric value in the dimension's canonical units.
+    pub value: f64,
+    /// The dimension.
+    pub dim: Dim,
+}
+
+impl Qty {
+    /// A dimensioned quantity.
+    pub fn new(value: f64, dim: Dim) -> Qty {
+        Qty { value, dim }
+    }
+
+    /// A dimensionless quantity.
+    pub fn scalar(value: f64) -> Qty {
+        Qty::new(value, Dim::NONE)
+    }
+}
+
+impl fmt::Display for Qty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dim.is_none() {
+            write!(f, "{}", self.value)
+        } else {
+            write!(f, "{} {}", self.value, self.dim)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_and_inverse_exponent_arithmetic() {
+        // g · words = µs.
+        assert_eq!(Dim::US_PER_WORD.mul(Dim::WORDS), Dim::US);
+        // sigma · (w · words) = µs.
+        assert_eq!(
+            Dim::US_PER_BYTE.mul(Dim::BYTES_PER_WORD).mul(Dim::WORDS),
+            Dim::US
+        );
+        assert_eq!(Dim::US.mul(Dim::US.inv()), Dim::NONE);
+        assert_eq!(Dim::US_PER_WORD.pow(2), Dim::new(2, -2, 0, 0));
+    }
+
+    #[test]
+    fn sqrt_needs_even_exponents() {
+        assert_eq!(Dim::new(2, 0, 0, 0).sqrt(), Some(Dim::US));
+        assert_eq!(Dim::WORDS.sqrt(), None);
+        assert_eq!(Dim::NONE.sqrt(), Some(Dim::NONE));
+    }
+
+    #[test]
+    fn words_vs_bytes_do_not_cancel() {
+        // The whole point: σ·words is NOT µs.
+        assert_ne!(Dim::US_PER_BYTE.mul(Dim::WORDS), Dim::US);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dim::US_PER_WORD.to_string(), "us·word^-1");
+        assert_eq!(Dim::NONE.to_string(), "1");
+        assert_eq!(
+            Qty::new(32.2, Dim::US_PER_WORD).to_string(),
+            "32.2 us·word^-1"
+        );
+        assert_eq!(Qty::scalar(3.0).to_string(), "3");
+    }
+}

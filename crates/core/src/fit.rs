@@ -8,6 +8,73 @@
 //! This module implements those fits on top of a small dense normal-equation
 //! solver.
 
+use std::fmt;
+
+/// Why a least-squares fit could not be computed.
+///
+/// The `try_*` fit entry points return this instead of panicking (or worse,
+/// silently propagating NaN) on degenerate measurement sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch {
+        /// Number of x values supplied.
+        xs: usize,
+        /// Number of y values supplied.
+        ys: usize,
+    },
+    /// Fewer points than the fit has coefficients.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// An input was NaN or infinite.
+    NonFiniteInput,
+    /// A negative `x` fed to a `sqrt(x)` basis.
+    NegativeX,
+    /// The normal equations are (numerically) singular — duplicate
+    /// x-values, linearly dependent basis functions, or catastrophic
+    /// ill-conditioning.
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "x/y length mismatch ({xs} vs {ys})")
+            }
+            FitError::TooFewPoints { got, need } => {
+                write!(f, "need at least {need} points, got {got}")
+            }
+            FitError::NonFiniteInput => f.write_str("non-finite input value"),
+            FitError::NegativeX => f.write_str("sqrt basis needs x >= 0"),
+            FitError::Singular => f.write_str("singular least-squares system"),
+        }
+    }
+}
+
+fn check_inputs(xs: &[f64], ys: &[f64], need: usize) -> Result<(), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.len() < need {
+        return Err(FitError::TooFewPoints {
+            got: xs.len(),
+            need,
+        });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteInput);
+    }
+    Ok(())
+}
+
 /// Result of a straight-line fit `y = slope·x + intercept`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinearFit {
@@ -30,9 +97,24 @@ impl LinearFit {
 ///
 /// # Panics
 /// Panics if fewer than two points are supplied or if all `x` are equal.
+/// Use [`try_linear_fit`] to handle degenerate inputs gracefully.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
-    assert!(xs.len() >= 2, "need at least two points for a line");
+    match try_linear_fit(xs, ys) {
+        Ok(f) => f,
+        Err(FitError::Singular) => panic!("degenerate fit: all x equal"),
+        Err(e) => panic!("linear fit failed: {e}"),
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares, returning an
+/// error (never NaN coefficients) on degenerate inputs.
+///
+/// # Errors
+/// [`FitError::TooFewPoints`] with fewer than two points,
+/// [`FitError::Singular`] when all `x` coincide, plus the usual length and
+/// finiteness checks.
+pub fn try_linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    check_inputs(xs, ys, 2)?;
     let n = xs.len() as f64;
     let mean_x = xs.iter().sum::<f64>() / n;
     let mean_y = ys.iter().sum::<f64>() / n;
@@ -44,7 +126,12 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
         sxy += (x - mean_x) * (y - mean_y);
         syy += (y - mean_y) * (y - mean_y);
     }
-    assert!(sxx > 0.0, "degenerate fit: all x equal");
+    // Relative degeneracy threshold: coincident x-values can leave a tiny
+    // nonzero sxx from the rounding of mean_x; anything below the noise
+    // floor of n·(x·ε)² is indistinguishable from all-equal x.
+    if sxx <= n * mean_x * mean_x * 1e-24 {
+        return Err(FitError::Singular);
+    }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let r_squared = if syy == 0.0 {
@@ -52,11 +139,14 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     } else {
         (sxy * sxy) / (sxx * syy)
     };
-    LinearFit {
+    if !(slope.is_finite() && intercept.is_finite()) {
+        return Err(FitError::Singular);
+    }
+    Ok(LinearFit {
         slope,
         intercept,
         r_squared,
-    }
+    })
 }
 
 /// Result of fitting `y = a·x + b·sqrt(x) + c` — the functional form the
@@ -84,12 +174,29 @@ impl SqrtPolyFit {
 ///
 /// # Panics
 /// Panics with fewer than three points, negative `x`, or a singular system
-/// (e.g. all `x` equal).
+/// (e.g. all `x` equal). Use [`try_sqrt_poly_fit`] for a `Result`.
 pub fn sqrt_poly_fit(xs: &[f64], ys: &[f64]) -> SqrtPolyFit {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
-    assert!(xs.len() >= 3, "need at least three points");
-    assert!(xs.iter().all(|&x| x >= 0.0), "sqrt basis needs x >= 0");
-    let coeffs = basis_fit(xs, ys, &[|x| x, |x| x.sqrt(), |_| 1.0]);
+    match try_sqrt_poly_fit(xs, ys) {
+        Ok(f) => f,
+        Err(FitError::Singular) => panic!("singular system in least-squares fit"),
+        Err(FitError::NegativeX) => panic!("sqrt basis needs x >= 0"),
+        Err(e) => panic!("sqrt-poly fit failed: {e}"),
+    }
+}
+
+/// Fits `y = a·x + b·sqrt(x) + c` by least squares, returning an error
+/// (never NaN coefficients) on degenerate inputs.
+///
+/// # Errors
+/// [`FitError::NegativeX`] when a point is left of the `sqrt` domain,
+/// [`FitError::Singular`] when the normal equations collapse (e.g. all `x`
+/// equal), plus the usual length, count and finiteness checks.
+pub fn try_sqrt_poly_fit(xs: &[f64], ys: &[f64]) -> Result<SqrtPolyFit, FitError> {
+    check_inputs(xs, ys, 3)?;
+    if xs.iter().any(|&x| x < 0.0) {
+        return Err(FitError::NegativeX);
+    }
+    let coeffs = try_basis_fit(xs, ys, &[|x| x, |x| x.sqrt(), |_| 1.0])?;
     let fit = SqrtPolyFit {
         a: coeffs[0],
         b: coeffs[1],
@@ -104,10 +211,10 @@ pub fn sqrt_poly_fit(xs: &[f64], ys: &[f64]) -> SqrtPolyFit {
             r * r
         })
         .sum();
-    SqrtPolyFit {
+    Ok(SqrtPolyFit {
         rms_residual: (ss / xs.len() as f64).sqrt(),
         ..fit
-    }
+    })
 }
 
 /// Least-squares fit of `y = sum_k coeff_k · basis_k(x)` for arbitrary basis
@@ -115,20 +222,41 @@ pub fn sqrt_poly_fit(xs: &[f64], ys: &[f64]) -> SqrtPolyFit {
 /// partial pivoting.
 ///
 /// # Panics
-/// Panics when the normal equations are singular.
+/// Panics when the normal equations are singular. Use [`try_basis_fit`]
+/// for a `Result`.
 pub fn basis_fit(xs: &[f64], ys: &[f64], basis: &[fn(f64) -> f64]) -> Vec<f64> {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    match try_basis_fit(xs, ys, basis) {
+        Ok(c) => c,
+        Err(FitError::Singular) => panic!("singular system in least-squares fit"),
+        Err(e) => panic!("basis fit failed: {e}"),
+    }
+}
+
+/// Least-squares fit of `y = sum_k coeff_k · basis_k(x)` for arbitrary
+/// basis functions, returning an error instead of panicking (or emitting
+/// NaN coefficients) on singular or degenerate systems.
+///
+/// # Errors
+/// [`FitError::Singular`] for duplicate x-values or linearly dependent
+/// bases, plus the usual length, count and finiteness checks.
+pub fn try_basis_fit(
+    xs: &[f64],
+    ys: &[f64],
+    basis: &[fn(f64) -> f64],
+) -> Result<Vec<f64>, FitError> {
     let k = basis.len();
-    assert!(k >= 1, "need at least one basis function");
-    assert!(
-        xs.len() >= k,
-        "need at least as many points as coefficients"
-    );
+    if k == 0 {
+        return Err(FitError::TooFewPoints { got: 0, need: 1 });
+    }
+    check_inputs(xs, ys, k)?;
     // Normal equations: (B^T B) c = B^T y, with B[i][j] = basis_j(x_i).
     let mut ata = vec![vec![0.0; k]; k];
     let mut aty = vec![0.0; k];
     for (&x, &y) in xs.iter().zip(ys) {
         let row: Vec<f64> = basis.iter().map(|f| f(x)).collect();
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::NonFiniteInput);
+        }
         for i in 0..k {
             aty[i] += row[i] * y;
             for j in 0..k {
@@ -136,25 +264,34 @@ pub fn basis_fit(xs: &[f64], ys: &[f64], basis: &[fn(f64) -> f64]) -> Vec<f64> {
             }
         }
     }
-    solve_dense(&mut ata, &mut aty)
+    let coeffs = try_solve_dense(&mut ata, &mut aty)?;
+    if coeffs.iter().any(|c| !c.is_finite()) {
+        return Err(FitError::Singular);
+    }
+    Ok(coeffs)
 }
 
-/// Solves `A·x = b` in place via Gaussian elimination with partial pivoting.
-///
-/// # Panics
-/// Panics when `A` is (numerically) singular.
+/// Solves `A·x = b` in place via Gaussian elimination with partial
+/// pivoting, rejecting (numerically) singular systems. The pivot
+/// threshold is relative to the largest entry of `A`, so well-scaled but
+/// small-valued systems are not misclassified.
 #[allow(clippy::needless_range_loop)]
-fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+fn try_solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, FitError> {
     let n = b.len();
+    let a_max = a
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1e-300);
+    let tol = (a_max * 1e-12).max(1e-300);
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
             .expect("col..n is non-empty: col < n");
-        assert!(
-            a[pivot][col].abs() > 1e-12,
-            "singular system in least-squares fit"
-        );
+        if a[pivot][col].abs().partial_cmp(&tol) != Some(std::cmp::Ordering::Greater) {
+            return Err(FitError::Singular);
+        }
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate.
@@ -178,12 +315,14 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         }
         x[row] = s / a[row][row];
     }
-    x
+    Ok(x)
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-identity assertions on fit results
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn linear_fit_recovers_exact_line() {
@@ -249,5 +388,114 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 4.0];
         let ys = [1.0, 2.0, 3.0, 4.0];
         basis_fit(&xs, &ys, &[|x| x, |x| x]);
+    }
+
+    #[test]
+    fn try_fits_report_structured_errors() {
+        assert_eq!(
+            try_linear_fit(&[1.0], &[1.0, 2.0]),
+            Err(FitError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(
+            try_linear_fit(&[1.0], &[1.0]),
+            Err(FitError::TooFewPoints { got: 1, need: 2 })
+        );
+        assert_eq!(
+            try_linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::Singular)
+        );
+        assert_eq!(
+            try_linear_fit(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(FitError::NonFiniteInput)
+        );
+        assert_eq!(
+            try_sqrt_poly_fit(&[-1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::NegativeX)
+        );
+        assert_eq!(
+            try_basis_fit(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], &[]),
+            Err(FitError::TooFewPoints { got: 0, need: 1 })
+        );
+        // Errors render human-readably.
+        assert!(FitError::Singular.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn try_fit_agrees_with_panicking_fit_on_good_data() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 32.2 * x + 1400.0).collect();
+        assert_eq!(try_linear_fit(&xs, &ys).unwrap(), linear_fit(&xs, &ys));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Duplicate-x inputs (all points at the same abscissa) must yield
+        /// a structured error from every fit, never NaN coefficients.
+        #[test]
+        fn duplicate_x_never_leaks_nan(
+            x in -1e6f64..1e6,
+            ys in proptest::collection::vec(-1e6f64..1e6, 3..12),
+        ) {
+            let xs = vec![x; ys.len()];
+            prop_assert_eq!(try_linear_fit(&xs, &ys), Err(FitError::Singular));
+            match try_sqrt_poly_fit(&xs.iter().map(|v| v.abs()).collect::<Vec<_>>(), &ys) {
+                Ok(f) => prop_assert!(
+                    f.a.is_finite() && f.b.is_finite() && f.c.is_finite(),
+                    "NaN escaped: {f:?}"
+                ),
+                Err(e) => prop_assert_eq!(e, FitError::Singular),
+            }
+        }
+
+        /// Near-singular systems (two x clusters separated by a vanishing
+        /// gap) either fit finitely or fail cleanly — no NaN propagation.
+        #[test]
+        fn near_singular_is_finite_or_singular(
+            base in 1.0f64..1e4,
+            gap in 0.0f64..1e-9,
+            ys in proptest::collection::vec(0.0f64..1e6, 4..10),
+        ) {
+            let xs: Vec<f64> = (0..ys.len())
+                .map(|i| if i % 2 == 0 { base } else { base + gap })
+                .collect();
+            match try_basis_fit(&xs, &ys, &[|x| x * x, |x| x, |_| 1.0]) {
+                Ok(c) => prop_assert!(c.iter().all(|v| v.is_finite()), "NaN escaped: {c:?}"),
+                Err(e) => prop_assert_eq!(e, FitError::Singular),
+            }
+        }
+
+        /// On well-separated data the fit always succeeds with finite
+        /// coefficients, and the line passes the two defining points.
+        #[test]
+        fn well_conditioned_lines_always_fit(
+            slope in -1e3f64..1e3,
+            intercept in -1e6f64..1e6,
+            extra in 0usize..8,
+        ) {
+            let xs: Vec<f64> = (0..2 + extra).map(|i| i as f64 * 10.0 + 1.0).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+            let f = try_linear_fit(&xs, &ys).expect("well-conditioned");
+            prop_assert!((f.slope - slope).abs() <= 1e-6 * (1.0 + slope.abs()));
+            prop_assert!((f.intercept - intercept).abs() <= 1e-5 * (1.0 + intercept.abs()));
+        }
+
+        /// Non-finite measurements are rejected up front, not folded into
+        /// the normal equations.
+        #[test]
+        fn non_finite_inputs_are_rejected(
+            pos in 0usize..6,
+            poison in 0usize..3,
+        ) {
+            let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][poison];
+            let mut xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+            xs[pos] = bad;
+            prop_assert_eq!(try_linear_fit(&xs, &ys), Err(FitError::NonFiniteInput));
+            prop_assert_eq!(
+                try_basis_fit(&xs, &ys, &[|x| x, |_| 1.0]),
+                Err(FitError::NonFiniteInput)
+            );
+        }
     }
 }

@@ -13,16 +13,23 @@
 //!   renderer used by the experiment harness,
 //! * [`plot`] — ASCII chart rendering for reproduced figures,
 //! * [`rng`] — deterministic seeded RNG helpers and permutation generators,
-//! * [`units`] — megaflops and byte/word conversion helpers.
+//! * [`units`] — megaflops and byte/word conversion helpers,
+//! * [`dim`] / [`symexpr`] — physical dimensions and the typed symbolic
+//!   expression IR that `pcm-models` predictors re-express their closed
+//!   forms into (verified by the `pcm-sym` analyzer).
 
+pub mod dim;
 pub mod fit;
 pub mod plot;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod symexpr;
 pub mod time;
 pub mod units;
 
+pub use dim::{Dim, Qty};
 pub use series::{DataPoint, Figure, Series, Table};
 pub use stats::Summary;
+pub use symexpr::{Bindings, Expr, Poly, SymError, UnitEnv};
 pub use time::SimTime;

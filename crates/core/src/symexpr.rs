@@ -1,0 +1,883 @@
+//! A typed symbolic expression IR for closed-form cost formulas.
+//!
+//! The analytic models of the paper (Section 4) are sums, products,
+//! quotients, integer powers and square roots of dimensioned machine
+//! parameters (`g`, `L`, `sigma`, `ell`, `w`, the `alpha` family) and
+//! dimensionless problem counts (`n`, processor counts, step counts).
+//! [`Expr`] represents exactly that fragment, plus two *declared*
+//! conversions:
+//!
+//! * [`Expr::cast`] stamps a dimensionless count with a dimension
+//!   (`words(h)` — "these `h` things travel as machine words"), and
+//! * [`Expr::per_word`] turns a µs quantity into µs/word — the MP-BSP
+//!   modeling assumption that every word message pays the latency `L`.
+//!
+//! Three analyses run over the IR:
+//!
+//! * [`Expr::dim`] infers the dimension under a [`UnitEnv`] of declared
+//!   symbol units and rejects mixed-dimension sums (verifier rule S01);
+//! * [`Expr::eval`] evaluates under [`Bindings`]. Evaluation folds sums
+//!   and products strictly left-to-right so that an IR built to mirror a
+//!   hand-coded Rust formula reproduces its floating-point result to
+//!   within 1 ulp (verifier rule S04 relies on this);
+//! * [`Expr::poly_in`] extracts a sparse polynomial (half-integer
+//!   exponents, so `sqrt(n)` terms are representable) in one designated
+//!   symbol with every other symbol bound numerically — the substrate for
+//!   leading-term extraction, dominance certification and crossover
+//!   solving (rules S03, S05, S06).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::dim::Dim;
+
+/// Declared units for symbols, the typing environment of rule S01.
+#[derive(Clone, Debug, Default)]
+pub struct UnitEnv {
+    entries: Vec<(&'static str, Dim)>,
+}
+
+impl UnitEnv {
+    /// An empty environment.
+    pub fn new() -> UnitEnv {
+        UnitEnv::default()
+    }
+
+    /// Declares (or redeclares) a symbol's unit.
+    pub fn declare(&mut self, name: &'static str, dim: Dim) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = dim;
+        } else {
+            self.entries.push((name, dim));
+        }
+    }
+
+    /// Looks a symbol up.
+    pub fn get(&self, name: &str) -> Option<Dim> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Iterates over the declarations.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Dim)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Numeric values for symbols, the evaluation environment.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl Bindings {
+    /// An empty binding set.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds (or rebinds) a symbol.
+    pub fn bind(&mut self, name: &'static str, value: f64) -> &mut Self {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+        self
+    }
+
+    /// Looks a symbol up.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Errors from dimension inference, evaluation or polynomial extraction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SymError {
+    /// A symbol has no declared unit in the [`UnitEnv`].
+    UnknownSymbol(String),
+    /// A symbol has no value in the [`Bindings`].
+    UnboundSymbol(String),
+    /// Terms of a sum have different dimensions.
+    AddMismatch {
+        /// Dimension of the first term.
+        first: Dim,
+        /// The offending term's dimension.
+        offending: Dim,
+    },
+    /// Square root of a dimension with odd exponents.
+    SqrtOddDim(Dim),
+    /// A cast applied to an expression that already has a dimension.
+    CastOnDimensioned(Dim),
+    /// `per_word` applied to something that is not a µs quantity.
+    PerWordNotTime(Dim),
+    /// An empty sum or product.
+    EmptyExpr,
+    /// The expression is not a polynomial in the requested symbol.
+    NonPolynomial(&'static str),
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymError::UnknownSymbol(s) => write!(f, "symbol '{s}' has no declared unit"),
+            SymError::UnboundSymbol(s) => write!(f, "symbol '{s}' has no bound value"),
+            SymError::AddMismatch { first, offending } => {
+                write!(f, "sum mixes dimensions {first} and {offending}")
+            }
+            SymError::SqrtOddDim(d) => write!(f, "sqrt of dimension {d} with odd exponents"),
+            SymError::CastOnDimensioned(d) => {
+                write!(f, "cast applied to already-dimensioned expression ({d})")
+            }
+            SymError::PerWordNotTime(d) => {
+                write!(f, "per_word conversion applied to non-time dimension {d}")
+            }
+            SymError::EmptyExpr => f.write_str("empty sum or product"),
+            SymError::NonPolynomial(why) => write!(f, "not a polynomial: {why}"),
+        }
+    }
+}
+
+/// A typed symbolic cost expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A dimensionless numeric constant.
+    Num(f64),
+    /// A named symbol; its unit comes from the [`UnitEnv`].
+    Sym(&'static str),
+    /// A sum. Evaluation folds terms left-to-right.
+    Add(Vec<Expr>),
+    /// A product. Evaluation folds factors left-to-right.
+    Mul(Vec<Expr>),
+    /// An exact quotient (kept distinct from `Mul` with a reciprocal so
+    /// evaluation matches hand-coded `a / b` bit-for-bit).
+    Div(Box<Expr>, Box<Expr>),
+    /// An integer power, evaluated via `f64::powi`.
+    Pow(Box<Expr>, i32),
+    /// A square root.
+    Sqrt(Box<Expr>),
+    /// Declared conversion: stamps a dimensionless count with `Dim`.
+    Cast(Dim, Box<Expr>),
+    /// Declared conversion µs → µs/word (MP-BSP's per-message latency).
+    PerWord(Box<Expr>),
+}
+
+impl Expr {
+    /// Numeric constant.
+    pub fn num(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// Symbol reference.
+    pub fn sym(name: &'static str) -> Expr {
+        Expr::Sym(name)
+    }
+
+    /// Sum of `terms` (folded left-to-right).
+    pub fn add(terms: Vec<Expr>) -> Expr {
+        Expr::Add(terms)
+    }
+
+    /// Product of `factors` (folded left-to-right).
+    pub fn mul(factors: Vec<Expr>) -> Expr {
+        Expr::Mul(factors)
+    }
+
+    /// Quotient `a / b`.
+    #[allow(clippy::should_implement_trait)] // named form mirrors the other constructors
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Integer power `a^k`.
+    pub fn powi(a: Expr, k: i32) -> Expr {
+        Expr::Pow(Box::new(a), k)
+    }
+
+    /// Square root.
+    pub fn sqrt(a: Expr) -> Expr {
+        Expr::Sqrt(Box::new(a))
+    }
+
+    /// Declared conversion of a dimensionless count into `dim`.
+    pub fn cast(dim: Dim, a: Expr) -> Expr {
+        Expr::Cast(dim, Box::new(a))
+    }
+
+    /// Count of machine words.
+    pub fn words(a: Expr) -> Expr {
+        Expr::cast(Dim::WORDS, a)
+    }
+
+    /// Count of local operations.
+    pub fn ops(a: Expr) -> Expr {
+        Expr::cast(Dim::OPS, a)
+    }
+
+    /// Declared µs → µs/word conversion (each word message pays this).
+    pub fn per_word(a: Expr) -> Expr {
+        Expr::PerWord(Box::new(a))
+    }
+
+    /// Infers the expression's dimension under `env` — verifier rule S01.
+    pub fn dim(&self, env: &UnitEnv) -> Result<Dim, SymError> {
+        match self {
+            Expr::Num(_) => Ok(Dim::NONE),
+            Expr::Sym(name) => env
+                .get(name)
+                .ok_or_else(|| SymError::UnknownSymbol((*name).to_string())),
+            Expr::Add(terms) => {
+                let mut iter = terms.iter();
+                let first = iter.next().ok_or(SymError::EmptyExpr)?.dim(env)?;
+                for t in iter {
+                    let d = t.dim(env)?;
+                    if d != first {
+                        return Err(SymError::AddMismatch {
+                            first,
+                            offending: d,
+                        });
+                    }
+                }
+                Ok(first)
+            }
+            Expr::Mul(factors) => {
+                if factors.is_empty() {
+                    return Err(SymError::EmptyExpr);
+                }
+                let mut acc = Dim::NONE;
+                for x in factors {
+                    acc = acc.mul(x.dim(env)?);
+                }
+                Ok(acc)
+            }
+            Expr::Div(a, b) => Ok(a.dim(env)?.mul(b.dim(env)?.inv())),
+            Expr::Pow(a, k) => Ok(a.dim(env)?.pow(*k)),
+            Expr::Sqrt(a) => {
+                let d = a.dim(env)?;
+                d.sqrt().ok_or(SymError::SqrtOddDim(d))
+            }
+            Expr::Cast(dim, a) => {
+                let d = a.dim(env)?;
+                if d.is_none() {
+                    Ok(*dim)
+                } else {
+                    Err(SymError::CastOnDimensioned(d))
+                }
+            }
+            Expr::PerWord(a) => {
+                let d = a.dim(env)?;
+                if d == Dim::US {
+                    Ok(Dim::US_PER_WORD)
+                } else {
+                    Err(SymError::PerWordNotTime(d))
+                }
+            }
+        }
+    }
+
+    /// Evaluates under `bindings`. Sums and products fold strictly
+    /// left-to-right; `Div`, `Pow` and `Sqrt` map to `/`, `powi`, `sqrt`;
+    /// casts are value-transparent. An IR built in the same shape as a
+    /// hand-coded formula therefore reproduces its result to ≤ 1 ulp.
+    pub fn eval(&self, bindings: &Bindings) -> Result<f64, SymError> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Sym(name) => bindings
+                .get(name)
+                .ok_or_else(|| SymError::UnboundSymbol((*name).to_string())),
+            Expr::Add(terms) => {
+                let mut iter = terms.iter();
+                let mut acc = iter.next().ok_or(SymError::EmptyExpr)?.eval(bindings)?;
+                for t in iter {
+                    acc += t.eval(bindings)?;
+                }
+                Ok(acc)
+            }
+            Expr::Mul(factors) => {
+                let mut iter = factors.iter();
+                let mut acc = iter.next().ok_or(SymError::EmptyExpr)?.eval(bindings)?;
+                for x in iter {
+                    acc *= x.eval(bindings)?;
+                }
+                Ok(acc)
+            }
+            Expr::Div(a, b) => Ok(a.eval(bindings)? / b.eval(bindings)?),
+            Expr::Pow(a, k) => Ok(a.eval(bindings)?.powi(*k)),
+            Expr::Sqrt(a) => Ok(a.eval(bindings)?.sqrt()),
+            Expr::Cast(_, a) | Expr::PerWord(a) => a.eval(bindings),
+        }
+    }
+
+    /// Extracts the expression as a sparse polynomial in `var`, binding
+    /// every other symbol from `bindings`. Exponents are half-integers so
+    /// `sqrt`-of-monomial subterms stay representable. Fails when `var`
+    /// appears inside a structure polynomials cannot express (a non-
+    /// monomial divisor, an odd square root).
+    pub fn poly_in(&self, var: &'static str, bindings: &Bindings) -> Result<Poly, SymError> {
+        match self {
+            Expr::Num(v) => Ok(Poly::constant(*v)),
+            Expr::Sym(name) => {
+                if *name == var {
+                    Ok(Poly::var())
+                } else {
+                    bindings
+                        .get(name)
+                        .map(Poly::constant)
+                        .ok_or_else(|| SymError::UnboundSymbol((*name).to_string()))
+                }
+            }
+            Expr::Add(terms) => {
+                if terms.is_empty() {
+                    return Err(SymError::EmptyExpr);
+                }
+                let mut acc = Poly::constant(0.0);
+                for t in terms {
+                    acc = acc.add(&t.poly_in(var, bindings)?);
+                }
+                Ok(acc)
+            }
+            Expr::Mul(factors) => {
+                if factors.is_empty() {
+                    return Err(SymError::EmptyExpr);
+                }
+                let mut acc = Poly::constant(1.0);
+                for x in factors {
+                    acc = acc.mul(&x.poly_in(var, bindings)?);
+                }
+                Ok(acc)
+            }
+            Expr::Div(a, b) => {
+                let pa = a.poly_in(var, bindings)?;
+                let pb = b.poly_in(var, bindings)?;
+                let (h, c) = pb
+                    .as_monomial()
+                    .ok_or(SymError::NonPolynomial("non-monomial divisor"))?;
+                if c == 0.0 {
+                    return Err(SymError::NonPolynomial("division by zero"));
+                }
+                Ok(pa.mul(&Poly::monomial(1.0 / c, -h)))
+            }
+            Expr::Pow(a, k) => {
+                let pa = a.poly_in(var, bindings)?;
+                if *k >= 0 {
+                    let mut acc = Poly::constant(1.0);
+                    for _ in 0..*k {
+                        acc = acc.mul(&pa);
+                    }
+                    Ok(acc)
+                } else {
+                    let (h, c) = pa
+                        .as_monomial()
+                        .ok_or(SymError::NonPolynomial("negative power of a sum"))?;
+                    if c == 0.0 {
+                        return Err(SymError::NonPolynomial("division by zero"));
+                    }
+                    Ok(Poly::monomial(c.powi(*k), h * k))
+                }
+            }
+            Expr::Sqrt(a) => {
+                let pa = a.poly_in(var, bindings)?;
+                let (h, c) = pa
+                    .as_monomial()
+                    .ok_or(SymError::NonPolynomial("sqrt of a sum"))?;
+                if c < 0.0 {
+                    return Err(SymError::NonPolynomial("sqrt of a negative coefficient"));
+                }
+                if h % 2 != 0 {
+                    return Err(SymError::NonPolynomial("sqrt of a half-integer power"));
+                }
+                Ok(Poly::monomial(c.sqrt(), h / 2))
+            }
+            Expr::Cast(_, a) | Expr::PerWord(a) => a.poly_in(var, bindings),
+        }
+    }
+
+    /// Structural simplification: flattens nested sums/products, folds
+    /// numeric subterms, and drops additive zeros and multiplicative
+    /// ones. Used for display; the verifier evaluates the *unsimplified*
+    /// tree so S04's ulp guarantee is unaffected.
+    #[must_use]
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Add(terms) => {
+                let mut flat: Vec<Expr> = Vec::new();
+                let mut num = 0.0;
+                for t in terms {
+                    match t.simplify() {
+                        Expr::Num(v) => num += v,
+                        Expr::Add(inner) => {
+                            for e in inner {
+                                match e {
+                                    Expr::Num(v) => num += v,
+                                    other => flat.push(other),
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if num != 0.0 || flat.is_empty() {
+                    flat.push(Expr::Num(num));
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("just checked len")
+                } else {
+                    Expr::Add(flat)
+                }
+            }
+            Expr::Mul(factors) => {
+                let mut flat: Vec<Expr> = Vec::new();
+                let mut num = 1.0;
+                for x in factors {
+                    match x.simplify() {
+                        Expr::Num(v) => num *= v,
+                        Expr::Mul(inner) => {
+                            for e in inner {
+                                match e {
+                                    Expr::Num(v) => num *= v,
+                                    other => flat.push(other),
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if num == 0.0 {
+                    return Expr::Num(0.0);
+                }
+                #[allow(clippy::float_cmp)] // exact multiplicative-identity sentinel
+                if num != 1.0 || flat.is_empty() {
+                    flat.insert(0, Expr::Num(num));
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("just checked len")
+                } else {
+                    Expr::Mul(flat)
+                }
+            }
+            Expr::Div(a, b) => Expr::div(a.simplify(), b.simplify()),
+            Expr::Pow(a, k) => Expr::powi(a.simplify(), *k),
+            Expr::Sqrt(a) => Expr::sqrt(a.simplify()),
+            Expr::Cast(d, a) => Expr::cast(*d, a.simplify()),
+            Expr::PerWord(a) => Expr::per_word(a.simplify()),
+            leaf => leaf.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(v) => write!(f, "{v}"),
+            Expr::Sym(s) => f.write_str(s),
+            Expr::Add(terms) => {
+                f.write_str("(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Mul(factors) => {
+                for (i, x) in factors.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("·")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Expr::Div(a, b) => write!(f, "{a}/({b})"),
+            Expr::Pow(a, k) => write!(f, "({a})^{k}"),
+            Expr::Sqrt(a) => write!(f, "sqrt({a})"),
+            Expr::Cast(d, a) => write!(f, "[{a} as {d}]"),
+            Expr::PerWord(a) => write!(f, "[{a} per word]"),
+        }
+    }
+}
+
+/// A sparse univariate polynomial with half-integer exponents.
+///
+/// Keys are exponents in units of one half (`key = 2·exponent`), so
+/// `sqrt(x)` is the key 1 and `x³` the key 6.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Poly {
+    terms: BTreeMap<i32, f64>,
+}
+
+impl Poly {
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Poly {
+        Poly::monomial(c, 0)
+    }
+
+    /// The polynomial `x`.
+    pub fn var() -> Poly {
+        Poly::monomial(1.0, 2)
+    }
+
+    /// `c · x^(half/2)`.
+    pub fn monomial(c: f64, half: i32) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0.0 {
+            terms.insert(half, c);
+        }
+        Poly { terms }
+    }
+
+    fn prune(mut self) -> Poly {
+        self.terms.retain(|_, c| *c != 0.0);
+        self
+    }
+
+    /// Polynomial sum.
+    #[must_use]
+    pub fn add(&self, o: &Poly) -> Poly {
+        let mut terms = self.terms.clone();
+        for (&h, &c) in &o.terms {
+            *terms.entry(h).or_insert(0.0) += c;
+        }
+        Poly { terms }.prune()
+    }
+
+    /// Polynomial difference `self - o`.
+    #[must_use]
+    pub fn sub(&self, o: &Poly) -> Poly {
+        self.add(&o.scale(-1.0))
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Poly {
+        Poly {
+            terms: self.terms.iter().map(|(&h, &c)| (h, c * k)).collect(),
+        }
+        .prune()
+    }
+
+    /// Polynomial product.
+    #[must_use]
+    pub fn mul(&self, o: &Poly) -> Poly {
+        let mut terms: BTreeMap<i32, f64> = BTreeMap::new();
+        for (&ha, &ca) in &self.terms {
+            for (&hb, &cb) in &o.terms {
+                *terms.entry(ha + hb).or_insert(0.0) += ca * cb;
+            }
+        }
+        Poly { terms }.prune()
+    }
+
+    /// `true` when no term survives pruning.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The monomial `(half_exponent, coeff)` when the polynomial has at
+    /// most one term (the zero polynomial reads as `(0, 0.0)`).
+    pub fn as_monomial(&self) -> Option<(i32, f64)> {
+        match self.terms.len() {
+            0 => Some((0, 0.0)),
+            1 => self.terms.iter().next().map(|(&h, &c)| (h, c)),
+            _ => None,
+        }
+    }
+
+    /// Degree as a half-integer exponent key (`None` for zero).
+    pub fn degree_half(&self) -> Option<i32> {
+        self.terms.keys().next_back().copied()
+    }
+
+    /// Leading term `(half_exponent, coefficient)`.
+    pub fn leading(&self) -> Option<(i32, f64)> {
+        self.degree_half().map(|h| (h, self.terms[&h]))
+    }
+
+    /// Coefficient of `x^(half/2)`.
+    pub fn coeff(&self, half: i32) -> f64 {
+        self.terms.get(&half).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates at `x > 0` (half-integer powers via `powf`).
+    pub fn eval_at(&self, x: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|(&h, &c)| c * x.powf(f64::from(h) / 2.0))
+            .sum()
+    }
+
+    /// Iterates `(half_exponent, coefficient)` in ascending exponent
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
+        self.terms.iter().map(|(&h, &c)| (h, c))
+    }
+
+    /// Certifies `self(x) >= 0` for all `x >= x0 > 0`.
+    ///
+    /// Substituting `x = u²` turns half-integer exponents into integer
+    /// powers of `u`; shifting `u = u0 + t` with `u0 = sqrt(x0)` and
+    /// expanding binomially yields a polynomial in `t >= 0`. If every
+    /// coefficient of that polynomial is non-negative (up to a relative
+    /// rounding tolerance) the original is a sum of non-negative terms on
+    /// the whole domain — a genuine certificate, not a sampling argument.
+    /// Returns `false` when no certificate is found (which does not prove
+    /// a violation; rule S03 pairs this with numeric spot checks).
+    pub fn certify_nonneg_for(&self, x0: f64) -> bool {
+        if self.terms.is_empty() {
+            return true;
+        }
+        // Clear negative exponents: multiplying by u^(-2·min) > 0 for
+        // u > 0 preserves the sign everywhere on the domain.
+        let min_h = *self.terms.keys().next().expect("non-empty");
+        let offset = if min_h < 0 { -min_h } else { 0 };
+        let max_h = *self.terms.keys().next_back().expect("non-empty") + offset;
+        let deg = usize::try_from(max_h).expect("non-negative after offset");
+        let mut u_coeffs = vec![0.0f64; deg + 1];
+        for (&h, &c) in &self.terms {
+            u_coeffs[usize::try_from(h + offset).expect("offset clears negatives")] += c;
+        }
+        let u0 = x0.sqrt();
+        // q(t) = sum_h c_h (u0 + t)^h, expanded binomially.
+        let mut shifted = vec![0.0f64; deg + 1];
+        for (h, &c) in u_coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let mut binom = 1.0f64; // C(h, j) · u0^(h-j), starting at j = 0.
+            let mut u_pow = u0.powi(i32::try_from(h).expect("small degree"));
+            for (j, s) in shifted.iter_mut().enumerate().take(h + 1) {
+                *s += c * binom * u_pow;
+                if j < h {
+                    binom *= (h - j) as f64 / (j + 1) as f64;
+                    u_pow = if u0 == 0.0 {
+                        if h - j - 1 == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        u_pow / u0
+                    };
+                }
+            }
+        }
+        let scale = shifted.iter().fold(0.0f64, |a, c| a.max(c.abs()));
+        let tol = scale * 1e-9;
+        shifted.iter().all(|&c| c >= -tol)
+    }
+
+    /// Finds a sign change of the polynomial in `[lo, hi]` (for crossover
+    /// solving): scans a geometric grid, then bisects. Returns `None`
+    /// when the sign is constant over the sampled range.
+    pub fn first_crossing(&self, lo: f64, hi: f64) -> Option<f64> {
+        if !(lo > 0.0 && hi > lo) {
+            return None;
+        }
+        const STEPS: usize = 512;
+        let ratio = (hi / lo).powf(1.0 / STEPS as f64);
+        let mut x_prev = lo;
+        let mut y_prev = self.eval_at(lo);
+        for i in 1..=STEPS {
+            let x = if i == STEPS {
+                hi
+            } else {
+                lo * ratio.powi(i32::try_from(i).expect("small"))
+            };
+            let y = self.eval_at(x);
+            if y_prev == 0.0 {
+                return Some(x_prev);
+            }
+            if y_prev.signum() != y.signum() {
+                // Bisect [x_prev, x].
+                let (mut a, mut b) = (x_prev, x);
+                let ya = y_prev;
+                for _ in 0..200 {
+                    let mid = 0.5 * (a + b);
+                    let ym = self.eval_at(mid);
+                    if ym == 0.0 {
+                        return Some(mid);
+                    }
+                    if ym.signum() == ya.signum() {
+                        a = mid;
+                    } else {
+                        b = mid;
+                    }
+                }
+                return Some(0.5 * (a + b));
+            }
+            x_prev = x;
+            y_prev = y;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact algebraic identities
+mod tests {
+    use super::*;
+
+    fn env() -> UnitEnv {
+        let mut e = UnitEnv::new();
+        e.declare("g", Dim::US_PER_WORD);
+        e.declare("L", Dim::US);
+        e.declare("sigma", Dim::US_PER_BYTE);
+        e.declare("ell", Dim::US);
+        e.declare("w", Dim::BYTES_PER_WORD);
+        e.declare("alpha", Dim::US_PER_OP);
+        e.declare("n", Dim::NONE);
+        e
+    }
+
+    fn binds() -> Bindings {
+        let mut b = Bindings::new();
+        b.bind("g", 4480.0)
+            .bind("L", 5100.0)
+            .bind("sigma", 9.3)
+            .bind("ell", 6900.0)
+            .bind("w", 4.0)
+            .bind("alpha", 20.0)
+            .bind("n", 256.0);
+        b
+    }
+
+    #[test]
+    fn bsp_superstep_form_types_as_microseconds() {
+        // g·words(n) + L : µs.
+        let e = Expr::add(vec![
+            Expr::mul(vec![Expr::sym("g"), Expr::words(Expr::sym("n"))]),
+            Expr::sym("L"),
+        ]);
+        assert_eq!(e.dim(&env()).unwrap(), Dim::US);
+    }
+
+    #[test]
+    fn words_for_bytes_confusion_is_a_type_error() {
+        // sigma·words(n): µs·word/byte, NOT µs — the S01 target. The slip
+        // surfaces either at the top-level µs check...
+        let e = Expr::mul(vec![Expr::sym("sigma"), Expr::words(Expr::sym("n"))]);
+        assert_ne!(e.dim(&env()).unwrap(), Dim::US);
+        assert_eq!(e.dim(&env()).unwrap(), Dim::new(1, 1, -1, 0));
+        // ...or as an Add mismatch the moment it meets a true µs term.
+        let sum = Expr::add(vec![e, Expr::sym("L")]);
+        assert!(matches!(sum.dim(&env()), Err(SymError::AddMismatch { .. })));
+        // sigma·w·words(n): µs.
+        let ok = Expr::mul(vec![
+            Expr::sym("sigma"),
+            Expr::sym("w"),
+            Expr::words(Expr::sym("n")),
+        ]);
+        assert_eq!(ok.dim(&env()).unwrap(), Dim::US);
+    }
+
+    #[test]
+    fn per_word_types_the_mp_bsp_idiom() {
+        // (g + per_word(L))·words(n): µs.
+        let e = Expr::mul(vec![
+            Expr::add(vec![Expr::sym("g"), Expr::per_word(Expr::sym("L"))]),
+            Expr::words(Expr::sym("n")),
+        ]);
+        assert_eq!(e.dim(&env()).unwrap(), Dim::US);
+        // Bare (g + L) is the mismatch per_word exists to prevent.
+        let bad = Expr::add(vec![Expr::sym("g"), Expr::sym("L")]);
+        assert!(matches!(bad.dim(&env()), Err(SymError::AddMismatch { .. })));
+    }
+
+    #[test]
+    fn eval_matches_hand_written_fold_order() {
+        // ((g·n) + L) exactly as Rust's g * n + L.
+        let e = Expr::add(vec![
+            Expr::mul(vec![Expr::sym("g"), Expr::words(Expr::sym("n"))]),
+            Expr::sym("L"),
+        ]);
+        let b = binds();
+        assert_eq!(e.eval(&b).unwrap(), 4480.0f64 * 256.0 + 5100.0);
+    }
+
+    #[test]
+    fn poly_extraction_and_leading_term() {
+        // 3·g·n²/16 + 2·L → leading term (deg 2, 3g/16).
+        let e = Expr::add(vec![
+            Expr::div(
+                Expr::mul(vec![
+                    Expr::num(3.0),
+                    Expr::sym("g"),
+                    Expr::words(Expr::sym("n")),
+                    Expr::sym("n"),
+                ]),
+                Expr::num(16.0),
+            ),
+            Expr::mul(vec![Expr::num(2.0), Expr::sym("L")]),
+        ]);
+        let p = e.poly_in("n", &binds()).unwrap();
+        let (h, c) = p.leading().unwrap();
+        assert_eq!(h, 4); // x² in half-exponent units
+        assert!((c - 3.0 * 4480.0 / 16.0).abs() < 1e-9);
+        assert_eq!(p.coeff(0), 2.0 * 5100.0);
+    }
+
+    #[test]
+    fn sqrt_monomials_use_half_exponents() {
+        let e = Expr::sqrt(Expr::mul(vec![Expr::num(4.0), Expr::sym("n")]));
+        let p = e.poly_in("n", &binds()).unwrap();
+        assert_eq!(p.as_monomial(), Some((1, 2.0)));
+        assert!((p.eval_at(9.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonneg_certificate_accepts_and_rejects() {
+        // 7n² - 5n - 3 ≥ 0 for n ≥ 2 (shifted coeffs all ≥ 0)...
+        let p = Poly::monomial(7.0, 4)
+            .add(&Poly::monomial(-5.0, 2))
+            .add(&Poly::constant(-3.0));
+        assert!(p.certify_nonneg_for(2.0));
+        // ...but not from n ≥ 0.5 (p(0.5) < 0).
+        assert!(!p.certify_nonneg_for(0.5));
+        // A genuinely negative-leading polynomial never certifies.
+        assert!(!Poly::monomial(-1.0, 2).certify_nonneg_for(1.0));
+    }
+
+    #[test]
+    fn crossing_solver_finds_the_root() {
+        // 6.94·n - 30: root at ~4.323.
+        let p = Poly::monomial(6.94, 2).add(&Poly::constant(-30.0));
+        let root = p.first_crossing(1.0, 1024.0).unwrap();
+        assert!((root - 30.0 / 6.94).abs() < 1e-6, "root = {root}");
+        assert!(Poly::constant(1.0).first_crossing(1.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn simplify_folds_and_flattens() {
+        let e = Expr::add(vec![
+            Expr::num(0.0),
+            Expr::add(vec![Expr::sym("L"), Expr::num(2.0)]),
+            Expr::num(3.0),
+        ]);
+        let s = e.simplify();
+        assert_eq!(s, Expr::Add(vec![Expr::Sym("L"), Expr::Num(5.0)]));
+        let m = Expr::mul(vec![Expr::num(1.0), Expr::sym("g"), Expr::num(0.0)]);
+        assert_eq!(m.simplify(), Expr::Num(0.0));
+        let d = format!(
+            "{}",
+            Expr::mul(vec![Expr::sym("g"), Expr::words(Expr::sym("n"))])
+        );
+        assert_eq!(d, "g·[n as word]");
+    }
+
+    #[test]
+    fn unbound_and_unknown_symbols_error() {
+        let e = Expr::sym("mystery");
+        assert!(matches!(e.dim(&env()), Err(SymError::UnknownSymbol(_))));
+        assert!(matches!(
+            e.eval(&Bindings::new()),
+            Err(SymError::UnboundSymbol(_))
+        ));
+    }
+}

@@ -49,6 +49,21 @@ pub fn tag_u32(v: usize) -> u32 {
     u32::try_from(v).expect("value does not fit in a u32 tag")
 }
 
+/// Converts a count into an `f64` that is exactly representable, for use
+/// in closed-form cost arithmetic where a silently rounded count would
+/// corrupt a prediction.
+///
+/// # Panics
+/// Panics if `v` exceeds 2⁵³ — far beyond any simulated problem size.
+pub fn exact_f64(v: usize) -> f64 {
+    let max_exact: usize = 1 << f64::MANTISSA_DIGITS;
+    assert!(v <= max_exact, "{v} is not exactly representable as an f64");
+    #[allow(clippy::cast_precision_loss)] // checked just above
+    {
+        v as f64
+    }
+}
+
 /// Integer cube root for `q³`-processor layouts; returns `None` when `p`
 /// is not a perfect cube.
 pub fn cube_root_exact(p: usize) -> Option<usize> {
@@ -99,6 +114,19 @@ mod tests {
     #[should_panic(expected = "not a power of two")]
     fn log2_exact_rejects_non_powers() {
         log2_exact(3);
+    }
+
+    #[test]
+    fn exact_f64_round_trips_counts() {
+        assert_eq!(exact_f64(0), 0.0);
+        assert_eq!(exact_f64(1024), 1024.0);
+        assert_eq!(exact_f64(1 << 53), 9_007_199_254_740_992.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exactly representable")]
+    fn exact_f64_rejects_oversized_counts() {
+        exact_f64((1 << 53) + 1);
     }
 
     #[test]

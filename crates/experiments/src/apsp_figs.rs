@@ -8,6 +8,12 @@ use pcm_models::predict;
 
 use crate::report::{Output, Scale};
 
+/// Matrix sides swept by the full-scale APSP figures (12, 13, 15) on all
+/// three machines: power-of-two multiples of the block grid side.
+pub fn full_ns() -> Vec<usize> {
+    vec![64, 128, 256, 512]
+}
+
 fn measured_series(plat: &Platform, ns: &[usize], seed: u64) -> Series {
     let mut s = Series::new("Measured");
     for &n in ns {
@@ -25,7 +31,7 @@ pub fn fig12(scale: Scale, seed: u64) -> Output {
     // On the MasPar M = N/32 must be a power of two for the doubling
     // phase, so the sweep uses power-of-two multiples of 32.
     let ns: Vec<usize> = match scale {
-        Scale::Full => vec![64, 128, 256, 512],
+        Scale::Full => full_ns(),
         Scale::Quick => vec![128, 256],
     };
     let params = plat.model_params();
@@ -58,7 +64,7 @@ pub fn fig12(scale: Scale, seed: u64) -> Output {
 pub fn fig13(scale: Scale, seed: u64) -> Output {
     let plat = Platform::gcel();
     let ns: Vec<usize> = match scale {
-        Scale::Full => vec![64, 128, 256, 512],
+        Scale::Full => full_ns(),
         Scale::Quick => vec![64, 128],
     };
     let params = plat.model_params();
@@ -91,7 +97,7 @@ pub fn fig13(scale: Scale, seed: u64) -> Output {
 pub fn fig15(scale: Scale, seed: u64) -> Output {
     let plat = Platform::cm5();
     let ns: Vec<usize> = match scale {
-        Scale::Full => vec![64, 128, 256, 512],
+        Scale::Full => full_ns(),
         Scale::Quick => vec![64, 128],
     };
     let params = plat.model_params();

@@ -16,6 +16,7 @@
 pub mod apsp_figs;
 pub mod calib_figs;
 pub mod check;
+pub mod domains;
 pub mod granularity;
 pub mod matmul_figs;
 pub mod model_fit;

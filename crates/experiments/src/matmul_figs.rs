@@ -10,16 +10,18 @@ use pcm_sim::ComputeModel as _;
 
 use crate::report::{Output, Scale};
 
-fn maspar_ns(scale: Scale) -> Vec<usize> {
-    // q = 10 on the MasPar: N must be a multiple of 100.
+/// Matrix sides swept by the MasPar matmul figures (3, 8, 19).
+/// q = 10 on the MasPar: N must be a multiple of 100.
+pub fn maspar_ns(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Full => vec![100, 200, 300, 400, 500, 600, 700],
         Scale::Quick => vec![100, 300],
     }
 }
 
-fn cm5_ns(scale: Scale) -> Vec<usize> {
-    // q = 4 on the CM-5: N must be a multiple of 16.
+/// Matrix sides swept by the CM-5 matmul figures (4, 9, 16, 20).
+/// q = 4 on the CM-5: N must be a multiple of 16.
+pub fn cm5_ns(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Full => vec![64, 128, 256, 512, 1024],
         Scale::Quick => vec![64, 128, 256],

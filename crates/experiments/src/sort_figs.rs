@@ -9,17 +9,27 @@ use pcm_models::predict;
 
 use crate::report::{Output, Scale};
 
-fn maspar_ms(scale: Scale) -> Vec<usize> {
+/// Keys per processor swept by the MasPar bitonic figures (5, 10, 17).
+pub fn maspar_ms(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Full => vec![64, 128, 256, 512, 1024, 2048],
         Scale::Quick => vec![64, 256],
     }
 }
 
-fn gcel_ms(scale: Scale) -> Vec<usize> {
+/// Keys per processor swept by the GCel bitonic figures (6, 11).
+pub fn gcel_ms(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Full => vec![256, 512, 1024, 2048, 4096],
         Scale::Quick => vec![256, 1024],
+    }
+}
+
+/// Keys per processor swept by the Fig. 18 sample-sort comparison.
+pub fn fig18_ms(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![64, 128, 256, 512, 1024],
+        Scale::Quick => vec![128, 512, 1024],
     }
 }
 
@@ -177,10 +187,7 @@ pub fn fig17(scale: Scale, seed: u64) -> Output {
 /// bitonic — see EXPERIMENTS.md.
 pub fn fig18(scale: Scale, seed: u64) -> Output {
     let plat = Platform::gcel();
-    let ms: Vec<usize> = match scale {
-        Scale::Full => vec![64, 128, 256, 512, 1024],
-        Scale::Quick => vec![128, 512, 1024],
-    };
+    let ms = fig18_ms(scale);
     let oversampling = 64;
     let bitonic_s = per_key_series("Bitonic (MP-BPRAM)", &plat, &ms, ExchangeMode::Block, seed);
     let mut sample_s = Series::new("Sample sort (MP-BPRAM)");

@@ -24,6 +24,7 @@ pub mod logp;
 pub mod mp_bsp;
 pub mod params;
 pub mod predict;
+pub mod symbolic;
 
 pub use account::{account_run, account_step, ModelAccount, StepFacts};
 pub use bpram::Bpram;
@@ -32,4 +33,5 @@ pub use contract::{ContractBreach, CostContract, KindMask};
 pub use ebsp::Ebsp;
 pub use logp::{LogGP, LogP};
 pub use mp_bsp::MpBsp;
-pub use params::{cm5, gcel, maspar, EbspParams, MachineParams};
+pub use params::{cm5, gcel, maspar, unit_env, EbspParams, MachineParams};
+pub use symbolic::{bindings, ClosedForm, DomainSpec, DomainViolation, Predictor};

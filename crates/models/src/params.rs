@@ -7,6 +7,14 @@
 //! [`maspar`], [`gcel`] and [`cm5`] constructors carry the paper's Table 1
 //! values together with the secondary constants the paper reports in the
 //! text (`T_unb`, `g_mscat`).
+//!
+//! Every field's unit is stated in its rustdoc **and** declared machine-
+//! readably by [`unit_env`]; the `pcm-sym` verifier's S01 rule type-checks
+//! the closed forms against those declarations rather than guessing.
+
+use pcm_core::dim::Dim;
+use pcm_core::symexpr::UnitEnv;
+use pcm_core::units::exact_f64;
 
 /// E-BSP refinement: how a machine prices *unbalanced* communication.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -14,11 +22,12 @@ pub enum EbspParams {
     /// MasPar-style: a partial permutation with `P'` active processors
     /// costs `T_unb(P') = a·P' + b·sqrt(P') + c` µs.
     PartialPermutation {
-        /// Linear coefficient (µs per active PE).
+        /// Linear coefficient, µs per active PE (PE counts are
+        /// dimensionless, so the term `a·P'` is µs).
         a: f64,
-        /// Square-root coefficient.
+        /// Square-root coefficient, µs per `sqrt(active PEs)`.
         b: f64,
-        /// Constant offset.
+        /// Constant offset in µs.
         c: f64,
     },
     /// GCel-style: a multinode scatter (few senders, spread receivers)
@@ -60,15 +69,18 @@ pub struct MachineParams {
     pub sigma: f64,
     /// MP-BPRAM message startup `ell` in µs.
     pub ell: f64,
-    /// Compound-op (multiply+add) time of the tuned local matmul kernel, µs.
+    /// Compound-op (multiply+add) time of the tuned local matmul kernel,
+    /// in µs per operation.
     pub alpha_mm: f64,
-    /// Compound-op time for generic scalar work (APSP updates, merges), µs.
+    /// Compound-op time for generic scalar work (APSP updates, merges),
+    /// in µs per operation.
     pub alpha: f64,
-    /// Per-word data rearrangement cost `beta` in the matmul expressions, µs.
+    /// Data rearrangement cost `beta` in the matmul expressions, in µs
+    /// per word copied.
     pub copy: f64,
-    /// Radix-sort coefficient `beta` (per bucket slot per pass), µs.
+    /// Radix-sort coefficient `beta`, in µs per bucket slot per pass.
     pub radix_beta: f64,
-    /// Radix-sort coefficient `gamma` (per key per pass), µs.
+    /// Radix-sort coefficient `gamma`, in µs per key inspected per pass.
     pub radix_gamma: f64,
     /// `true` if remote accesses pipeline (plain BSP); `false` for the
     /// MasPar-style MP-BSP machine where each word message is its own
@@ -83,21 +95,49 @@ impl MachineParams {
     /// gain obtainable by grouping data into long messages (about 120 on
     /// the GCel, 4.2 on the CM-5).
     pub fn bulk_gain(&self) -> f64 {
-        self.g / (self.w as f64 * self.sigma)
+        self.g / (exact_f64(self.w) * self.sigma)
     }
 
     /// The MP-BSP variant of the bulk gain, `(g+L) / (w·sigma)` — 3.3 on
     /// the MasPar, where every word message pays the synchronization cost.
     pub fn bulk_gain_mp(&self) -> f64 {
-        (self.g + self.l) / (self.w as f64 * self.sigma)
+        (self.g + self.l) / (exact_f64(self.w) * self.sigma)
     }
 
     /// Cost of the local radix sort of `n` keys (`b`-bit keys, radix `2^r`):
-    /// `T_local_sort = (b/r)·(beta·2^r + gamma·n)`.
+    /// `T_local_sort = (b/r)·(beta·2^r + gamma·n)`, in µs.
     pub fn local_sort(&self, n: usize, key_bits: usize, radix_bits: usize) -> f64 {
-        let passes = key_bits as f64 / radix_bits as f64;
-        passes * (self.radix_beta * (1u64 << radix_bits) as f64 + self.radix_gamma * n as f64)
+        let passes = exact_f64(key_bits) / exact_f64(radix_bits);
+        passes
+            * (self.radix_beta * exact_f64(1usize << radix_bits) + self.radix_gamma * exact_f64(n))
     }
+}
+
+/// Declared units of every symbol the predictors' symbolic forms use —
+/// the single source of truth S01 type-checks against.
+///
+/// The problem-size symbol `n` (matrix side for matmul/APSP/LU, keys per
+/// processor for the sorts) and all processor/step counts are
+/// dimensionless; casts inside the expressions state explicitly when a
+/// count travels as words or is charged as local operations.
+pub fn unit_env() -> UnitEnv {
+    let mut env = UnitEnv::new();
+    env.declare("g", Dim::US_PER_WORD);
+    env.declare("L", Dim::US);
+    env.declare("sigma", Dim::US_PER_BYTE);
+    env.declare("ell", Dim::US);
+    env.declare("w", Dim::BYTES_PER_WORD);
+    env.declare("alpha", Dim::US_PER_OP);
+    env.declare("alpha_mm", Dim::US_PER_OP);
+    env.declare("copy", Dim::US_PER_WORD);
+    env.declare("radix_beta", Dim::US_PER_OP);
+    env.declare("radix_gamma", Dim::US_PER_OP);
+    env.declare("g_mscat", Dim::US_PER_WORD);
+    env.declare("t_unb_a", Dim::US);
+    env.declare("t_unb_b", Dim::US);
+    env.declare("t_unb_c", Dim::US);
+    env.declare("n", Dim::NONE);
+    env
 }
 
 /// Table 1 parameters of the 1024-PE MasPar MP-1 (plus the text's secondary
@@ -217,6 +257,35 @@ mod tests {
         let ratio = partial / full;
         assert!((ratio - 0.13).abs() < 0.02, "ratio = {ratio}");
         assert_eq!(gcel().ebsp.t_unb(32.0), None);
+    }
+
+    #[test]
+    fn unit_env_declares_every_formula_symbol() {
+        let env = unit_env();
+        for name in [
+            "g",
+            "L",
+            "sigma",
+            "ell",
+            "w",
+            "alpha",
+            "alpha_mm",
+            "copy",
+            "radix_beta",
+            "radix_gamma",
+            "g_mscat",
+            "t_unb_a",
+            "t_unb_b",
+            "t_unb_c",
+            "n",
+        ] {
+            assert!(env.get(name).is_some(), "missing unit for {name}");
+        }
+        // The load-bearing distinctions: g is per word, sigma per byte.
+        assert_eq!(env.get("g"), Some(Dim::US_PER_WORD));
+        assert_eq!(env.get("sigma"), Some(Dim::US_PER_BYTE));
+        assert_eq!(env.get("w"), Some(Dim::BYTES_PER_WORD));
+        assert_eq!(env.get("n"), Some(Dim::NONE));
     }
 
     #[test]

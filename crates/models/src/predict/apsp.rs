@@ -9,15 +9,16 @@
 //! `M < sqrt(P)`.
 
 use crate::params::{EbspParams, MachineParams};
+use pcm_core::units::exact_f64;
 use pcm_core::SimTime;
 
 /// `M = N / sqrt(P)` — the side of each processor's block.
 pub fn block_side(m: &MachineParams, n: usize) -> f64 {
-    n as f64 / (m.p as f64).sqrt()
+    exact_f64(n) / exact_f64(m.p).sqrt()
 }
 
 fn extra_phase_steps(m: &MachineParams, n: usize) -> f64 {
-    let sq = (m.p as f64).sqrt();
+    let sq = exact_f64(m.p).sqrt();
     let mm = block_side(m, n);
     if mm >= sq {
         0.0
@@ -51,19 +52,19 @@ pub fn bcast_ebsp(m: &MachineParams, n: usize) -> SimTime {
     let EbspParams::PartialPermutation { .. } = m.ebsp else {
         return bcast_bsp(m, n);
     };
-    let sq = (m.p as f64).sqrt();
+    let sq = exact_f64(m.p).sqrt();
     let mm = block_side(m, n);
     let t_unb = |active: f64| {
         m.ebsp
-            .t_unb(active.min(m.p as f64))
+            .t_unb(active.min(exact_f64(m.p)))
             .expect("the PartialPermutation guard above makes t_unb defined")
     };
-    let mut t = mm * t_unb(sq) + mm * t_unb(m.p as f64);
+    let mut t = mm * t_unb(sq) + mm * t_unb(exact_f64(m.p));
     // A doubling-step count: a handful at most.
     #[allow(clippy::cast_possible_truncation)]
     let extra = extra_phase_steps(m, n) as usize;
     for i in 0..extra {
-        t += t_unb((1usize << i) as f64 * n as f64);
+        t += t_unb(exact_f64(1usize << i) * exact_f64(n));
     }
     SimTime::from_micros(t)
 }
@@ -82,8 +83,8 @@ pub fn bcast_gcel_refined(m: &MachineParams, n: usize) -> SimTime {
 }
 
 fn total_with_bcast(m: &MachineParams, n: usize, bcast: SimTime) -> SimTime {
-    let compute = m.alpha * (n as f64).powi(3) / m.p as f64;
-    SimTime::from_micros(compute) + 2.0 * n as f64 * bcast
+    let compute = m.alpha * exact_f64(n).powi(3) / exact_f64(m.p);
+    SimTime::from_micros(compute) + 2.0 * exact_f64(n) * bcast
 }
 
 /// BSP total: `alpha·N³/P + 2·N·T_bcast`.

@@ -7,6 +7,7 @@
 //! `sum_{d=1}^{log P} d = log P (log P + 1)/2` steps in total.
 
 use crate::params::MachineParams;
+use pcm_core::units::exact_f64;
 use pcm_core::units::log2_exact;
 use pcm_core::SimTime;
 
@@ -24,8 +25,8 @@ pub const RADIX_BITS: usize = 8;
 /// BSP prediction:
 /// `T = T_local_sort + S·(alpha·M + g·M + L)` with `S = merge_steps(P)`.
 pub fn bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
-    let s = merge_steps(m.p) as f64;
-    let mm = keys_per_proc as f64;
+    let s = exact_f64(merge_steps(m.p));
+    let mm = exact_f64(keys_per_proc);
     let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS) + s * (m.alpha * mm + m.g * mm + m.l);
     SimTime::from_micros(t)
 }
@@ -33,8 +34,8 @@ pub fn bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
 /// MP-BSP prediction: each exchanged key is its own communication step:
 /// `T = T_local_sort + S·(alpha·M + (g+L)·M)`.
 pub fn mp_bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
-    let s = merge_steps(m.p) as f64;
-    let mm = keys_per_proc as f64;
+    let s = exact_f64(merge_steps(m.p));
+    let mm = exact_f64(keys_per_proc);
     let t =
         m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS) + s * (m.alpha * mm + (m.g + m.l) * mm);
     SimTime::from_micros(t)
@@ -43,17 +44,17 @@ pub fn mp_bsp(m: &MachineParams, keys_per_proc: usize) -> SimTime {
 /// MP-BPRAM prediction: each merge step exchanges one block of `M` words:
 /// `T = T_local_sort + S·(alpha·M + sigma·w·M + ell)`.
 pub fn bpram(m: &MachineParams, keys_per_proc: usize) -> SimTime {
-    let s = merge_steps(m.p) as f64;
-    let mm = keys_per_proc as f64;
+    let s = exact_f64(merge_steps(m.p));
+    let mm = exact_f64(keys_per_proc);
     let t = m.local_sort(keys_per_proc, KEY_BITS, RADIX_BITS)
-        + s * (m.alpha * mm + m.sigma * m.w as f64 * mm + m.ell);
+        + s * (m.alpha * mm + m.sigma * exact_f64(m.w) * mm + m.ell);
     SimTime::from_micros(t)
 }
 
 /// "Time per key" as the figures plot it: total time divided by the number
 /// of keys per processor.
 pub fn per_key(total: SimTime, keys_per_proc: usize) -> f64 {
-    total.as_micros() / keys_per_proc as f64
+    total.as_micros() / exact_f64(keys_per_proc)
 }
 
 #[cfg(test)]

@@ -8,11 +8,12 @@
 //! update — summed over the `N` iterations.
 
 use crate::params::MachineParams;
+use pcm_core::units::exact_f64;
 use pcm_core::SimTime;
 
 /// `M = N / sqrt(P)`.
 fn block_side(m: &MachineParams, n: usize) -> f64 {
-    n as f64 / (m.p as f64).sqrt()
+    exact_f64(n) / exact_f64(m.p).sqrt()
 }
 
 /// BSP prediction: per iteration the pivot broadcast is a 1-relation down
@@ -21,23 +22,23 @@ fn block_side(m: &MachineParams, n: usize) -> f64 {
 /// charged as the full `g·M + L` superstep the implementation uses).
 pub fn bsp(m: &MachineParams, n: usize) -> SimTime {
     let mm = block_side(m, n);
-    let sq = (m.p as f64).sqrt();
+    let sq = exact_f64(m.p).sqrt();
     let per_iter = (m.g + m.l) // pivot broadcast superstep
         + 2.0 * (m.g * mm * (sq - 1.0).max(1.0) + m.l) // L and U broadcasts
         + m.alpha * mm * mm; // rank-1 update
-    SimTime::from_micros(n as f64 * per_iter)
+    SimTime::from_micros(exact_f64(n) * per_iter)
 }
 
 /// MP-BPRAM prediction: each broadcast is `sqrt(P)-1` staggered block
 /// steps of `M` words.
 pub fn bpram(m: &MachineParams, n: usize) -> SimTime {
     let mm = block_side(m, n);
-    let sq = (m.p as f64).sqrt();
+    let sq = exact_f64(m.p).sqrt();
     let steps = (sq - 1.0).max(1.0);
-    let per_iter = (m.sigma * m.w as f64 + m.ell) // pivot block
-        + 2.0 * steps * (m.sigma * m.w as f64 * mm + m.ell)
+    let per_iter = (m.sigma * exact_f64(m.w) + m.ell) // pivot block
+        + 2.0 * steps * (m.sigma * exact_f64(m.w) * mm + m.ell)
         + m.alpha * mm * mm;
-    SimTime::from_micros(n as f64 * per_iter)
+    SimTime::from_micros(exact_f64(n) * per_iter)
 }
 
 #[cfg(test)]

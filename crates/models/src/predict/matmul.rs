@@ -6,6 +6,7 @@
 //! MasPar) the largest embedded cube is used: `q = 10`, `P_eff = 1000`.
 
 use crate::params::MachineParams;
+use pcm_core::units::exact_f64;
 use pcm_core::SimTime;
 
 /// The cube side `q` used on a machine with `p` processors: the largest
@@ -26,9 +27,9 @@ pub fn q_for(p: usize) -> usize {
 
 /// Shared compute part: `alpha·N³/P + beta·N²/q²`.
 fn compute_part(m: &MachineParams, n: usize, q: usize) -> f64 {
-    let nf = n as f64;
-    let p_eff = (q * q * q) as f64;
-    let qf = q as f64;
+    let nf = exact_f64(n);
+    let p_eff = exact_f64(q * q * q);
+    let qf = exact_f64(q);
     m.alpha_mm * nf.powi(3) / p_eff + m.copy * nf * nf / (qf * qf)
 }
 
@@ -36,8 +37,8 @@ fn compute_part(m: &MachineParams, n: usize, q: usize) -> f64 {
 /// `T = alpha·N³/P + beta·N²/q² + 3·g·N²/q² + 2·L`.
 pub fn bsp(m: &MachineParams, n: usize) -> SimTime {
     let q = q_for(m.p);
-    let nf = n as f64;
-    let qf = q as f64;
+    let nf = exact_f64(n);
+    let qf = exact_f64(q);
     let comm = 3.0 * m.g * nf * nf / (qf * qf) + 2.0 * m.l;
     SimTime::from_micros(compute_part(m, n, q) + comm)
 }
@@ -46,8 +47,8 @@ pub fn bsp(m: &MachineParams, n: usize) -> SimTime {
 /// `T = alpha·N³/P + beta·N²/q² + 3·(g+L)·N²/q²`.
 pub fn mp_bsp(m: &MachineParams, n: usize) -> SimTime {
     let q = q_for(m.p);
-    let nf = n as f64;
-    let qf = q as f64;
+    let nf = exact_f64(n);
+    let qf = exact_f64(q);
     let comm = 3.0 * (m.g + m.l) * nf * nf / (qf * qf);
     SimTime::from_micros(compute_part(m, n, q) + comm)
 }
@@ -56,9 +57,9 @@ pub fn mp_bsp(m: &MachineParams, n: usize) -> SimTime {
 /// `T = alpha·N³/P + beta·N²/q² + 3·q·(sigma·w·N²/P + ell)`.
 pub fn bpram(m: &MachineParams, n: usize) -> SimTime {
     let q = q_for(m.p);
-    let nf = n as f64;
-    let p_eff = (q * q * q) as f64;
-    let comm = 3.0 * q as f64 * (m.sigma * m.w as f64 * nf * nf / p_eff + m.ell);
+    let nf = exact_f64(n);
+    let p_eff = exact_f64(q * q * q);
+    let comm = 3.0 * exact_f64(q) * (m.sigma * exact_f64(m.w) * nf * nf / p_eff + m.ell);
     SimTime::from_micros(compute_part(m, n, q) + comm)
 }
 

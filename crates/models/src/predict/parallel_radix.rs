@@ -6,36 +6,38 @@
 //! (`2·M` words per processor — `(position, key)` pairs).
 
 use crate::params::MachineParams;
+use pcm_core::units::exact_f64;
 use pcm_core::SimTime;
 
 /// Radix width used by the implementation.
 pub const RADIX_BITS: usize = 8;
 
 fn passes() -> f64 {
-    32.0 / RADIX_BITS as f64
+    32.0 / exact_f64(RADIX_BITS)
 }
 
 /// BSP prediction of one pass with `m` keys per processor.
 fn pass_bsp(p: &MachineParams, m: usize) -> f64 {
-    let radix = (1usize << RADIX_BITS) as f64;
-    let histogram = p.radix_gamma * m as f64 + p.radix_beta * radix;
+    let radix = exact_f64(1usize << RADIX_BITS);
+    let histogram = p.radix_gamma * exact_f64(m) + p.radix_beta * radix;
     // Counts out, prefixes + totals back: ~2·radix words each way.
     let scans = 2.0 * (p.g * radix + p.l);
     // Keys travel as (position, key) pairs.
-    let routing = p.g * 2.0 * m as f64 + p.l;
-    let placing = p.copy * m as f64;
+    let routing = p.g * 2.0 * exact_f64(m) + p.l;
+    let placing = p.copy * exact_f64(m);
     histogram + scans + routing + placing
 }
 
 /// MP-BPRAM prediction of one pass: the exchanges become at most `P`
 /// staggered blocks per processor.
 fn pass_bpram(p: &MachineParams, m: usize) -> f64 {
-    let radix = (1usize << RADIX_BITS) as f64;
-    let histogram = p.radix_gamma * m as f64 + p.radix_beta * radix;
-    let blocks_per_step = p.p as f64 - 1.0;
-    let scans = 2.0 * blocks_per_step * (p.sigma * p.w as f64 * radix / p.p as f64 + p.ell);
-    let routing = blocks_per_step * (p.sigma * p.w as f64 * 2.0 * m as f64 / p.p as f64 + p.ell);
-    let placing = p.copy * m as f64;
+    let radix = exact_f64(1usize << RADIX_BITS);
+    let histogram = p.radix_gamma * exact_f64(m) + p.radix_beta * radix;
+    let blocks_per_step = exact_f64(p.p) - 1.0;
+    let scans = 2.0 * blocks_per_step * (p.sigma * exact_f64(p.w) * radix / exact_f64(p.p) + p.ell);
+    let routing =
+        blocks_per_step * (p.sigma * exact_f64(p.w) * 2.0 * exact_f64(m) / exact_f64(p.p) + p.ell);
+    let placing = p.copy * exact_f64(m);
     histogram + scans + routing + placing
 }
 

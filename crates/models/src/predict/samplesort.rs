@@ -18,6 +18,7 @@
 
 use super::bitonic;
 use crate::params::MachineParams;
+use pcm_core::units::exact_f64;
 use pcm_core::SimTime;
 
 /// Cost of the BSP splitter phase with oversampling ratio `s`:
@@ -25,23 +26,23 @@ use pcm_core::SimTime;
 /// per processor).
 pub fn splitter_bsp(m: &MachineParams, s: usize) -> SimTime {
     let bitonic = bitonic::bsp(m, s);
-    bitonic + SimTime::from_micros(m.g * (m.p as f64 - 1.0) + m.l)
+    bitonic + SimTime::from_micros(m.g * (exact_f64(m.p) - 1.0) + m.l)
 }
 
 /// Cost of the BSP multi-scan used to compute receive addresses:
 /// `2·(g·P + L)`.
 pub fn scan_bsp(m: &MachineParams) -> SimTime {
-    SimTime::from_micros(2.0 * (m.g * m.p as f64 + m.l))
+    SimTime::from_micros(2.0 * (m.g * exact_f64(m.p) + m.l))
 }
 
 /// Cost of the BSP send phase given the observed maximum bucket size:
 /// `T_local_sort(M) + alpha·(M+P) + T_scan + g·M_max + L`.
 pub fn send_bsp(m: &MachineParams, keys_per_proc: usize, m_max: usize) -> SimTime {
     let local = m.local_sort(keys_per_proc, bitonic::KEY_BITS, bitonic::RADIX_BITS);
-    let bucketing = m.alpha * (keys_per_proc + m.p) as f64;
+    let bucketing = m.alpha * exact_f64(keys_per_proc + m.p);
     SimTime::from_micros(local + bucketing)
         + scan_bsp(m)
-        + SimTime::from_micros(m.g * m_max as f64 + m.l)
+        + SimTime::from_micros(m.g * exact_f64(m_max) + m.l)
 }
 
 /// Cost of the final local bucket sort: `T_local_sort(M_max)`.
@@ -57,24 +58,24 @@ pub fn bsp_total(m: &MachineParams, keys_per_proc: usize, s: usize, m_max: usize
 /// Block-transfer cost of the splitter broadcast (a `P x P` transpose):
 /// `2·sqrt(P)·(sigma·w·sqrt(P) + ell)`.
 pub fn splitter_broadcast_bpram(m: &MachineParams) -> SimTime {
-    let sq = (m.p as f64).sqrt();
-    SimTime::from_micros(2.0 * sq * (m.sigma * m.w as f64 * sq + m.ell))
+    let sq = (exact_f64(m.p)).sqrt();
+    SimTime::from_micros(2.0 * sq * (m.sigma * exact_f64(m.w) * sq + m.ell))
 }
 
 /// Block-transfer cost of the multi-scan:
 /// `4·sqrt(P)·(sigma·w·sqrt(P) + ell)`.
 pub fn scan_bpram(m: &MachineParams) -> SimTime {
-    let sq = (m.p as f64).sqrt();
-    SimTime::from_micros(4.0 * sq * (m.sigma * m.w as f64 * sq + m.ell))
+    let sq = (exact_f64(m.p)).sqrt();
+    SimTime::from_micros(4.0 * sq * (m.sigma * exact_f64(m.w) * sq + m.ell))
 }
 
 /// Block-transfer cost of routing the keys to their buckets
 /// (JáJá–Ryu): `4·sqrt(P)·(4·sigma·w·N/P^1.5 + ell)`.
 pub fn send_to_buckets_bpram(m: &MachineParams, total_keys: usize) -> SimTime {
-    let p = m.p as f64;
+    let p = exact_f64(m.p);
     let sq = p.sqrt();
     SimTime::from_micros(
-        4.0 * sq * (4.0 * m.sigma * m.w as f64 * total_keys as f64 / (p * sq) + m.ell),
+        4.0 * sq * (4.0 * m.sigma * exact_f64(m.w) * exact_f64(total_keys) / (p * sq) + m.ell),
     )
 }
 
@@ -82,7 +83,7 @@ pub fn send_to_buckets_bpram(m: &MachineParams, total_keys: usize) -> SimTime {
 pub fn bpram_total(m: &MachineParams, keys_per_proc: usize, s: usize, m_max: usize) -> SimTime {
     let splitters = bitonic::bpram(m, s) + splitter_broadcast_bpram(m);
     let local = m.local_sort(keys_per_proc, bitonic::KEY_BITS, bitonic::RADIX_BITS)
-        + m.alpha * (keys_per_proc + m.p) as f64;
+        + m.alpha * exact_f64(keys_per_proc + m.p);
     let total_keys = keys_per_proc * m.p;
     splitters
         + SimTime::from_micros(local)
@@ -104,13 +105,13 @@ mod tests {
         let m = gcel();
         let n = 64 * 4096;
         let t = send_to_buckets_bpram(&m, n).as_micros();
-        let dominant = 16.0 * m.sigma * m.w as f64 * n as f64 / m.p as f64;
+        let dominant = 16.0 * m.sigma * exact_f64(m.w) * exact_f64(n) / exact_f64(m.p);
         let startup = 4.0 * 8.0 * m.ell;
         assert!((t - (dominant + startup)).abs() < 1e-6);
         // Bitonic's communication term is ~21·sigma·w·N/P (plus startups),
         // so sample sort's send phase alone is within a factor of the whole
         // bitonic exchange volume — that is why sample sort disappoints.
-        let bitonic_comm = 21.0 * m.sigma * m.w as f64 * 4096.0;
+        let bitonic_comm = 21.0 * m.sigma * exact_f64(m.w) * 4096.0;
         assert!(dominant > 0.5 * bitonic_comm);
     }
 

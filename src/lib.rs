@@ -26,7 +26,12 @@
 //!   auditor (see the "Sanitizer" section of DESIGN.md),
 //! * [`audit`] — the static superstep-schedule verifier: abstract
 //!   interpretation of extracted communication plans with cost-bound
-//!   certification (see the "Static audit" section of DESIGN.md).
+//!   certification (see the "Static audit" section of DESIGN.md),
+//! * [`sym`] — the symbolic cost-IR verifier: every closed-form predictor
+//!   re-expressed as a typed expression and certified for units, domains,
+//!   dominance lemmas, ≤ 1 ulp differential agreement, leading terms and
+//!   word/block crossovers (see the "Symbolic model verification" section
+//!   of DESIGN.md).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +58,7 @@ pub use pcm_experiments as experiments;
 pub use pcm_machines as machines;
 pub use pcm_models as models;
 pub use pcm_sim as sim;
+pub use pcm_sym as sym;
 
 // Convenient re-exports of the most commonly used types.
 pub use pcm_core::{Figure, Series, SimTime, Table};
