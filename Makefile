@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden audit sym analyze doc fmt clippy bench bench-smoke
+.PHONY: ci build test sanitize race golden shard audit sym analyze doc fmt clippy bench bench-smoke bench-scaling
 
 ci: build test audit sym doc fmt clippy
 
@@ -18,6 +18,10 @@ race:
 
 golden:
 	cargo test -q --test golden
+
+# Sharded-exchange bit-identity sweep (families x machines x shard counts).
+shard:
+	cargo test -q --test exchange_shard
 
 # Static schedule audit: full sweep + machine-readable findings report.
 audit:
@@ -42,6 +46,11 @@ bench:
 # Fast sanity pass over every bench kernel; writes no report.
 bench-smoke:
 	cargo run --release -p pcm-bench --bin bench-report -- --smoke
+
+# Smoke-mode thread-scaling ladder: re-executes the bench binary with
+# RAYON_NUM_THREADS pinned to each rung; writes no report.
+bench-scaling:
+	cargo run --release -p pcm-bench --bin bench-report -- --smoke --scaling
 
 fmt:
 	cargo fmt --check

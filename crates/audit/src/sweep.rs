@@ -5,10 +5,19 @@
 //! executes), certifies rules A01–A05 on it, certifies the contract shape
 //! (A06) once per family, and replays a sample of the grid through the
 //! priced simulator to confirm the static bounds dominate observed traces.
+//!
+//! Grid × machine audit units and differential replays are independent,
+//! so the sweep fans them across cores with
+//! [`pcm_experiments::map_ordered`]; results come back in input order,
+//! which keeps the findings stream (and hence `AUDIT_report.json`)
+//! byte-identical to the sequential sweep at any pool width. The plan
+//! recorder and validator hooks are thread-local, and each unit installs
+//! and tears its own down on the worker that runs it.
 
 use crate::checker::{audit_plan, certify_contract_shape, differential_gate, PlanAudit};
 use crate::families::{machines, registry, Family, SEED};
 use crate::rules::{AuditRule, Finding};
+use pcm_experiments::map_ordered;
 use pcm_machines::Platform;
 use pcm_sim::extract_plans;
 
@@ -46,14 +55,11 @@ pub struct SweepOutcome {
     pub stats: SweepStats,
 }
 
-fn audit_point(
-    family: &Family,
-    plat: &Platform,
-    n: usize,
-    p: usize,
-    findings: &mut Vec<Finding>,
-    stats: &mut SweepStats,
-) {
+/// Audits one family × machine × `(n, p)` unit; returns the findings and
+/// the number of plans audited (for the stats).
+fn audit_point(family: &Family, plat: &Platform, n: usize, p: usize) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut plans_audited = 0usize;
     for variant in &family.variants {
         let cx = PlanAudit {
             family: family.name,
@@ -80,9 +86,10 @@ fn audit_point(
         }
         for plan in &plans {
             findings.extend(audit_plan(plan, &cx));
-            stats.plans_audited += 1;
+            plans_audited += 1;
         }
     }
+    (findings, plans_audited)
 }
 
 /// Runs the sweep.
@@ -108,19 +115,28 @@ pub fn sweep(opts: SweepOptions) -> SweepOutcome {
         } else {
             family.grid
         };
+        let mut units: Vec<(usize, usize, Platform)> = Vec::new();
         for &(n, p) in grid {
             stats.grid_points += 1;
             let plats = machines(p);
-            let plats = if opts.fast { &plats[..1] } else { &plats[..] };
-            for plat in plats {
-                audit_point(&family, plat, n, p, &mut findings, &mut stats);
+            let take = if opts.fast { 1 } else { plats.len() };
+            for plat in plats.into_iter().take(take) {
+                units.push((n, p, plat));
             }
+        }
+        // Fan the independent units across cores; `map_ordered` returns
+        // them in input order, so the findings stream matches the
+        // sequential sweep exactly.
+        for (fnds, plans) in map_ordered(units, |_, (n, p, plat)| audit_point(&family, &plat, n, p))
+        {
+            findings.extend(fnds);
+            stats.plans_audited += plans;
         }
 
         // Differential gate: replay through the priced simulator on the
         // first variant × MasPar, across the (restricted) grid.
         let variant = &family.variants[0];
-        for &(n, p) in grid {
+        for fnds in map_ordered(grid.to_vec(), |_, (n, p)| {
             let plat = &machines(p)[0];
             let cx = PlanAudit {
                 family: family.name,
@@ -132,7 +148,9 @@ pub fn sweep(opts: SweepOptions) -> SweepOutcome {
                 bounds: &family.bounds,
                 contract: family.contract.as_ref(),
             };
-            findings.extend(differential_gate(&cx, &|| (variant.run)(plat, n, SEED)));
+            differential_gate(&cx, &|| (variant.run)(plat, n, SEED))
+        }) {
+            findings.extend(fnds);
             stats.differential_points += 1;
         }
     }

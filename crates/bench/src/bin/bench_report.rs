@@ -1,20 +1,33 @@
 //! `bench-report`: pinned-size simulator-throughput benchmarks with a
-//! machine-readable JSON report.
+//! machine-readable JSON report (`pcm-bench-report/v2`).
 //!
 //! Unlike the criterion benches (which explore), this binary *records*: it
 //! runs a fixed suite — superstep dispatch, word exchange, per-machine
-//! route pricing, the delta router, and two figure kernels — at pinned
-//! sizes and writes `BENCH_simulator.json` with median ns/iter, message
-//! throughput, the commit hash and the run configuration. Passing
-//! `--baseline <old.json>` embeds the old numbers and the per-bench
-//! speedup, so the perf trajectory of the superstep hot path is tracked
-//! in-repo instead of in commit messages.
+//! route pricing, the delta router, an exchange-phase microbench family,
+//! and two figure kernels — at pinned sizes and writes
+//! `BENCH_simulator.json` with median ns/iter, message throughput, the
+//! commit hash and the run configuration. Passing `--baseline <old.json>`
+//! (v1 or v2) embeds the old numbers and the per-bench speedup, so the
+//! perf trajectory of the superstep hot path is tracked in-repo instead
+//! of in commit messages.
+//!
+//! The v2 schema additionally records *scaling curves*: because the rayon
+//! shim latches its pool width once per process, the binary re-executes
+//! itself (`--child <bench>`) with `RAYON_NUM_THREADS` pinned to each
+//! rung of a {1, 2, 4, host} ladder and collects the children's medians.
+//! Every row reports the pool width the process *actually* used
+//! (`rayon::current_num_threads()`), with the host's core count kept
+//! separately as `host_parallelism` — a single-thread run no longer
+//! claims the host count.
 //!
 //! Usage:
-//!   bench-report [--smoke] [--out FILE] [--baseline FILE]
+//!   bench-report [--smoke] [--scaling] [--out FILE] [--baseline FILE]
+//!   bench-report --child BENCH [--smoke]   (internal: one bench, stdout)
 //!
 //! `--smoke` runs a tiny pinned subset (CI keeps it under a few seconds);
-//! it writes no file unless `--out` is given explicitly.
+//! it writes no file unless `--out` is given explicitly, and skips the
+//! scaling ladder unless `--scaling` is also given. Full runs always
+//! record the ladder.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -177,6 +190,87 @@ fn delta_router(cfg: &Config, p: usize) -> BenchResult {
     }
 }
 
+/// Exchange-phase microbenches: negligible compute, traffic shaped to
+/// stress the delivery engine itself — a seeded random word permutation,
+/// a heap-block ring shift (payload pools + recycle lanes), and an
+/// all-to-one fan-in (maximally skewed lane loads).
+fn exchange_word_permutation(cfg: &Config, p: usize) -> BenchResult {
+    let perm = random_permutation(p, &mut seeded(5));
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u32; p],
+        3,
+    );
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || {
+        m.superstep(|ctx| {
+            let v = *ctx.state;
+            ctx.send_word_u32(perm[ctx.pid()], v);
+            *ctx.state = ctx.msgs().iter().map(Message::word_u32).sum();
+        });
+    });
+    BenchResult {
+        name: format!("exchange/word_permutation/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+    }
+}
+
+fn exchange_heap_block_shift(cfg: &Config, p: usize) -> BenchResult {
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u64; p],
+        4,
+    );
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || {
+        m.superstep(|ctx| {
+            let mut acc = 0u64;
+            for msg in ctx.msgs() {
+                acc = acc.wrapping_add(msg.data().len() as u64);
+            }
+            *ctx.state = acc;
+            // 128 bytes: a pooled heap payload, recycled sender-affine.
+            let block = [u32::try_from(ctx.pid()).expect("pid fits u32"); 32];
+            ctx.send_block_u32((ctx.pid() + 1) % ctx.nprocs(), &block);
+        });
+    });
+    BenchResult {
+        name: format!("exchange/heap_block_shift/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+    }
+}
+
+fn exchange_fanin_skew(cfg: &Config, p: usize) -> BenchResult {
+    let mut m = Machine::new(
+        Box::new(IdealNetwork),
+        Arc::new(UniformCompute::test_model()),
+        vec![0u32; p],
+        6,
+    );
+    m.set_tracing(false);
+    let (ns, samples) = measure(cfg, || {
+        m.superstep(|ctx| {
+            let v = *ctx.state;
+            ctx.send_word_u32(0, v);
+            if ctx.pid() == 0 {
+                *ctx.state = u32::try_from(ctx.msgs().len()).expect("inbox fits u32");
+            }
+        });
+    });
+    BenchResult {
+        name: format!("exchange/fanin_skew/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+    }
+}
+
 fn figure_kernels(cfg: &Config) -> Vec<BenchResult> {
     let mut out = Vec::new();
     let keys = if cfg.smoke { 16 } else { 64 };
@@ -228,9 +322,149 @@ fn run_suite(cfg: &Config) -> Vec<BenchResult> {
     let router_p = if cfg.smoke { 64 } else { 1024 };
     eprintln!("  delta_router_permutation/{router_p} ...");
     results.push(delta_router(cfg, router_p));
+    let ep = if cfg.smoke { 64 } else { 1024 };
+    eprintln!("  exchange microbenches (p={ep}) ...");
+    results.push(exchange_word_permutation(cfg, ep));
+    results.push(exchange_heap_block_shift(cfg, ep));
+    results.push(exchange_fanin_skew(cfg, ep));
     eprintln!("  figure kernels ...");
     results.extend(figure_kernels(cfg));
     results
+}
+
+/// Runs a single bench by its report name — the `--child` protocol used
+/// by the scaling ladder (each child process latches its own pool width
+/// from `RAYON_NUM_THREADS` before running).
+fn run_named(cfg: &Config, name: &str) -> Option<BenchResult> {
+    let (prefix, tail) = name.rsplit_once('/')?;
+    match prefix {
+        "noop_superstep" => Some(noop_superstep(cfg, tail.parse().ok()?)),
+        "word_exchange" => Some(word_exchange(cfg, tail.parse().ok()?)),
+        "delta_router_permutation" => Some(delta_router(cfg, tail.parse().ok()?)),
+        "exchange/word_permutation" => Some(exchange_word_permutation(cfg, tail.parse().ok()?)),
+        "exchange/heap_block_shift" => Some(exchange_heap_block_shift(cfg, tail.parse().ok()?)),
+        "exchange/fanin_skew" => Some(exchange_fanin_skew(cfg, tail.parse().ok()?)),
+        "priced_superstep" => {
+            let plat = [Platform::maspar(), Platform::gcel(), Platform::cm5()]
+                .into_iter()
+                .find(|pl| pl.name() == tail)?;
+            Some(priced_superstep(cfg, &plat))
+        }
+        _ => None,
+    }
+}
+
+// ---- scaling curves (multi-process thread ladder) -----------------------
+
+/// The pool widths of the scaling ladder: {1, 2, 4, host}, deduplicated.
+/// Widths above the host's core count still measure correctness overhead
+/// (oversubscription), which is the honest number on small hosts.
+fn scaling_ladder() -> Vec<usize> {
+    let host = host_parallelism();
+    let mut ladder = vec![1, 2, 4, host];
+    ladder.sort_unstable();
+    ladder.dedup();
+    ladder
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The benches whose scaling the v2 report records: the exchange-bound
+/// rows (the slowest-improving ones in the v1 history) plus the
+/// dispatch-bound noop row as a control.
+fn scaling_bench_names(cfg: &Config) -> Vec<String> {
+    if cfg.smoke {
+        vec![
+            String::from("word_exchange/64"),
+            String::from("exchange/word_permutation/64"),
+        ]
+    } else {
+        [
+            "noop_superstep/1024",
+            "word_exchange/64",
+            "word_exchange/256",
+            "word_exchange/1024",
+            "delta_router_permutation/1024",
+            "exchange/word_permutation/1024",
+            "exchange/heap_block_shift/1024",
+            "exchange/fanin_skew/1024",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    }
+}
+
+/// One bench's medians across the thread ladder, in ladder order.
+struct ScalingCurve {
+    name: String,
+    ns_by_thread: Vec<f64>,
+    /// Pool width each child actually latched (sanity echo).
+    threads_used: Vec<usize>,
+}
+
+impl ScalingCurve {
+    /// Speedup of the widest rung over the single-thread rung.
+    fn speedup_max_vs_1(&self) -> f64 {
+        match (self.ns_by_thread.first(), self.ns_by_thread.last()) {
+            (Some(&one), Some(&max)) if max > 0.0 => one / max,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Re-executes this binary once per (bench, width) with
+/// `RAYON_NUM_THREADS` pinned — the pool width is latched once per
+/// process, so an in-process ladder is impossible by design.
+fn run_scaling(cfg: &Config) -> (Vec<usize>, Vec<ScalingCurve>) {
+    let ladder = scaling_ladder();
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut curves = Vec::new();
+    for name in scaling_bench_names(cfg) {
+        eprintln!("  scaling {name} across threads {ladder:?} ...");
+        let mut ns_by_thread = Vec::with_capacity(ladder.len());
+        let mut threads_used = Vec::with_capacity(ladder.len());
+        for &k in &ladder {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--child").arg(&name);
+            if cfg.smoke {
+                cmd.arg("--smoke");
+            }
+            cmd.env("RAYON_NUM_THREADS", k.to_string());
+            let out = cmd
+                .output()
+                .unwrap_or_else(|e| panic!("cannot spawn scaling child for {name}: {e}"));
+            assert!(
+                out.status.success(),
+                "scaling child {name} threads={k} failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let line = stdout
+                .lines()
+                .find(|l| l.starts_with("child-result "))
+                .unwrap_or_else(|| panic!("scaling child {name} printed no result: {stdout:?}"));
+            let mut fields = line.split_whitespace().skip(1);
+            let ns: f64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("child ns_per_iter");
+            let used: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("child thread count");
+            ns_by_thread.push(ns);
+            threads_used.push(used);
+        }
+        curves.push(ScalingCurve {
+            name,
+            ns_by_thread,
+            threads_used,
+        });
+    }
+    (ladder, curves)
 }
 
 /// The benches whose median speedup defines the simulator-throughput
@@ -326,10 +560,15 @@ fn git_commit() -> String {
         .unwrap_or_else(|| String::from("unknown"))
 }
 
-fn render_report(cfg: &Config, results: &[BenchResult], baseline: Option<&Baseline>) -> String {
+fn render_report(
+    cfg: &Config,
+    results: &[BenchResult],
+    scaling: Option<&(Vec<usize>, Vec<ScalingCurve>)>,
+    baseline: Option<&Baseline>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"pcm-bench-report/v1\",\n");
+    s.push_str("  \"schema\": \"pcm-bench-report/v2\",\n");
     s.push_str(&format!(
         "  \"commit\": \"{}\",\n",
         json_escape(&git_commit())
@@ -339,10 +578,11 @@ fn render_report(cfg: &Config, results: &[BenchResult], baseline: Option<&Baseli
         .map(|d| d.as_secs())
         .unwrap_or(0);
     s.push_str(&format!("  \"unix_time\": {epoch},\n"));
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // `threads` is the pool width this process actually latched (v1
+    // wrote the host count here even for single-thread runs).
     s.push_str(&format!(
-        "  \"config\": {{ \"profile\": \"release\", \"threads\": {threads}, \"samples\": {}, \"warmup_iters\": {}, \"smoke\": {} }},\n",
-        cfg.samples, cfg.warmup_iters, cfg.smoke
+        "  \"config\": {{ \"profile\": \"release\", \"threads\": {}, \"host_parallelism\": {}, \"samples\": {}, \"warmup_iters\": {}, \"smoke\": {} }},\n",
+        rayon::current_num_threads(), host_parallelism(), cfg.samples, cfg.warmup_iters, cfg.smoke
     ));
     s.push_str("  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {
@@ -362,6 +602,39 @@ fn render_report(cfg: &Config, results: &[BenchResult], baseline: Option<&Baseli
         }
     }
     s.push_str("  }");
+    if let Some((ladder, curves)) = scaling {
+        s.push_str(",\n  \"scaling\": {\n");
+        s.push_str(&format!(
+            "    \"threads\": [{}],\n",
+            ladder
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("    \"curves\": {\n");
+        for (i, c) in curves.iter().enumerate() {
+            let comma = if i + 1 == curves.len() { "" } else { "," };
+            let ns = c
+                .ns_by_thread
+                .iter()
+                .map(|v| format!("{v:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let used = c
+                .threads_used
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "      \"{}\": {{ \"ns_by_thread\": [{ns}], \"threads_used\": [{used}], \"speedup_max_vs_1\": {:.2} }}{comma}\n",
+                json_escape(&c.name),
+                c.speedup_max_vs_1()
+            ));
+        }
+        s.push_str("    }\n  }");
+    }
     if let Some(base) = baseline {
         s.push_str(",\n  \"baseline\": {\n");
         s.push_str(&format!(
@@ -414,28 +687,55 @@ fn speedups(results: &[BenchResult], base: &Baseline) -> Vec<(String, f64)> {
 
 fn main() {
     let mut smoke = false;
+    let mut scaling_requested = false;
+    let mut child_bench: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--scaling" => scaling_requested = true,
+            "--child" => child_bench = args.next(),
             "--out" => out_path = args.next(),
             "--baseline" => baseline_path = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench-report [--smoke] [--out FILE] [--baseline FILE]");
+                eprintln!(
+                    "usage: bench-report [--smoke] [--scaling] [--out FILE] [--baseline FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let cfg = Config::new(smoke);
+
+    // Child protocol: run exactly one bench with whatever pool width this
+    // process latched from RAYON_NUM_THREADS, report on stdout, exit.
+    if let Some(name) = child_bench {
+        let r = run_named(&cfg, &name)
+            .unwrap_or_else(|| panic!("--child: unknown or unparsable bench name {name:?}"));
+        println!(
+            "child-result {:.1} {} {}",
+            r.ns_per_iter,
+            rayon::current_num_threads(),
+            r.msgs_per_iter
+        );
+        return;
+    }
+
     eprintln!(
         "bench-report: running {} suite ...",
         if smoke { "smoke" } else { "full" }
     );
     let results = run_suite(&cfg);
+    // Full runs always record the thread-scaling ladder; smoke runs only
+    // on request (the CI scaling step passes --scaling explicitly).
+    let scaling = (!smoke || scaling_requested).then(|| {
+        eprintln!("bench-report: recording scaling curves ...");
+        run_scaling(&cfg)
+    });
 
     let baseline = baseline_path.map(|p| {
         let text =
@@ -451,6 +751,22 @@ fn main() {
             String::from("-")
         };
         println!("{:<44} {:>14.1} {:>16}", r.name, r.ns_per_iter, msgs);
+    }
+    if let Some((ladder, curves)) = &scaling {
+        println!("\nscaling (ns/iter by pool width {ladder:?}):");
+        for c in curves {
+            let ns = c
+                .ns_by_thread
+                .iter()
+                .map(|v| format!("{v:.0}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            println!(
+                "{:<44} {ns}  ({:.2}x at max width)",
+                c.name,
+                c.speedup_max_vs_1()
+            );
+        }
     }
     if let Some(base) = &baseline {
         println!("\nspeedup vs baseline ({}):", base.commit);
@@ -472,7 +788,7 @@ fn main() {
         }
     }
 
-    let report = render_report(&cfg, &results, baseline.as_ref());
+    let report = render_report(&cfg, &results, scaling.as_ref(), baseline.as_ref());
     let default_out = if smoke {
         None
     } else {

@@ -1,0 +1,89 @@
+//! Multi-core sweep driver: deterministic fan-out of independent grid
+//! points.
+//!
+//! Every harness in the workspace — the `reproduce` experiments, the
+//! `pcm-audit` schedule verifier, the `pcm-sym` crossover replays and the
+//! `bench-report` scaling runs — walks a grid of independent work units
+//! (one per algorithm × machine × size point). [`map_ordered`] fans those
+//! units across the rayon shim's worker pool and returns the results in
+//! input order, so report files stay byte-identical to the sequential
+//! sweep no matter the pool width.
+//!
+//! Work units frequently construct [`pcm_sim`] machines internally, and
+//! those machines parallelize their own supersteps. The shim makes this
+//! nesting safe by running nested parallel calls inline on the worker
+//! that issued them (see `rayon::in_pool_worker`): a sweep-level fan-out
+//! gets the cores, and the machines inside each unit degrade to
+//! sequential supersteps — the right trade for grids of many small
+//! simulations. Determinism is unaffected: the simulator is bit-identical
+//! across execution strategies (pinned by `tests/pooling.rs` and
+//! `tests/exchange_shard.rs`), so results only depend on the unit's
+//! inputs, never on which thread ran it.
+
+/// Applies `f` to every item on the worker pool and collects the results
+/// in input order. `f(i, item)` receives the item's input index.
+///
+/// Falls back to a plain sequential loop when the pool has a single
+/// thread, when called from inside a pool worker (nested sweeps), or for
+/// trivially small inputs — same semantics, no dispatch overhead.
+pub fn map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let mut slots: Vec<(Option<T>, Option<R>)> =
+        items.into_iter().map(|t| (Some(t), None)).collect();
+    rayon::scoped_join(&mut slots, |i, slot| {
+        let item = slot.0.take().expect("each slot visited exactly once");
+        slot.1 = Some(f(i, item));
+    });
+    slots
+        .into_iter()
+        .map(|(_, r)| r.expect("scoped_join visits every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let out = map_ordered((0..100usize).collect(), |i, x| {
+            assert_eq!(i, x, "index matches the item's input position");
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_ordered(vec!["a", "b", "c"], |_, s| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            s.to_uppercase()
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(out, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u32> = map_ordered(Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(map_ordered(vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_sweeps_do_not_deadlock() {
+        let out = map_ordered((0..8usize).collect(), |_, x| {
+            map_ordered((0..4usize).collect(), move |_, y| x * 10 + y)
+                .into_iter()
+                .sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[1], 10 + 11 + 12 + 13);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod compute;
 pub mod ctx;
+mod exchange;
 pub mod machine;
 pub mod message;
 pub mod network;
@@ -33,6 +34,7 @@ pub mod validate;
 
 pub use compute::{ComputeModel, UniformCompute};
 pub use ctx::Ctx;
+pub use exchange::MAX_SHARDS;
 pub use machine::Machine;
 pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD, MAX_POOLED_PAYLOAD};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
@@ -40,4 +42,6 @@ pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
 pub use plan::{extract_plans, RunPlan, StepPlan};
 pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};
 pub use trace::{RunBreakdown, SuperstepTrace};
-pub use validate::{with_sequential, with_validator, RunReport, StepReport, Validator};
+pub use validate::{
+    with_exchange_shards, with_sequential, with_validator, RunReport, StepReport, Validator,
+};

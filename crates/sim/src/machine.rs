@@ -40,6 +40,7 @@ use rayon::prelude::*;
 
 use crate::compute::ComputeModel;
 use crate::ctx::{Ctx, ProcAux};
+use crate::exchange::{ExchangeScratch, MAX_SHARDS};
 use crate::message::MsgKind;
 use crate::network::NetworkModel;
 use crate::pattern::{CommPattern, SendRecord};
@@ -81,6 +82,23 @@ pub struct Machine<S> {
     stat_active: Vec<bool>,
     /// Tracing scratch: per-round max block bytes.
     stat_round_max: Vec<usize>,
+    /// Exchange shard count. Above 1 (and with no validator or plan
+    /// recorder installed) the machine runs the sharded parallel exchange
+    /// engine; at 1 it keeps the sequential delivery path.
+    shards: usize,
+    /// Reusable lane grid for the sharded exchange.
+    exchange: ExchangeScratch,
+}
+
+/// Default shard count: one shard per pool worker, but only on machines
+/// big enough for the lane bookkeeping to pay off; small machines keep
+/// the sequential exchange.
+fn default_shards(p: usize) -> usize {
+    if p >= 64 {
+        rayon::current_num_threads().min(MAX_SHARDS).min(p)
+    } else {
+        1
+    }
 }
 
 impl<S: Send> Machine<S> {
@@ -116,6 +134,9 @@ impl<S: Send> Machine<S> {
             stat_recv: vec![0; p],
             stat_active: vec![false; p],
             stat_round_max: Vec::new(),
+            shards: validate::forced_shards()
+                .map_or_else(|| default_shards(p), |s| s.clamp(1, p.min(MAX_SHARDS))),
+            exchange: ExchangeScratch::default(),
         }
     }
 
@@ -125,8 +146,23 @@ impl<S: Send> Machine<S> {
     }
 
     /// Forces sequential execution of processors (for the rayon ablation).
+    /// Also disables the sharded exchange: a sequential machine always
+    /// takes the single-threaded delivery path.
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
+    }
+
+    /// Overrides the exchange shard count (clamped to
+    /// `[1, min(p, MAX_SHARDS)]`). At 1 the machine keeps the sequential
+    /// delivery path; above 1 it runs the sharded exchange engine whenever
+    /// no validator or plan recorder is installed.
+    pub fn set_exchange_shards(&mut self, shards: usize) {
+        self.shards = shards.clamp(1, self.p.min(MAX_SHARDS));
+    }
+
+    /// The configured exchange shard count.
+    pub fn exchange_shards(&self) -> usize {
+        self.shards
     }
 
     /// Number of processors.
@@ -224,6 +260,75 @@ impl<S: Send> Machine<S> {
             }
         }
 
+        // Exchange: pattern rebuild, pricing, tracing, delivery. The
+        // sharded engine needs neither validator reports nor plan clones,
+        // so those (rare, tooling-driven) configurations keep the
+        // sequential reference path — which is also what `with_sequential`
+        // and `set_parallel(false)` pin for the determinism auditors.
+        if self.parallel && self.shards > 1 && self.validator.is_none() && self.plan.is_none() {
+            self.exchange_sharded(step);
+        } else {
+            self.exchange_sequential(step);
+        }
+
+        self.step_count += 1;
+    }
+
+    /// The sharded parallel exchange: scatter (pattern rebuild + lane
+    /// fill), price, gather (delivery + recycle staging), sender-affine
+    /// recycle, ordered trace-partial merge. Bit-identical to
+    /// [`Self::exchange_sequential`] — see `exchange.rs` for the argument.
+    fn exchange_sharded(&mut self, step: usize) {
+        let a = self.exchange.scatter(
+            self.p,
+            self.shards,
+            &mut self.procs,
+            &mut self.pattern,
+            &mut self.stat_active,
+            self.tracing,
+        );
+        let comm = if a.total_records == 0 {
+            self.net.barrier()
+        } else {
+            self.net.route(&self.pattern, &mut self.net_rng)
+        };
+        let compute_time = SimTime::from_micros(a.max_compute);
+        self.clock += compute_time + comm;
+        let b = self.exchange.gather(
+            &mut self.procs,
+            &mut self.stat_recv,
+            &mut self.stat_active,
+            self.tracing,
+        );
+        if b.heap_staged > 0 {
+            self.exchange.recycle(&mut self.procs);
+        }
+        if self.tracing {
+            let (block_steps, block_bytes_sum) =
+                self.exchange.merge_rounds(&mut self.stat_round_max);
+            self.traces.push(SuperstepTrace {
+                index: step,
+                compute: compute_time,
+                comm,
+                messages: a.messages,
+                bytes: a.bytes,
+                h_send: a.h_send,
+                h_recv: b.h_recv,
+                active: b.active,
+                block_steps,
+                block_bytes_sum,
+                word_msgs: a.word_msgs,
+                block_msgs: a.block_msgs,
+                xnet_msgs: a.xnet_msgs,
+            });
+        }
+    }
+
+    /// The sequential exchange path (also the validator/plan-extraction
+    /// path, which needs the pattern and inboxes observed mid-phase).
+    #[inline]
+    fn exchange_sequential(&mut self, step: usize) {
+        let p = self.p;
         // Rebuild the communication pattern in place and size each inbox
         // for the delivery pre-pass, in one sweep over the outboxes.
         let mut max_compute = 0.0f64;
@@ -421,8 +526,6 @@ impl<S: Send> Machine<S> {
             }
             self.procs[src].outbox = outbox;
         }
-
-        self.step_count += 1;
     }
 
     /// A barrier-only superstep.

@@ -11,7 +11,17 @@
 //!
 //! [`with_sequential`] serves the determinism auditor: it forces machines
 //! created in its scope to run processors sequentially, so a rayon-on vs.
-//! rayon-off digest comparison can be driven from the outside.
+//! rayon-off digest comparison can be driven from the outside. It also
+//! covers the exchange phase: a sequential machine always takes the
+//! single-threaded delivery path, never the sharded engine, so the
+//! auditor's reference run stays trustworthy.
+//!
+//! [`with_exchange_shards`] is the matching override for the sharded
+//! exchange engine: machines created in its scope use exactly the given
+//! shard count (clamped to `[1, min(p, MAX_SHARDS)]`), regardless of the
+//! pool width or processor count. The determinism auditor uses it to pin
+//! a forced-sharded leg against the sequential reference; tests use it to
+//! exercise the lane engine on machines too small to shard by default.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -83,6 +93,7 @@ pub type ValidatorFactory = Rc<dyn Fn(usize) -> Box<dyn Validator>>;
 thread_local! {
     static VALIDATOR_HOOK: RefCell<Option<ValidatorFactory>> = const { RefCell::new(None) };
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+    static FORCE_SHARDS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Runs `body` with `factory` installed: every [`crate::Machine`] created
@@ -105,12 +116,27 @@ pub fn with_sequential<R>(body: impl FnOnce() -> R) -> R {
     body()
 }
 
+/// Runs `body` with machines forced to use exactly `shards` exchange
+/// shards (clamped at construction to `[1, min(p, MAX_SHARDS)]`). The
+/// determinism auditor uses this to pin a forced-sharded leg against the
+/// sequential reference even on machines too small to shard by default.
+/// Nests; the previous override is restored on exit (also on panic).
+pub fn with_exchange_shards<R>(shards: usize, body: impl FnOnce() -> R) -> R {
+    let prev = FORCE_SHARDS.with(|f| f.replace(Some(shards)));
+    let _guard = ShardGuard { prev };
+    body()
+}
+
 pub(crate) fn current_validator(p: usize) -> Option<Box<dyn Validator>> {
     VALIDATOR_HOOK.with(|h| h.borrow().as_ref().map(|f| f(p)))
 }
 
 pub(crate) fn sequential_forced() -> bool {
     FORCE_SEQUENTIAL.with(Cell::get)
+}
+
+pub(crate) fn forced_shards() -> Option<usize> {
+    FORCE_SHARDS.with(Cell::get)
 }
 
 struct HookGuard {
@@ -137,6 +163,16 @@ struct SeqGuard {
 impl Drop for SeqGuard {
     fn drop(&mut self) {
         FORCE_SEQUENTIAL.with(|f| f.set(self.prev));
+    }
+}
+
+struct ShardGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ShardGuard {
+    fn drop(&mut self) {
+        FORCE_SHARDS.with(|f| f.set(self.prev));
     }
 }
 

@@ -1,6 +1,13 @@
 //! The full verification sweep: every rule over every registered
 //! predictor, grid, lemma and crossover.
+//!
+//! The S03 lemma certifications and S06 crossover replays are the
+//! expensive, mutually independent units, so the sweep fans them across
+//! cores with [`pcm_experiments::map_ordered`]; ordered collection keeps
+//! the findings stream (and `SYM_report.json`) byte-identical to the
+//! sequential sweep at any pool width.
 
+use pcm_experiments::map_ordered;
 use pcm_models::MachineParams;
 
 use crate::checker::{
@@ -74,8 +81,8 @@ pub fn sweep(opts: SweepOptions) -> SweepOutcome {
 
     findings.extend(check_units(&preds, &machines));
     findings.extend(check_domains(&preds, &grids));
-    for lemma in lemmas() {
-        findings.extend(check_lemma(&lemma, &preds));
+    for fnds in map_ordered(lemmas(), |_, lemma| check_lemma(&lemma, &preds)) {
+        findings.extend(fnds);
         stats.lemmas_certified += 1;
     }
     let (diff_findings, max_ulp) = check_differential(&preds, &machines, rounds, SEED);
@@ -83,8 +90,10 @@ pub fn sweep(opts: SweepOptions) -> SweepOutcome {
     stats.max_ulp = max_ulp;
     findings.extend(check_leading(&preds, &machines));
     findings.extend(check_contract_shape(&preds));
-    for x in crossovers() {
-        findings.extend(check_crossover(&x, &preds, !opts.fast, SEED));
+    for fnds in map_ordered(crossovers(), |_, x| {
+        check_crossover(&x, &preds, !opts.fast, SEED)
+    }) {
+        findings.extend(fnds);
         stats.crossovers += 1;
     }
 

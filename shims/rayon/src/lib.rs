@@ -8,15 +8,23 @@
 //! concatenated in order, so output ordering is identical to the
 //! sequential path.
 //!
+//! Beyond the iterator chains, [`scoped_join`] is a flat scoped fork/join
+//! over a small mutable task slice with *no* sequential cutoff — the
+//! primitive the simulator's sharded exchange engine and the sweep
+//! drivers fan out with. The caller runs the first chunk itself and
+//! help-drains the shared queue while waiting, so nested fan-outs cannot
+//! deadlock the fixed-width pool.
+//!
 //! Differences from real rayon, acceptable for this workspace:
 //! - no work-stealing: pieces are static, fine for the uniform-cost
 //!   per-processor closures the simulator runs;
 //! - `map`/`for_each` require `F: Clone` (each piece owns a clone);
-//! - no nested parallelism: a closure running on the pool must not
-//!   itself call `collect`/`for_each` on a parallel iterator (the
-//!   simulator never does);
-//! - jobs below `pool::SEQUENTIAL_CUTOFF` items run inline on the
-//!   caller, so tiny machines never pay for synchronization.
+//! - nested parallelism degrades to inline sequential execution: a
+//!   closure already running on a pool worker drives `collect`,
+//!   `for_each` and `scoped_join` on the worker itself (outer fan-outs
+//!   own the pool; inner ones must not queue behind their parent);
+//! - iterator jobs below `pool::SEQUENTIAL_CUTOFF` items run inline on
+//!   the caller, so tiny machines never pay for synchronization.
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` if set (like real rayon),
 //! else `std::thread::available_parallelism()`, and is latched on first
@@ -88,13 +96,59 @@ pub trait FromParallelIterator<T: Send>: Sized {
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
         let total = iter.len();
-        if total < pool::SEQUENTIAL_CUTOFF || pool::thread_count() <= 1 {
+        if total < pool::SEQUENTIAL_CUTOFF || pool::thread_count() <= 1 || pool::is_worker() {
             let mut out = Vec::with_capacity(total);
             iter.drain_into(&mut out);
             return out;
         }
         pool::parallel_collect(iter)
     }
+}
+
+/// The pool width this process dispatches across (caller thread included).
+/// Latches `RAYON_NUM_THREADS` / `available_parallelism` on first call,
+/// exactly like the iterator paths.
+pub fn current_num_threads() -> usize {
+    pool::thread_count()
+}
+
+/// `true` on a pool worker thread — where further parallel calls run
+/// inline instead of re-entering the pool.
+pub fn in_pool_worker() -> bool {
+    pool::is_worker()
+}
+
+/// Scoped flat fork/join: runs `f(index, &mut tasks[index])` for every
+/// element of `tasks`, fanned across the pool, and returns when all calls
+/// finished. Unlike the iterator paths there is **no sequential cutoff**:
+/// even two tasks dispatch in parallel, because callers (the sharded
+/// exchange engine, grid-sweep drivers) hand over a handful of coarse
+/// tasks whose bodies dwarf the latch handshake.
+///
+/// Guarantees:
+/// - tasks are chunked contiguously (one task per chunk while the task
+///   count fits the pool's descriptor array), so effects on `tasks` are
+///   exactly the sequential loop's once the join completes;
+/// - the caller executes the first chunk itself and *help-drains* the
+///   shared queue while waiting, so a `scoped_join` issued while other
+///   fan-outs are in flight makes progress instead of blocking a slot;
+/// - on a pool worker (nested use) or a single-thread pool it degrades to
+///   the inline sequential loop;
+/// - no heap allocation: chunk descriptors live on the caller's stack.
+///
+/// Panics in `f` propagate to the caller after all chunks complete.
+pub fn scoped_join<T, F>(tasks: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if tasks.len() <= 1 || pool::thread_count() <= 1 || pool::is_worker() {
+        for (i, t) in tasks.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    pool::fan_out(tasks, &f);
 }
 
 mod pool {
@@ -109,12 +163,25 @@ mod pool {
     //! spawning (or heap-allocated closure boxing) is needed.
 
     use super::ParallelIterator;
+    use std::cell::Cell;
     use std::collections::VecDeque;
     use std::num::NonZeroUsize;
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Condvar, Mutex, Once, OnceLock};
     use std::thread::Thread;
+
+    thread_local! {
+        /// Set once on pool worker threads; nested parallel calls check it
+        /// and run inline so an inner fan-out never queues behind the
+        /// outer fan-out that occupies the workers.
+        static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// `true` on a pool worker thread.
+    pub fn is_worker() -> bool {
+        IS_WORKER.with(Cell::get)
+    }
 
     /// Below this many items a collect runs inline on the caller: the
     /// latch handshake costs more than the work for tiny machines.
@@ -181,6 +248,7 @@ mod pool {
     }
 
     fn worker_loop(pool: &'static Pool) {
+        IS_WORKER.with(|w| w.set(true));
         loop {
             let job = {
                 let mut q = pool.queue.lock().expect("pool queue poisoned");
@@ -331,6 +399,132 @@ mod pool {
             out.append(part);
         }
         out
+    }
+
+    /// Per-chunk descriptor of a [`fan_out`], parked on the caller's
+    /// stack. Covers `tasks[start .. start + len]`.
+    struct FanJob<T, F> {
+        base: *mut T,
+        start: usize,
+        len: usize,
+        f: *const F,
+        latch: *const Latch,
+    }
+
+    /// The type-erased entry point a worker runs for one fan-out chunk.
+    ///
+    /// # Safety
+    /// `data` must point to a live `Option<FanJob<T, F>>` holding `Some`
+    /// whose indices `[start, start + len)` no other chunk covers, and the
+    /// caller must keep the task slice and latch alive until the signal.
+    unsafe fn run_fan<T, F: Fn(usize, &mut T)>(data: *mut ()) {
+        // SAFETY: contract above — exclusive live pointer to the slot.
+        let slot = unsafe { &mut *data.cast::<Option<FanJob<T, F>>>() };
+        let job = slot.take().expect("fan chunk already taken");
+        // SAFETY: `f` outlives the latch wait on the caller's frame.
+        let f = unsafe { &*job.f };
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            for i in job.start..job.start + job.len {
+                // SAFETY: chunks cover disjoint index ranges, so this is
+                // the only live reference to element `i`.
+                f(i, unsafe { &mut *job.base.add(i) });
+            }
+        }))
+        .is_ok();
+        // SAFETY: the latch outlives every signal — the caller blocks in
+        // `help_wait` until all chunks have signalled.
+        unsafe { (*job.latch).signal(ok) };
+    }
+
+    /// Blocks until `latch` clears, executing queued jobs from the shared
+    /// pool while waiting (help-first join). Running a job that belongs to
+    /// *another* in-flight fan-out/collect is sound and useful: every
+    /// `RawJob` is self-contained (it carries its own latch pointer), and
+    /// draining it is exactly what keeps nested fan-outs from deadlocking
+    /// the fixed-width pool. Returns whether any piece panicked.
+    fn help_wait(latch: &Latch) -> bool {
+        let pool = pool();
+        loop {
+            if latch.remaining.load(Ordering::Acquire) == 0 {
+                return latch.panicked.load(Ordering::Relaxed);
+            }
+            let job = pool.queue.lock().expect("pool queue poisoned").pop_front();
+            match job {
+                // SAFETY: same contract as `worker_loop` — the job's
+                // issuer is blocked until its latch signals.
+                Some(job) => unsafe { (job.run)(job.data) },
+                // The final latch signal unparks us; a stale unpark token
+                // only causes one extra loop turn.
+                None => std::thread::park(),
+            }
+        }
+    }
+
+    /// The pooled body of [`super::scoped_join`]: splits `tasks` into one
+    /// chunk per element (contiguous multi-element chunks once the count
+    /// exceeds the descriptor array), runs chunk 0 on the caller and
+    /// help-drains the queue until every chunk signalled.
+    pub fn fan_out<T, F>(tasks: &mut [T], f: &F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let total = tasks.len();
+        debug_assert!(total >= 2, "fan_out called with a trivial task list");
+        let pool = pool();
+        let n = total.min(MAX_PIECES);
+
+        let mut jobs: [Option<FanJob<T, F>>; MAX_PIECES] = std::array::from_fn(|_| None);
+        let latch = Latch::new(n - 1);
+        let base = tasks.as_mut_ptr();
+
+        // Contiguous near-equal chunks; chunk 0 stays with the caller.
+        let mut start = 0usize;
+        let mut remaining = total;
+        let mut chunk0_len = 0usize;
+        for (k, job) in jobs.iter_mut().enumerate().take(n) {
+            let take = remaining.div_ceil(n - k);
+            if k == 0 {
+                chunk0_len = take;
+            } else {
+                *job = Some(FanJob {
+                    base,
+                    start,
+                    len: take,
+                    f,
+                    latch: &latch,
+                });
+            }
+            start += take;
+            remaining -= take;
+        }
+
+        let jobs_base = jobs.as_mut_ptr();
+        {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            for k in 1..n {
+                q.push_back(RawJob {
+                    // SAFETY: k < n <= MAX_PIECES; in-bounds element.
+                    data: unsafe { jobs_base.add(k) }.cast::<()>(),
+                    run: run_fan::<T, F>,
+                });
+            }
+            pool.available.notify_all();
+        }
+
+        // Chunk 0 on the caller; catch panics so we still reach the wait
+        // (unwinding past it would free stack data workers are using).
+        let r0 = catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..chunk0_len {
+                // SAFETY: chunk 0 exclusively covers `[0, chunk0_len)`.
+                f(i, unsafe { &mut *base.add(i) });
+            }
+        }));
+        let worker_panicked = help_wait(&latch);
+        if let Err(payload) = r0 {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a parallel pool worker panicked");
     }
 }
 
@@ -649,5 +843,84 @@ mod tests {
                 .collect();
         });
         assert!(result.is_err(), "panic in a piece must propagate");
+    }
+
+    #[test]
+    fn scoped_join_runs_every_task_below_the_cutoff() {
+        force_pool();
+        // 2 tasks: far below SEQUENTIAL_CUTOFF, must still all run (and
+        // on a multi-thread pool, dispatch rather than inline).
+        for len in [2usize, 3, 7] {
+            let mut tasks: Vec<u64> = vec![0; len];
+            crate::scoped_join(&mut tasks, |i, t| *t = (i as u64) * 10 + 1);
+            let expected: Vec<u64> = (0..len as u64).map(|i| i * 10 + 1).collect();
+            assert_eq!(tasks, expected);
+        }
+    }
+
+    #[test]
+    fn scoped_join_handles_more_tasks_than_descriptors() {
+        force_pool();
+        // Above MAX_PIECES: chunks cover multiple tasks each.
+        let mut tasks: Vec<usize> = vec![0; 1000];
+        crate::scoped_join(&mut tasks, |i, t| *t = i * i);
+        assert!(tasks.iter().enumerate().all(|(i, &t)| t == i * i));
+    }
+
+    #[test]
+    fn scoped_join_nested_inside_parallel_iter_runs_inline() {
+        force_pool();
+        // A worker closure issuing a nested scoped_join must not deadlock;
+        // the nested call runs inline on the worker.
+        let v: Vec<u64> = (0..200).collect();
+        let out: Vec<u64> = v
+            .par_iter()
+            .map(|&x| {
+                let mut inner = [x, x + 1, x + 2];
+                crate::scoped_join(&mut inner, |_, t| *t *= 2);
+                inner.iter().sum()
+            })
+            .collect();
+        let expected: Vec<u64> = (0..200u64).map(|x| 2 * (3 * x + 3)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scoped_join_fans_nested_collects_without_deadlock() {
+        force_pool();
+        // Outer scoped_join occupies the pool; each task drives an inner
+        // parallel collect above the cutoff. Inner calls on workers run
+        // inline; the caller's chunk may still dispatch (it is not a
+        // worker) and help-draining keeps everything moving.
+        let mut tasks: Vec<u64> = vec![0; 6];
+        crate::scoped_join(&mut tasks, |i, t| {
+            let v: Vec<u64> = (0..100).map(|k| k + i as u64).collect();
+            let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+            *t = doubled.iter().sum();
+        });
+        let expected: Vec<u64> = (0..6u64)
+            .map(|i| (0..100).map(|k| 2 * (k + i)).sum())
+            .collect();
+        assert_eq!(tasks, expected);
+    }
+
+    #[test]
+    fn scoped_join_panic_propagates() {
+        force_pool();
+        let result = std::panic::catch_unwind(|| {
+            let mut tasks: Vec<u32> = vec![0; 8];
+            crate::scoped_join(&mut tasks, |i, _| {
+                assert!(i != 5, "intentional");
+            });
+        });
+        assert!(result.is_err(), "panic in a task must propagate");
+    }
+
+    #[test]
+    fn current_num_threads_reports_the_latched_width() {
+        force_pool();
+        // force_pool pinned RAYON_NUM_THREADS=4 before anything latched.
+        assert_eq!(crate::current_num_threads(), 4);
+        assert!(!crate::in_pool_worker(), "test thread is not a worker");
     }
 }

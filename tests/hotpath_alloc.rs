@@ -7,6 +7,12 @@
 //! supersteps, and the pooled executor keeps its scratch on the caller's
 //! stack.
 //!
+//! The sharded parallel exchange preserves the property with >1 worker:
+//! lane vectors keep their capacity across supersteps (the transpose
+//! moves `Vec` headers, never elements), task descriptors live in stack
+//! arrays, and heap payloads circulate sender-affine through the
+//! recycle lanes back into the per-processor pools.
+//!
 //! The binary installs a counting global allocator, so it holds exactly
 //! one test: other tests in the same process would pollute the counter.
 
@@ -48,7 +54,27 @@ fn word_step(ctx: &mut Ctx<'_, u64>) {
     ctx.send_word_u32((pid + 1) % p, word);
 }
 
-fn steady_state_delta(parallel: bool) -> u64 {
+/// One superstep of mixed traffic: inline words plus a 128-byte heap
+/// block drawn from the sender's payload pool. Exercises the sharded
+/// exchange's recycle lanes (heap payloads staged back to their senders).
+fn mixed_step(ctx: &mut Ctx<'_, u64>) {
+    ctx.charge(1.0);
+    let mut sum = 0u32;
+    for msg in ctx.msgs() {
+        for b in msg.data() {
+            sum = sum.wrapping_add(u32::from(*b));
+        }
+    }
+    *ctx.state = ctx.state.wrapping_add(u64::from(sum));
+    let p = ctx.nprocs();
+    let pid = ctx.pid();
+    let word = (pid as u32).wrapping_add(sum);
+    ctx.send_word_u32((pid * 7 + 3) % p, word);
+    let block = [word; 32]; // 128 bytes: a pooled heap payload.
+    ctx.send_block_u32((pid + 1) % p, &block);
+}
+
+fn steady_state_delta(parallel: bool, shards: Option<usize>, heap_traffic: bool) -> u64 {
     let p = 256;
     let mut m = Machine::new(
         Box::new(IdealNetwork),
@@ -58,14 +84,21 @@ fn steady_state_delta(parallel: bool) -> u64 {
     );
     m.set_tracing(false);
     m.set_parallel(parallel);
-    // Warm-up: grows outbox/inbox/pattern capacities, spawns the pool
-    // workers and latches per-thread parker state.
+    if let Some(s) = shards {
+        m.set_exchange_shards(s);
+        assert_eq!(m.exchange_shards(), s, "forced shard count must stick");
+    }
+    let step: fn(&mut Ctx<'_, u64>) = if heap_traffic { mixed_step } else { word_step };
+    // Warm-up: grows outbox/inbox/pattern/lane capacities, spawns the
+    // pool workers and latches per-thread parker state. The sharded
+    // lane capacities ping-pong between the src- and dst-major views,
+    // so they need two supersteps per configuration to stabilize.
     for _ in 0..50 {
-        m.superstep(word_step);
+        m.superstep(step);
     }
     let before = alloc_counter::allocations();
     for _ in 0..100 {
-        m.superstep(word_step);
+        m.superstep(step);
     }
     alloc_counter::allocations() - before
 }
@@ -73,14 +106,25 @@ fn steady_state_delta(parallel: bool) -> u64 {
 #[test]
 fn steady_state_supersteps_do_not_allocate() {
     force_pool();
-    let sequential = steady_state_delta(false);
+    let sequential = steady_state_delta(false, None, false);
     assert_eq!(
         sequential, 0,
         "sequential hot path allocated {sequential} times in 100 supersteps"
     );
-    let pooled = steady_state_delta(true);
+    // With RAYON_NUM_THREADS=4 and p=256 the default heuristic engages
+    // the sharded exchange at 4 shards; pin it explicitly so the test
+    // keeps meaning the same thing if the heuristic moves.
+    let pooled = steady_state_delta(true, Some(4), false);
     assert_eq!(
         pooled, 0,
-        "pooled hot path allocated {pooled} times in 100 supersteps"
+        "sharded hot path allocated {pooled} times in 100 supersteps"
+    );
+    // Uneven shard cut (7 does not divide 256) plus heap payloads: the
+    // recycle lanes and sender-affine pools must also reach a
+    // zero-allocation steady state.
+    let heap = steady_state_delta(true, Some(7), true);
+    assert_eq!(
+        heap, 0,
+        "sharded heap-payload path allocated {heap} times in 100 supersteps"
     );
 }
