@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden shard audit sym analyze doc fmt clippy bench bench-smoke bench-scaling
+.PHONY: ci build test sanitize race golden shard audit sym analyze doc fmt clippy bench bench-smoke bench-scaling bench-pricing pricing-gate
 
 ci: build test audit sym doc fmt clippy
 
@@ -51,6 +51,22 @@ bench-smoke:
 # RAYON_NUM_THREADS pinned to each rung; writes no report.
 bench-scaling:
 	cargo run --release -p pcm-bench --bin bench-report -- --smoke --scaling
+
+# The pricing fast-path rows alone (route warm/cold per machine, router
+# fast/slow path), full-length samples; writes no report.
+bench-pricing:
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/route_warm/MasPar
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/route_cold/MasPar
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/route_warm/GCel
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/route_warm/CM-5
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/router_fastpath/1024
+	cargo run --release -p pcm-bench --bin bench-report -- --child pricing/router_slowpath/1024
+
+# Route-memo differential gate: memo on vs off must be bit-identical, and
+# the rewritten router must match the reference implementation.
+pricing-gate:
+	cargo test -q --test pricing_memo
+	cargo test -q --test router_delta
 
 fmt:
 	cargo fmt --check

@@ -51,7 +51,7 @@ fn bench_simulator(c: &mut Criterion) {
 
     // MasPar delta-router pass simulation for a random permutation.
     g.bench_function("delta_router_permutation/1024", |b| {
-        let router = DeltaRouter::new(1024);
+        let mut router = DeltaRouter::new(1024);
         let perm = random_permutation(1024, &mut seeded(3));
         let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
         b.iter(|| router.route(&sends));

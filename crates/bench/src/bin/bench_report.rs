@@ -37,7 +37,10 @@ use pcm_algos::sort::bitonic::{self, ExchangeMode};
 use pcm_core::rng::{random_permutation, seeded};
 use pcm_machines::maspar::router::DeltaRouter;
 use pcm_machines::Platform;
-use pcm_sim::{IdealNetwork, Machine, Message, UniformCompute};
+use pcm_sim::pattern::{CommPattern, SendRecord};
+use pcm_sim::{IdealNetwork, Machine, Message, MsgKind, UniformCompute};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const SEED: u64 = 77;
 
@@ -48,6 +51,20 @@ struct BenchResult {
     samples: usize,
     /// Logical messages simulated per iteration (0 when not meaningful).
     msgs_per_iter: usize,
+    /// Additional named metrics for this row (e.g. a memo hit rate).
+    extra: Vec<(&'static str, f64)>,
+}
+
+impl Default for BenchResult {
+    fn default() -> Self {
+        BenchResult {
+            name: String::new(),
+            ns_per_iter: 0.0,
+            samples: 0,
+            msgs_per_iter: 0,
+            extra: Vec::new(),
+        }
+    }
 }
 
 impl BenchResult {
@@ -126,6 +143,7 @@ fn noop_superstep(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: 0,
+        ..Default::default()
     }
 }
 
@@ -152,6 +170,7 @@ fn word_exchange(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p * 4,
+        ..Default::default()
     }
 }
 
@@ -172,11 +191,12 @@ fn priced_superstep(cfg: &Config, plat: &Platform) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p * 4,
+        ..Default::default()
     }
 }
 
 fn delta_router(cfg: &Config, p: usize) -> BenchResult {
-    let router = DeltaRouter::new(p);
+    let mut router = DeltaRouter::new(p);
     let perm = random_permutation(p, &mut seeded(3));
     let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
     let (ns, samples) = measure(cfg, || {
@@ -187,7 +207,96 @@ fn delta_router(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p,
+        ..Default::default()
     }
+}
+
+/// The fixed shifted permutation the pricing benches price: one 4-word
+/// message per processor to `(pid * 7 + 3) % p` — the same traffic the
+/// `priced_superstep` rows simulate, minus the superstep machinery.
+fn pricing_pattern(plat: &Platform) -> CommPattern {
+    let p = plat.p();
+    let w = plat.word();
+    let sends = (0..p)
+        .map(|src| {
+            vec![SendRecord {
+                dst: (src * 7 + 3) % p,
+                words: 4,
+                bytes: 4 * w,
+                kind: MsgKind::Words,
+            }]
+        })
+        .collect();
+    CommPattern { p, sends }
+}
+
+/// Prices the fixed pattern through the machine's network model alone,
+/// with the route memo warm: the steady-state pricing fast path (pattern
+/// fingerprint, memo probe, live jitter draw). Also records the memo hit
+/// rate the model saw across warmup and all samples.
+fn pricing_route(cfg: &Config, plat: &Platform, memo: bool) -> BenchResult {
+    let pattern = pricing_pattern(plat);
+    let mut net = plat.network();
+    net.set_route_memo(memo);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(net.route(&pattern, &mut rng));
+    });
+    let mut extra = Vec::new();
+    if memo {
+        if let Some(stats) = net.route_memo_stats() {
+            let total = stats.hits + stats.misses;
+            if total > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                extra.push(("memo_hit_rate", stats.hits as f64 / total as f64));
+            }
+        }
+    }
+    BenchResult {
+        name: format!(
+            "pricing/route_{}/{}",
+            if memo { "warm" } else { "cold" },
+            plat.name()
+        ),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: plat.p(),
+        extra,
+    }
+}
+
+/// The delta router's two regimes with the round memo disabled: a
+/// uniform XOR-mask permutation resolves through the closed-form
+/// conflict-free fast path, while a random permutation falls back to the
+/// greedy pass-by-pass circuit simulation.
+fn pricing_router_paths(cfg: &Config, p: usize) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let mut router = DeltaRouter::new(p);
+    router.set_memo(false);
+    let xor: Vec<(usize, usize)> = (0..p).map(|i| (i, i ^ 21)).collect();
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(router.route(&xor));
+    });
+    out.push(BenchResult {
+        name: format!("pricing/router_fastpath/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+        ..Default::default()
+    });
+    let perm = random_permutation(p, &mut seeded(SEED));
+    let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+    let (ns, samples) = measure(cfg, || {
+        std::hint::black_box(router.route(&sends));
+    });
+    out.push(BenchResult {
+        name: format!("pricing/router_slowpath/{p}"),
+        ns_per_iter: ns,
+        samples,
+        msgs_per_iter: p,
+        ..Default::default()
+    });
+    out
 }
 
 /// Exchange-phase microbenches: negligible compute, traffic shaped to
@@ -215,6 +324,7 @@ fn exchange_word_permutation(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p,
+        ..Default::default()
     }
 }
 
@@ -243,6 +353,7 @@ fn exchange_heap_block_shift(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p,
+        ..Default::default()
     }
 }
 
@@ -268,6 +379,7 @@ fn exchange_fanin_skew(cfg: &Config, p: usize) -> BenchResult {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: p,
+        ..Default::default()
     }
 }
 
@@ -283,6 +395,7 @@ fn figure_kernels(cfg: &Config) -> Vec<BenchResult> {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: 0,
+        ..Default::default()
     });
 
     let n = if cfg.smoke { 32 } else { 128 };
@@ -295,6 +408,7 @@ fn figure_kernels(cfg: &Config) -> Vec<BenchResult> {
         ns_per_iter: ns,
         samples,
         msgs_per_iter: 0,
+        ..Default::default()
     });
     out
 }
@@ -322,6 +436,13 @@ fn run_suite(cfg: &Config) -> Vec<BenchResult> {
     let router_p = if cfg.smoke { 64 } else { 1024 };
     eprintln!("  delta_router_permutation/{router_p} ...");
     results.push(delta_router(cfg, router_p));
+    for plat in &platforms {
+        eprintln!("  pricing/route_{{warm,cold}}/{} ...", plat.name());
+        results.push(pricing_route(cfg, plat, true));
+        results.push(pricing_route(cfg, plat, false));
+    }
+    eprintln!("  pricing/router_{{fastpath,slowpath}}/{router_p} ...");
+    results.extend(pricing_router_paths(cfg, router_p));
     let ep = if cfg.smoke { 64 } else { 1024 };
     eprintln!("  exchange microbenches (p={ep}) ...");
     results.push(exchange_word_permutation(cfg, ep));
@@ -350,6 +471,18 @@ fn run_named(cfg: &Config, name: &str) -> Option<BenchResult> {
                 .find(|pl| pl.name() == tail)?;
             Some(priced_superstep(cfg, &plat))
         }
+        "pricing/route_warm" | "pricing/route_cold" => {
+            let plat = [Platform::maspar(), Platform::gcel(), Platform::cm5()]
+                .into_iter()
+                .find(|pl| pl.name() == tail)?;
+            Some(pricing_route(cfg, &plat, prefix.ends_with("warm")))
+        }
+        "pricing/router_fastpath" => pricing_router_paths(cfg, tail.parse().ok()?)
+            .into_iter()
+            .next(),
+        "pricing/router_slowpath" => pricing_router_paths(cfg, tail.parse().ok()?)
+            .into_iter()
+            .nth(1),
         _ => None,
     }
 }
@@ -587,14 +720,19 @@ fn render_report(
     s.push_str("  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
+        let extra: String = r
+            .extra
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {v:.3}"))
+            .collect();
         if r.msgs_per_iter > 0 {
             s.push_str(&format!(
-                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {}, \"msgs_per_sec\": {:.0} }}{comma}\n",
+                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {}, \"msgs_per_sec\": {:.0}{extra} }}{comma}\n",
                 json_escape(&r.name), r.ns_per_iter, r.samples, r.msgs_per_sec()
             ));
         } else {
             s.push_str(&format!(
-                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {} }}{comma}\n",
+                "    \"{}\": {{ \"ns_per_iter\": {:.1}, \"samples\": {}{extra} }}{comma}\n",
                 json_escape(&r.name),
                 r.ns_per_iter,
                 r.samples

@@ -25,7 +25,14 @@ use pcm_core::rng::jitter;
 use pcm_core::SimTime;
 use rand::rngs::StdRng;
 
-use pcm_sim::{CommPattern, ComputeModel, NetworkModel};
+use crate::loads::PortLoads;
+use pcm_sim::cache::{CacheStats, PricingCache};
+use pcm_sim::{CommPattern, ComputeModel, MsgKind, NetworkModel, PatternScratch};
+
+/// Slots in the whole-pattern pricing memo.
+const MEMO_SLOTS: usize = 1024;
+/// Patterns with fingerprints longer than this bypass the memo.
+const MEMO_MAX_KEY: usize = 1 << 14;
 
 /// Tunable cost constants of the CM-5 model.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +72,56 @@ impl Default for Cm5Costs {
 pub struct Cm5Network {
     p: usize,
     costs: Cm5Costs,
+    scratch: PatternScratch,
+    loads: PortLoads,
+    key_buf: Vec<u64>,
+    memo: PricingCache<f64>,
+    memo_enabled: bool,
+}
+
+/// Prices the deterministic `words + blocks` total of one pattern using
+/// the network's scratch buffers; no allocation after warm-up.
+fn price_pattern(
+    c: &Cm5Costs,
+    p: usize,
+    scratch: &mut PatternScratch,
+    loads: &mut PortLoads,
+    pattern: &CommPattern,
+) -> f64 {
+    // Word traffic: rounds pipeline at the gap; a round whose
+    // destinations collide pays the contention factor. A sustained
+    // imbalance is bounded below by the receiver's drain time g·h_r.
+    let mut words = 0.0;
+    pattern.visit_word_segments(scratch, |seg| {
+        let f = Cm5Network::factor(c.rho, seg.max_in_degree());
+        words += c.gap * seg.rounds as f64 * f;
+    });
+    loads.begin(p);
+    for (src, recs) in pattern.sends.iter().enumerate() {
+        for rec in recs {
+            if rec.kind == MsgKind::Words {
+                loads.add(src, rec.dst, rec.words);
+            }
+        }
+    }
+    words = words.max(c.gap * loads.max_in() as f64);
+
+    // Block traffic: per block round, the longest transfer (plus
+    // contention) determines the step; the hottest receiver bounds it.
+    // Block rounds first, then xnet rounds (no xnet on a CM-5) — the
+    // same accumulation order as the original vector-based walk.
+    let mut blocks = 0.0;
+    let mut price_round = |round: pcm_sim::BlockRoundView<'_>| {
+        let f = Cm5Network::factor(c.rho_block, round.max_in_degree());
+        let step = (c.byte * round.max_bytes() as f64 * f)
+            .max(c.byte * round.max_recv_bytes() as f64)
+            + c.block_overhead;
+        blocks += step;
+    };
+    pattern.visit_block_rounds(scratch, &mut price_round);
+    pattern.visit_xnet_rounds(scratch, &mut price_round);
+
+    words + blocks
 }
 
 impl Cm5Network {
@@ -76,7 +133,15 @@ impl Cm5Network {
     /// Builds the network with explicit constants (for ablations).
     pub fn with_costs(p: usize, costs: Cm5Costs) -> Self {
         assert!(p > 0);
-        Cm5Network { p, costs }
+        Cm5Network {
+            p,
+            costs,
+            scratch: PatternScratch::new(),
+            loads: PortLoads::new(),
+            key_buf: Vec::new(),
+            memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
+            memo_enabled: true,
+        }
     }
 
     /// Contention factor for in-degree `c`: `min(c, 1 + rho·(c-1))`.
@@ -92,32 +157,25 @@ impl Cm5Network {
 impl NetworkModel for Cm5Network {
     fn route(&mut self, pattern: &CommPattern, rng: &mut StdRng) -> SimTime {
         debug_assert_eq!(pattern.p, self.p);
-        let c = self.costs;
-
-        // Word traffic: rounds pipeline at the gap; a round whose
-        // destinations collide pays the contention factor. A sustained
-        // imbalance is bounded below by the receiver's drain time g·h_r.
-        let mut words = 0.0;
-        for seg in pattern.word_segments() {
-            let f = Self::factor(c.rho, seg.max_in_degree());
-            words += c.gap * seg.rounds as f64 * f;
-        }
-        words = words.max(c.gap * pattern.h_recv() as f64);
-
-        // Block traffic: per block round, the longest transfer (plus
-        // contention) determines the step; the hottest receiver bounds it.
-        let mut blocks = 0.0;
-        let mut all_rounds = pattern.block_rounds();
-        all_rounds.extend(pattern.xnet_rounds()); // no xnet on a CM-5
-        for round in &all_rounds {
-            let f = Self::factor(c.rho_block, round.max_in_degree());
-            let step = (c.byte * round.max_bytes() as f64 * f)
-                .max(c.byte * round.max_recv_bytes() as f64)
-                + c.block_overhead;
-            blocks += step;
-        }
-
-        let t = (words + blocks) * jitter(c.jitter_cv, rng) + c.barrier;
+        let Cm5Network {
+            p,
+            costs,
+            scratch,
+            loads,
+            key_buf,
+            memo,
+            memo_enabled,
+        } = self;
+        let (p, c) = (*p, *costs);
+        // The jitter draw stays outside the memo: the rng stream (and the
+        // golden digests) are identical with the memo on or off.
+        let deterministic = if *memo_enabled {
+            crate::fingerprint::pattern_key(key_buf, pattern);
+            *memo.get_or_insert_with(key_buf, || price_pattern(&c, p, scratch, loads, pattern))
+        } else {
+            price_pattern(&c, p, scratch, loads, pattern)
+        };
+        let t = deterministic * jitter(c.jitter_cv, rng) + c.barrier;
         SimTime::from_micros(t)
     }
 
@@ -127,6 +185,14 @@ impl NetworkModel for Cm5Network {
 
     fn name(&self) -> &str {
         "cm5-fat-tree"
+    }
+
+    fn set_route_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+    }
+
+    fn route_memo_stats(&self) -> Option<CacheStats> {
+        Some(self.memo.stats())
     }
 }
 

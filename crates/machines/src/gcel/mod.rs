@@ -23,7 +23,14 @@ use pcm_core::units::sqrt_exact;
 use pcm_core::SimTime;
 use rand::rngs::StdRng;
 
-use pcm_sim::{CommPattern, MsgKind, NetworkModel};
+use crate::loads::PortLoads;
+use pcm_sim::cache::{CacheStats, PricingCache};
+use pcm_sim::{CommPattern, MsgKind, NetworkModel, PatternScratch};
+
+/// Slots in the whole-pattern pricing memo.
+const MEMO_SLOTS: usize = 1024;
+/// Patterns with fingerprints longer than this bypass the memo.
+const MEMO_MAX_KEY: usize = 1 << 14;
 
 /// Tunable cost constants of the GCel model.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +105,137 @@ pub struct GcelNetwork {
     p: usize,
     side: usize,
     costs: GcelCosts,
+    scratch: PatternScratch,
+    words: PortLoads,
+    blk_count: PortLoads,
+    blk_bytes: PortLoads,
+    links: Vec<usize>,
+    key_buf: Vec<u64>,
+    memo: PricingCache<GcelPriced>,
+    memo_enabled: bool,
+}
+
+/// Deterministic pricing outcome of one pattern, safe to memoize. The
+/// per-superstep jitter draw stays *outside* the memo so the rng stream
+/// (and the golden digests) are identical with the memo on or off.
+#[derive(Clone, Copy, Debug)]
+struct GcelPriced {
+    /// `max(cpu occupancy, wire)` before jitter, µs.
+    base: f64,
+    /// Whether the pattern drifted (selects the jitter coefficient).
+    drifting: bool,
+    /// Whether any word traffic occurred (selects the HPVM setup term).
+    any_words: bool,
+}
+
+/// XY-routes `bytes` from `src` to `dst`, accumulating directed link
+/// loads; returns the hop count. Links are indexed `(node, direction)`
+/// with directions 0..4 = E, W, S, N.
+fn xy_route(side: usize, src: usize, dst: usize, bytes: usize, links: &mut [usize]) -> usize {
+    let (mut r, mut c) = (src / side, src % side);
+    let (dr, dc) = (dst / side, dst % side);
+    let mut hops = 0;
+    while c != dc {
+        let dir = if dc > c { 0 } else { 1 };
+        links[(r * side + c) * 4 + dir] += bytes;
+        c = if dc > c { c + 1 } else { c - 1 };
+        hops += 1;
+    }
+    while r != dr {
+        let dir = if dr > r { 2 } else { 3 };
+        links[(r * side + c) * 4 + dir] += bytes;
+        r = if dr > r { r + 1 } else { r - 1 };
+        hops += 1;
+    }
+    hops
+}
+
+/// Drift penalty factor for a run of `rounds` identical messages.
+fn drift_factor(c: &GcelCosts, rounds: usize) -> f64 {
+    if rounds <= c.drift_threshold {
+        1.0
+    } else {
+        let excess = (rounds - c.drift_threshold) as f64 / c.drift_threshold as f64;
+        (1.0 + c.drift_slope * excess).min(c.drift_cap)
+    }
+}
+
+/// Prices the deterministic part of one pattern using the network's
+/// scratch buffers; no allocation after warm-up.
+#[allow(clippy::too_many_arguments)] // disjoint &mut fields of the network
+fn price_pattern(
+    c: &GcelCosts,
+    p: usize,
+    side: usize,
+    scratch: &mut PatternScratch,
+    words: &mut PortLoads,
+    blk_count: &mut PortLoads,
+    blk_bytes: &mut PortLoads,
+    links: &mut Vec<usize>,
+    pattern: &CommPattern,
+) -> GcelPriced {
+    // Per-node CPU occupancy.
+    words.begin(p);
+    blk_count.begin(p);
+    blk_bytes.begin(p);
+    links.resize(p * 4, 0);
+    links.fill(0);
+    let mut max_hops = 0usize;
+    let mut any_words = false;
+
+    for (src, recs) in pattern.sends.iter().enumerate() {
+        for rec in recs {
+            max_hops = max_hops.max(xy_route(side, src, rec.dst, rec.bytes, links));
+            match rec.kind {
+                MsgKind::Words => {
+                    words.add(src, rec.dst, rec.words);
+                    any_words |= rec.words > 0;
+                }
+                // The GCel has no xnet; such sends are ordinary blocks.
+                MsgKind::Block | MsgKind::Xnet => {
+                    blk_count.add(src, rec.dst, 1);
+                    blk_bytes.add(src, rec.dst, rec.bytes);
+                }
+            }
+        }
+    }
+
+    // Drift: a weighted factor over the word segments — segments that
+    // repeat one permutation for more than `drift_threshold` rounds
+    // degrade, anything shorter (or separated by barriers) does not.
+    let mut drift = 1.0;
+    let mut total_rounds = 0usize;
+    let mut weighted = 0.0;
+    pattern.visit_word_segments(scratch, |seg| {
+        total_rounds += seg.rounds;
+        weighted += seg.rounds as f64 * drift_factor(c, seg.rounds);
+    });
+    if total_rounds > 0 {
+        drift = weighted / total_rounds as f64;
+    }
+
+    let mut cpu_max = 0.0f64;
+    for i in 0..p {
+        let (sw, rw) = (words.out_load(i), words.in_load(i));
+        let word_cpu =
+            sw as f64 * c.word_send + rw as f64 * c.word_recv + sw.min(rw) as f64 * c.word_duplex;
+        let (sb, rb) = (blk_count.out_load(i), blk_count.in_load(i));
+        let block_cpu = sb as f64 * c.block_send
+            + rb as f64 * c.block_recv
+            + sb.min(rb) as f64 * c.block_duplex
+            + blk_bytes.out_load(i) as f64 * c.byte_send
+            + blk_bytes.in_load(i) as f64 * c.byte_recv;
+        cpu_max = cpu_max.max(word_cpu * drift + block_cpu);
+    }
+
+    let wire =
+        links.iter().copied().max().unwrap_or(0) as f64 * c.wire_byte + max_hops as f64 * c.hop;
+
+    GcelPriced {
+        base: cpu_max.max(wire),
+        drifting: drift > 1.0,
+        any_words,
+    }
 }
 
 impl GcelNetwork {
@@ -113,117 +251,65 @@ impl GcelNetwork {
     pub fn with_costs(p: usize, costs: GcelCosts) -> Self {
         let side =
             sqrt_exact(p).unwrap_or_else(|| panic!("GCel mesh needs a square node count, got {p}"));
-        GcelNetwork { p, side, costs }
+        GcelNetwork {
+            p,
+            side,
+            costs,
+            scratch: PatternScratch::new(),
+            words: PortLoads::new(),
+            blk_count: PortLoads::new(),
+            blk_bytes: PortLoads::new(),
+            links: Vec::new(),
+            key_buf: Vec::new(),
+            memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
+            memo_enabled: true,
+        }
     }
 
-    /// XY-routes `bytes` from `src` to `dst`, accumulating directed link
-    /// loads; returns the hop count. Links are indexed
-    /// `(node, direction)` with directions 0..4 = E, W, S, N.
+    /// See [`xy_route`] (kept as a method for the unit tests).
+    #[cfg(test)]
     fn xy_route(&self, src: usize, dst: usize, bytes: usize, links: &mut [usize]) -> usize {
-        let side = self.side;
-        let (mut r, mut c) = (src / side, src % side);
-        let (dr, dc) = (dst / side, dst % side);
-        let mut hops = 0;
-        while c != dc {
-            let dir = if dc > c { 0 } else { 1 };
-            links[(r * side + c) * 4 + dir] += bytes;
-            c = if dc > c { c + 1 } else { c - 1 };
-            hops += 1;
-        }
-        while r != dr {
-            let dir = if dr > r { 2 } else { 3 };
-            links[(r * side + c) * 4 + dir] += bytes;
-            r = if dr > r { r + 1 } else { r - 1 };
-            hops += 1;
-        }
-        hops
-    }
-
-    /// Drift penalty factor for a run of `rounds` identical messages.
-    fn drift_factor(&self, rounds: usize) -> f64 {
-        if rounds <= self.costs.drift_threshold {
-            1.0
-        } else {
-            let excess =
-                (rounds - self.costs.drift_threshold) as f64 / self.costs.drift_threshold as f64;
-            (1.0 + self.costs.drift_slope * excess).min(self.costs.drift_cap)
-        }
+        xy_route(self.side, src, dst, bytes, links)
     }
 }
 
 impl NetworkModel for GcelNetwork {
     fn route(&mut self, pattern: &CommPattern, rng: &mut StdRng) -> SimTime {
         debug_assert_eq!(pattern.p, self.p);
-        let c = self.costs;
-        let p = self.p;
+        let GcelNetwork {
+            p,
+            side,
+            costs,
+            scratch,
+            words,
+            blk_count,
+            blk_bytes,
+            links,
+            key_buf,
+            memo,
+            memo_enabled,
+        } = self;
+        let (p, side, c) = (*p, *side, *costs);
+        let priced = if *memo_enabled {
+            crate::fingerprint::pattern_key(key_buf, pattern);
+            *memo.get_or_insert_with(key_buf, || {
+                price_pattern(
+                    &c, p, side, scratch, words, blk_count, blk_bytes, links, pattern,
+                )
+            })
+        } else {
+            price_pattern(
+                &c, p, side, scratch, words, blk_count, blk_bytes, links, pattern,
+            )
+        };
 
-        // Per-node CPU occupancy.
-        let mut sent_words = vec![0usize; p];
-        let mut recv_words = vec![0usize; p];
-        let mut sent_blocks = vec![0usize; p];
-        let mut recv_blocks = vec![0usize; p];
-        let mut sent_bytes_blk = vec![0usize; p];
-        let mut recv_bytes_blk = vec![0usize; p];
-        let mut links = vec![0usize; p * 4];
-        let mut max_hops = 0usize;
-
-        for (src, recs) in pattern.sends.iter().enumerate() {
-            for rec in recs {
-                max_hops = max_hops.max(self.xy_route(src, rec.dst, rec.bytes, &mut links));
-                match rec.kind {
-                    MsgKind::Words => {
-                        sent_words[src] += rec.words;
-                        recv_words[rec.dst] += rec.words;
-                    }
-                    // The GCel has no xnet; such sends are ordinary blocks.
-                    MsgKind::Block | MsgKind::Xnet => {
-                        sent_blocks[src] += 1;
-                        recv_blocks[rec.dst] += 1;
-                        sent_bytes_blk[src] += rec.bytes;
-                        recv_bytes_blk[rec.dst] += rec.bytes;
-                    }
-                }
-            }
-        }
-
-        // Drift: a weighted factor over the word segments — segments that
-        // repeat one permutation for more than `drift_threshold` rounds
-        // degrade, anything shorter (or separated by barriers) does not.
-        let mut drift = 1.0;
-        let mut total_rounds = 0usize;
-        let mut weighted = 0.0;
-        for seg in pattern.word_segments() {
-            total_rounds += seg.rounds;
-            weighted += seg.rounds as f64 * self.drift_factor(seg.rounds);
-        }
-        if total_rounds > 0 {
-            drift = weighted / total_rounds as f64;
-        }
-
-        let mut cpu_max = 0.0f64;
-        for i in 0..p {
-            let words = sent_words[i] as f64 * c.word_send
-                + recv_words[i] as f64 * c.word_recv
-                + sent_words[i].min(recv_words[i]) as f64 * c.word_duplex;
-            let blocks = sent_blocks[i] as f64 * c.block_send
-                + recv_blocks[i] as f64 * c.block_recv
-                + sent_blocks[i].min(recv_blocks[i]) as f64 * c.block_duplex
-                + sent_bytes_blk[i] as f64 * c.byte_send
-                + recv_bytes_blk[i] as f64 * c.byte_recv;
-            cpu_max = cpu_max.max(words * drift + blocks);
-        }
-
-        let wire =
-            links.iter().copied().max().unwrap_or(0) as f64 * c.wire_byte + max_hops as f64 * c.hop;
-
-        let cv = if drift > 1.0 {
+        let cv = if priced.drifting {
             c.drift_jitter_cv
         } else {
             c.jitter_cv
         };
-        let any_words = sent_words.iter().any(|&w| w > 0);
-        let setup = if any_words { c.word_setup } else { 0.0 };
-        let t = cpu_max.max(wire) * jitter(cv, rng) + setup + c.barrier;
+        let setup = if priced.any_words { c.word_setup } else { 0.0 };
+        let t = priced.base * jitter(cv, rng) + setup + c.barrier;
         SimTime::from_micros(t)
     }
 
@@ -233,6 +319,14 @@ impl NetworkModel for GcelNetwork {
 
     fn name(&self) -> &str {
         "gcel-hpvm"
+    }
+
+    fn set_route_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+    }
+
+    fn route_memo_stats(&self) -> Option<CacheStats> {
+        Some(self.memo.stats())
     }
 }
 

@@ -9,11 +9,14 @@
 //! the paper's Table 1 parameters.
 
 pub mod cm5;
+pub(crate) mod fingerprint;
 pub mod gcel;
+pub mod loads;
 pub mod maspar;
 pub mod platform;
 
 pub use cm5::{Cm5Compute, Cm5Costs, Cm5Network};
 pub use gcel::{GcelCosts, GcelNetwork};
+pub use loads::PortLoads;
 pub use maspar::{MasParCosts, MasParNetwork};
 pub use platform::{ParamCompute, Platform, PlatformKind};

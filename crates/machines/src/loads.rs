@@ -1,0 +1,203 @@
+//! Scratch-backed send/receive load accumulation shared by the machine
+//! models' block pricing.
+//!
+//! Every machine folds a round's `(src, dst, size)` triples into per-port
+//! (or per-node) directed loads and then reduces them — the MasPar into
+//! its *effective port load* (`0.5·mean + 0.5·max` over active ports,
+//! Sec. 5.2's "somewhat less sensitive to the actual communication
+//! pattern" observation), the GCel into per-node byte occupancies, the
+//! CM-5 into the hottest receiver's drain bound. [`PortLoads`] owns the
+//! arrays once and keeps the aggregates (sum, active count, max)
+//! incrementally, so a pricing pass neither allocates nor rescans: the
+//! arrays are stamp-keyed and invalidated in O(1) by [`PortLoads::begin`].
+
+/// Incremental aggregate of one direction's loads.
+#[derive(Clone, Copy, Debug, Default)]
+struct SideAgg {
+    /// Sum of all loads (zero loads contribute nothing).
+    sum: usize,
+    /// Number of indices with a non-zero load.
+    active: usize,
+    /// Largest single load.
+    max: usize,
+}
+
+impl SideAgg {
+    /// The MasPar effective-load fold: halfway between the mean over
+    /// active indices (perfect pipelining) and the hottest index (full
+    /// serialization). Zero when nothing is loaded.
+    fn eff(self) -> f64 {
+        if self.active == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)] // loads are far below 2^53
+        let mean = self.sum as f64 / self.active as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let max = self.max as f64;
+        0.5 * mean + 0.5 * max
+    }
+}
+
+/// Reusable directed (in/out) load accumulator over a fixed index space
+/// (router ports for the MasPar, mesh nodes for the GCel/CM-5).
+#[derive(Clone, Debug, Default)]
+pub struct PortLoads {
+    in_units: Vec<usize>,
+    out_units: Vec<usize>,
+    stamp_of: Vec<u32>,
+    stamp: u32,
+    in_agg: SideAgg,
+    out_agg: SideAgg,
+}
+
+impl PortLoads {
+    /// A fresh accumulator; arrays grow to the first `begin` size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new round over `n` indices, invalidating all loads.
+    pub fn begin(&mut self, n: usize) {
+        if self.in_units.len() < n {
+            self.in_units.resize(n, 0);
+            self.out_units.resize(n, 0);
+            self.stamp_of.resize(n, 0);
+        }
+        if self.stamp == u32::MAX {
+            self.stamp_of.fill(0);
+            self.in_units.fill(0);
+            self.out_units.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.in_agg = SideAgg::default();
+        self.out_agg = SideAgg::default();
+    }
+
+    /// Validates the entry for `i`, zeroing it if it is stale.
+    #[inline]
+    fn freshen(&mut self, i: usize) {
+        if self.stamp_of[i] != self.stamp {
+            self.stamp_of[i] = self.stamp;
+            self.in_units[i] = 0;
+            self.out_units[i] = 0;
+        }
+    }
+
+    /// Accounts one transfer of `units` from index `src` to index `dst`.
+    #[inline]
+    pub fn add(&mut self, src: usize, dst: usize, units: usize) {
+        self.freshen(src);
+        let old = self.out_units[src];
+        let new = old + units;
+        self.out_units[src] = new;
+        if old == 0 && units > 0 {
+            self.out_agg.active += 1;
+        }
+        self.out_agg.sum += units;
+        self.out_agg.max = self.out_agg.max.max(new);
+
+        self.freshen(dst);
+        let old = self.in_units[dst];
+        let new = old + units;
+        self.in_units[dst] = new;
+        if old == 0 && units > 0 {
+            self.in_agg.active += 1;
+        }
+        self.in_agg.sum += units;
+        self.in_agg.max = self.in_agg.max.max(new);
+    }
+
+    /// Units received by index `i` this round.
+    #[inline]
+    pub fn in_load(&self, i: usize) -> usize {
+        if self.stamp_of[i] == self.stamp {
+            self.in_units[i]
+        } else {
+            0
+        }
+    }
+
+    /// Units sent by index `i` this round.
+    #[inline]
+    pub fn out_load(&self, i: usize) -> usize {
+        if self.stamp_of[i] == self.stamp {
+            self.out_units[i]
+        } else {
+            0
+        }
+    }
+
+    /// Largest per-index receive load (the CM-5 drain bound's `h_r`).
+    pub fn max_in(&self) -> usize {
+        self.in_agg.max
+    }
+
+    /// Largest per-index send load.
+    pub fn max_out(&self) -> usize {
+        self.out_agg.max
+    }
+
+    /// The MasPar block fold: the larger of the two directions' effective
+    /// loads. Exactly `eff(in_bytes).max(eff(out_bytes))` of the original
+    /// per-round fold, computed without the intermediate filtered vector.
+    pub fn eff_max(&self) -> f64 {
+        self.in_agg.eff().max(self.out_agg.eff())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact fold results
+mod tests {
+    use super::*;
+
+    /// Reference implementation: the original `price_block_round` fold.
+    fn eff_ref(loads: &[usize]) -> f64 {
+        let active: Vec<usize> = loads.iter().copied().filter(|&b| b > 0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let mean = active.iter().sum::<usize>() as f64 / active.len() as f64;
+        let max = *active.iter().max().expect("non-empty") as f64;
+        0.5 * mean + 0.5 * max
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // the fold must be bit-identical
+    fn matches_the_original_fold() {
+        let rounds: &[&[(usize, usize, usize)]] = &[
+            &[(0, 1, 100), (1, 2, 50), (2, 0, 75)],
+            &[(0, 0, 8)],
+            &[(3, 1, 0), (1, 3, 12), (1, 2, 12)],
+            &[],
+        ];
+        let mut loads = PortLoads::new();
+        for sends in rounds {
+            loads.begin(4);
+            let mut in_ref = vec![0usize; 4];
+            let mut out_ref = vec![0usize; 4];
+            for &(s, d, b) in *sends {
+                loads.add(s, d, b);
+                out_ref[s] += b;
+                in_ref[d] += b;
+            }
+            assert_eq!(loads.eff_max(), eff_ref(&in_ref).max(eff_ref(&out_ref)));
+            assert_eq!(loads.max_in(), in_ref.iter().copied().max().unwrap_or(0));
+            for i in 0..4 {
+                assert_eq!(loads.in_load(i), in_ref[i]);
+                assert_eq!(loads.out_load(i), out_ref[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn begin_invalidates_previous_round() {
+        let mut loads = PortLoads::new();
+        loads.begin(8);
+        loads.add(0, 7, 1000);
+        loads.begin(8);
+        assert_eq!(loads.in_load(7), 0);
+        assert_eq!(loads.max_in(), 0);
+        assert_eq!(loads.eff_max(), 0.0);
+    }
+}

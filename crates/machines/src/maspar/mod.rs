@@ -10,17 +10,23 @@
 
 pub mod router;
 
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-
 use pcm_core::rng::jitter;
 use pcm_core::units::sqrt_exact;
 use pcm_core::SimTime;
 use rand::rngs::StdRng;
 
-use pcm_sim::{BlockRound, CommPattern, NetworkModel, Segment};
+use pcm_sim::cache::{CacheStats, PricingCache};
+use pcm_sim::{CommPattern, NetworkModel, PatternScratch};
 
-use router::{DeltaRouter, RouteOutcome};
+use crate::loads::PortLoads;
+use router::{DeltaRouter, RouteOutcome, CLUSTER};
+
+/// Route-memo slots (direct-mapped; see `pcm_sim::cache`).
+const MEMO_SLOTS: usize = 4096;
+/// Longest cacheable round fingerprint, in key words (= messages). A
+/// round bigger than this bypasses the memo instead of pinning megabytes
+/// of key storage; the bypass is counted, not silent.
+const MEMO_MAX_KEY: usize = 1 << 14;
 
 /// Tunable cost constants of the MasPar model, chosen so that the
 /// calibration microbenchmarks recover the paper's Table 1 parameters
@@ -73,12 +79,153 @@ impl Default for MasParCosts {
 }
 
 /// The MasPar router network model.
+///
+/// Owns all pricing scratch: the pattern-iteration buffers, the reusable
+/// `(src, dst)` pair list, the canonical-fingerprint buffer and the
+/// collision-safe route memo. After a warm-up superstep, pricing a
+/// repeated pattern performs no heap allocation.
 pub struct MasParNetwork {
     p: usize,
     router: DeltaRouter,
     costs: MasParCosts,
     grid_side: Option<usize>,
-    route_cache: HashMap<u64, RouteOutcome>,
+    scratch: PatternScratch,
+    pairs: Vec<(usize, usize)>,
+    /// Pattern-level memo: full record list → the deterministic cost
+    /// coefficient of every jitter draw, in draw order. A hit skips the
+    /// pattern walk entirely and re-rolls only the jitters.
+    pat_memo: PricingCache<Vec<f64>>,
+    pat_key: Vec<u64>,
+    /// Coefficient scratch for the memo-disabled path.
+    coeffs: Vec<f64>,
+    memo_enabled: bool,
+    loads: PortLoads,
+}
+
+/// Cost of one word round given the router outcome. Mixed intra/inter
+/// cluster rounds can finish in fewer passes than the port-load bound
+/// suggests (the local crossbar and the network run concurrently), so
+/// the retry term saturates at zero.
+fn word_round_cost(costs: &MasParCosts, out: RouteOutcome) -> f64 {
+    let base = out.passes.min(out.min_passes);
+    let retries = out.passes.saturating_sub(out.min_passes);
+    costs.round_overhead + costs.pass_time * base as f64 + costs.retry_time * retries as f64
+}
+
+/// Detects rounds that are a composition of up to `max_groups` distinct
+/// unit torus shifts (Cannon's skew shifts A and B simultaneously).
+/// Returns the number of distinct shifts the SIMD machine executes back
+/// to back, or `None` if the round cannot be realized over the xnet.
+fn xnet_shift_groups(
+    grid_side: Option<usize>,
+    sends: &[(usize, usize)],
+    max_groups: usize,
+) -> Option<usize> {
+    let side = grid_side? as i64;
+    if sends.is_empty() {
+        return None;
+    }
+    assert!(max_groups <= 8, "unit-shift compositions are tiny");
+    let unit = |x: i64| x == 0 || x == 1 || x == side - 1;
+    let mut deltas = [(0i64, 0i64); 8];
+    let mut groups = 0usize;
+    for &(s, dst) in sends {
+        let (sr, sc) = (s as i64 / side, s as i64 % side);
+        let (dr, dc) = (dst as i64 / side, dst as i64 % side);
+        let d = ((dr - sr).rem_euclid(side), (dc - sc).rem_euclid(side));
+        if !(unit(d.0) && unit(d.1)) || d == (0, 0) {
+            return None;
+        }
+        if !deltas[..groups].contains(&d) {
+            if groups == max_groups {
+                return None;
+            }
+            deltas[groups] = d;
+            groups += 1;
+        }
+    }
+    Some(groups)
+}
+
+/// Deterministic cost coefficient of one block round (its price before
+/// the jitter factor), from its `(src, dst, bytes)` triples.
+fn block_round_coeff(
+    costs: &MasParCosts,
+    router: &mut DeltaRouter,
+    loads: &mut PortLoads,
+    pairs: &mut Vec<(usize, usize)>,
+    sends: &[(usize, usize, usize)],
+) -> f64 {
+    pairs.clear();
+    loads.begin(router.ports());
+    for &(src, dst, bytes) in sends {
+        pairs.push((src, dst));
+        loads.add(src / CLUSTER, dst / CLUSTER, bytes);
+    }
+    // Circuit conflicts slow block rounds too, but long messages stream
+    // across passes, so the sensitivity is damped relative to words.
+    let out = router.route(pairs);
+    let conflict = if out.min_passes == 0 {
+        1.0
+    } else {
+        out.passes as f64 / out.min_passes as f64
+    };
+    let conflict_factor = 0.75 + 0.25 * conflict;
+    // Effective port load: halfway between the mean over active ports
+    // (perfect pipelining across passes) and the hottest port (full
+    // serialization) — long messages stream through the circuit, so the
+    // router is "somewhat less sensitive to the actual communication
+    // pattern when long messages are being sent" (paper, Sec. 5.2).
+    let load = loads.eff_max();
+    costs.block_overhead + costs.block_byte * load * conflict_factor
+}
+
+/// Walks the pattern once and records the deterministic cost coefficient
+/// of every jitter draw, in draw order: word segments, then block rounds,
+/// then xnet rounds. The final price is `Σ coeff_i · jitter_i + barrier`,
+/// which is bit-identical to pricing inline because every term of the
+/// original formulation was `(deterministic) * jitter`.
+#[allow(clippy::too_many_arguments)] // threads the machine-owned scratch set
+fn collect_coeffs(
+    costs: &MasParCosts,
+    router: &mut DeltaRouter,
+    grid_side: Option<usize>,
+    scratch: &mut PatternScratch,
+    pairs: &mut Vec<(usize, usize)>,
+    loads: &mut PortLoads,
+    pattern: &CommPattern,
+    coeffs: &mut Vec<f64>,
+) {
+    pattern.visit_word_segments(scratch, |seg| {
+        let out = router.route(seg.sends);
+        let mut per_round = word_round_cost(costs, out);
+        // Packets larger than one word keep their circuits open to
+        // stream the extra payload.
+        if seg.msg_bytes > 4 {
+            per_round += costs.stream_byte * (seg.msg_bytes - 4) as f64;
+        }
+        coeffs.push(seg.rounds as f64 * per_round);
+    });
+    pattern.visit_block_rounds(scratch, |round| {
+        coeffs.push(block_round_coeff(costs, router, loads, pairs, round.sends));
+    });
+    // Explicit xnet rounds: the SIMD machine runs each distinct unit
+    // displacement back to back; rounds that are not a composition of
+    // unit shifts fall back to router pricing as a bound (the ACU would
+    // decompose them).
+    pattern.visit_xnet_rounds(scratch, |round| {
+        pairs.clear();
+        for &(src, dst, _) in round.sends {
+            pairs.push((src, dst));
+        }
+        coeffs.push(match xnet_shift_groups(grid_side, pairs, 4) {
+            Some(groups) => {
+                let bytes = round.max_bytes() as f64;
+                groups as f64 * (costs.xnet_overhead + costs.xnet_byte * bytes)
+            }
+            None => block_round_coeff(costs, router, loads, pairs, round.sends),
+        });
+    });
 }
 
 impl MasParNetwork {
@@ -94,26 +241,14 @@ impl MasParNetwork {
             router: DeltaRouter::new(p),
             costs,
             grid_side: sqrt_exact(p),
-            route_cache: HashMap::new(),
+            scratch: PatternScratch::new(),
+            pairs: Vec::new(),
+            pat_memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
+            pat_key: Vec::new(),
+            coeffs: Vec::new(),
+            memo_enabled: true,
+            loads: PortLoads::new(),
         }
-    }
-
-    fn hash_sends<T: Hash>(sends: &[T]) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        sends.hash(&mut h);
-        h.finish()
-    }
-
-    fn cached_route(&mut self, sends: &[(usize, usize)]) -> RouteOutcome {
-        let key = Self::hash_sends(sends);
-        if let Some(&hit) = self.route_cache.get(&key) {
-            return hit;
-        }
-        let out = self.router.route(sends);
-        if self.route_cache.len() < 4096 {
-            self.route_cache.insert(key, out);
-        }
-        out
     }
 
     /// Detects a uniform xnet torus shift: every send goes to the PE at the
@@ -138,132 +273,54 @@ impl MasParNetwork {
             .then_some(d)
     }
 
-    /// Like [`MasParNetwork::xnet_shift`], but tolerates a round that mixes
-    /// up to `max_groups` distinct unit shifts (Cannon's skew shifts A and
-    /// B simultaneously). Returns the number of distinct shifts the SIMD
-    /// machine executes back to back, or `None` if the round is not a pure
-    /// composition of unit shifts.
+    /// See [`xnet_shift_groups`] (kept as a method for the unit tests).
+    #[cfg(test)]
     fn xnet_shift_groups(&self, sends: &[(usize, usize)], max_groups: usize) -> Option<usize> {
-        let side = self.grid_side? as i64;
-        if sends.is_empty() {
-            return None;
-        }
-        let unit = |x: i64| x == 0 || x == 1 || x == side - 1;
-        let mut deltas: Vec<(i64, i64)> = Vec::new();
-        for &(s, dst) in sends {
-            let (sr, sc) = (s as i64 / side, s as i64 % side);
-            let (dr, dc) = (dst as i64 / side, dst as i64 % side);
-            let d = ((dr - sr).rem_euclid(side), (dc - sc).rem_euclid(side));
-            if !(unit(d.0) && unit(d.1)) || d == (0, 0) {
-                return None;
-            }
-            if !deltas.contains(&d) {
-                deltas.push(d);
-                if deltas.len() > max_groups {
-                    return None;
-                }
-            }
-        }
-        Some(deltas.len())
-    }
-
-    /// Cost of one word round given the router outcome. Mixed intra/inter
-    /// cluster rounds can finish in fewer passes than the port-load bound
-    /// suggests (the local crossbar and the network run concurrently), so
-    /// the retry term saturates at zero.
-    fn word_round_cost(&self, out: RouteOutcome) -> f64 {
-        let base = out.passes.min(out.min_passes);
-        let retries = out.passes.saturating_sub(out.min_passes);
-        self.costs.round_overhead
-            + self.costs.pass_time * base as f64
-            + self.costs.retry_time * retries as f64
-    }
-
-    fn price_word_segment(&mut self, seg: &Segment, rng: &mut StdRng) -> f64 {
-        let out = self.cached_route(&seg.sends);
-        let mut per_round = self.word_round_cost(out);
-        // Packets larger than one word keep their circuits open to stream
-        // the extra payload.
-        if seg.msg_bytes > 4 {
-            per_round += self.costs.stream_byte * (seg.msg_bytes - 4) as f64;
-        }
-        seg.rounds as f64 * per_round * jitter(self.costs.jitter_cv, rng)
-    }
-
-    /// Prices one round of explicit xnet transfers: the SIMD machine runs
-    /// each distinct unit displacement back to back. Falls back to router
-    /// pricing if the round is not a composition of unit shifts (the
-    /// programmer asked for xnet on a pattern it cannot realize directly;
-    /// the ACU would decompose it — we charge the router as a bound).
-    fn price_xnet_round(&mut self, round: &BlockRound, rng: &mut StdRng) -> f64 {
-        let sends: Vec<(usize, usize)> = round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
-        match self.xnet_shift_groups(&sends, 4) {
-            Some(groups) => {
-                let bytes = round.max_bytes() as f64;
-                groups as f64
-                    * (self.costs.xnet_overhead + self.costs.xnet_byte * bytes)
-                    * jitter(self.costs.jitter_cv, rng)
-            }
-            None => self.price_block_round(round, rng),
-        }
-    }
-
-    fn price_block_round(&mut self, round: &BlockRound, rng: &mut StdRng) -> f64 {
-        let sends: Vec<(usize, usize)> = round.sends.iter().map(|&(s, d, _)| (s, d)).collect();
-        let ports = self.router.ports();
-        let mut in_bytes = vec![0usize; ports];
-        let mut out_bytes = vec![0usize; ports];
-        for &(src, dst, bytes) in &round.sends {
-            out_bytes[self.router.port_of(src)] += bytes;
-            in_bytes[self.router.port_of(dst)] += bytes;
-        }
-        // Circuit conflicts slow block rounds too, but long messages stream
-        // across passes, so the sensitivity is damped relative to words.
-        let out = self.cached_route(&sends);
-        let conflict = if out.min_passes == 0 {
-            1.0
-        } else {
-            out.passes as f64 / out.min_passes as f64
-        };
-        let conflict_factor = 0.75 + 0.25 * conflict;
-        // Effective port load: halfway between the mean over active ports
-        // (perfect pipelining across passes) and the hottest port (full
-        // serialization) — long messages stream through the circuit, so the
-        // router is "somewhat less sensitive to the actual communication
-        // pattern when long messages are being sent" (paper, Sec. 5.2).
-        let eff = |loads: &[usize]| {
-            let active: Vec<usize> = loads.iter().copied().filter(|&b| b > 0).collect();
-            if active.is_empty() {
-                return 0.0;
-            }
-            let mean = active.iter().sum::<usize>() as f64 / active.len() as f64;
-            let max = *active
-                .iter()
-                .max()
-                .expect("active is non-empty: the is_empty early return ran first")
-                as f64;
-            0.5 * mean + 0.5 * max
-        };
-        let load = eff(&in_bytes).max(eff(&out_bytes));
-        (self.costs.block_overhead + self.costs.block_byte * load * conflict_factor)
-            * jitter(self.costs.jitter_cv, rng)
+        xnet_shift_groups(self.grid_side, sends, max_groups)
     }
 }
 
 impl NetworkModel for MasParNetwork {
     fn route(&mut self, pattern: &CommPattern, rng: &mut StdRng) -> SimTime {
         debug_assert_eq!(pattern.p, self.p);
+        let MasParNetwork {
+            router,
+            costs,
+            grid_side,
+            scratch,
+            pairs,
+            pat_memo,
+            pat_key,
+            coeffs,
+            memo_enabled,
+            loads,
+            ..
+        } = self;
+        let grid_side = *grid_side;
+        let terms: &[f64] = if *memo_enabled {
+            crate::fingerprint::pattern_key(pat_key, pattern);
+            pat_memo.get_or_insert_with(pat_key, || {
+                let mut cs = Vec::new();
+                collect_coeffs(
+                    costs, router, grid_side, scratch, pairs, loads, pattern, &mut cs,
+                );
+                cs
+            })
+        } else {
+            coeffs.clear();
+            collect_coeffs(
+                costs, router, grid_side, scratch, pairs, loads, pattern, coeffs,
+            );
+            coeffs
+        };
+        // Re-roll the per-draw jitters in pattern order; the rng stream is
+        // identical whether the coefficients came from the memo or from a
+        // fresh pattern walk.
         let mut t = 0.0;
-        for seg in pattern.word_segments() {
-            t += self.price_word_segment(&seg, rng);
+        for &c in terms {
+            t += c * jitter(costs.jitter_cv, rng);
         }
-        for round in pattern.block_rounds() {
-            t += self.price_block_round(&round, rng);
-        }
-        for round in pattern.xnet_rounds() {
-            t += self.price_xnet_round(&round, rng);
-        }
-        SimTime::from_micros(t + self.costs.barrier)
+        SimTime::from_micros(t + costs.barrier)
     }
 
     fn barrier(&mut self) -> SimTime {
@@ -272,6 +329,23 @@ impl NetworkModel for MasParNetwork {
 
     fn name(&self) -> &str {
         "maspar-mp1"
+    }
+
+    fn set_route_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        self.router.set_memo(enabled);
+    }
+
+    fn route_memo_stats(&self) -> Option<CacheStats> {
+        // Combined accounting over both layers: pattern-level coefficient
+        // hits plus round-level router-outcome hits.
+        let (a, b) = (self.pat_memo.stats(), self.router.memo_stats());
+        Some(CacheStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+            evictions: a.evictions + b.evictions,
+            bypasses: a.bypasses + b.bypasses,
+        })
     }
 }
 

@@ -20,8 +20,17 @@
 //!   loads shrink, pass counts drop, and the measured time follows the
 //!   paper's `T_unb(P') = 0.84·P' + 11.8·sqrt(P') + 73.3` curve (Fig. 2).
 
+use pcm_sim::cache::{CacheStats, PricingCache};
+
 /// PEs per router cluster (one router channel each) on the MP-1.
 pub const CLUSTER: usize = 16;
+
+/// Round-memo slots (direct-mapped; see `pcm_sim::cache`).
+const MEMO_SLOTS: usize = 4096;
+/// Longest cacheable round fingerprint, in key words (= messages). A
+/// round bigger than this bypasses the memo instead of pinning megabytes
+/// of key storage; the bypass is counted, not silent.
+const MEMO_MAX_KEY: usize = 1 << 14;
 
 /// The router's pass-count outcome for one communication round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,12 +43,59 @@ pub struct RouteOutcome {
     pub min_passes: usize,
 }
 
+/// One undelivered message on the slow path: source port, destination
+/// port and destination PE are all the route needs (the source PE only
+/// matters through its port).
+#[derive(Clone, Copy, Debug)]
+struct Pend {
+    sp: u16,
+    dp: u16,
+    dst: u32,
+}
+
 /// A delta/omega network over `P/16` cluster ports.
+///
+/// The router owns persistent scratch (pending double-buffer, stamp-keyed
+/// occupancy maps, load counters) reused across [`DeltaRouter::route`]
+/// calls, which is why routing takes `&mut self`: after a warm-up round
+/// the simulation allocates nothing.
 #[derive(Clone, Debug)]
 pub struct DeltaRouter {
     p: usize,
     ports: usize,
     stages: u32,
+    /// Messages not yet delivered, in retry order (this pass reads it).
+    pending: Vec<Pend>,
+    /// Survivors of the current pass (next pass's `pending`).
+    deferred: Vec<Pend>,
+    /// Pass-stamped occupancy: port origination, stage nodes, PE arrival.
+    /// One word per entity keeps pass probes independent (good ILP); the
+    /// stamp key makes the per-pass "clear" free.
+    src_busy: Vec<u32>,
+    node_busy: Vec<u32>,
+    pe_busy: Vec<u32>,
+    /// Current pass stamp for the `*_busy` maps.
+    stamp: u32,
+    /// Round-stamped load counters behind [`DeltaRouter::min_passes`].
+    out_load: Vec<u32>,
+    in_load: Vec<u32>,
+    pe_in: Vec<u32>,
+    load_stamp: Vec<u32>,
+    pe_stamp: Vec<u32>,
+    /// Round-stamped "this PE already sent" marker (fast-path gating).
+    src_seen: Vec<u32>,
+    round: u32,
+    /// Round fingerprint scratch (one word per `(src, dst)` pair).
+    key_buf: Vec<u64>,
+    /// Collision-safe memo of completed round outcomes. This replaces the
+    /// old network-private `route_cache`, which keyed on a bare
+    /// `DefaultHasher` u64 with **no collision verification** (two rounds
+    /// hashing alike silently shared a `RouteOutcome`) and stopped caching
+    /// at 4096 entries without telling anyone. The shared [`PricingCache`]
+    /// stores and verifies the full fingerprint, evicts for real, and
+    /// counts hits/misses/evictions/bypasses.
+    memo: PricingCache<RouteOutcome>,
+    memo_enabled: bool,
 }
 
 impl DeltaRouter {
@@ -54,11 +110,40 @@ impl DeltaRouter {
             "MasPar router needs a power-of-two PE count >= {CLUSTER}, got {p}"
         );
         let ports = p / CLUSTER;
+        let stages = ports.trailing_zeros();
         DeltaRouter {
             p,
             ports,
-            stages: ports.trailing_zeros(),
+            stages,
+            pending: Vec::new(),
+            deferred: Vec::new(),
+            src_busy: vec![0; ports],
+            node_busy: vec![0; (stages as usize).max(1) * ports],
+            pe_busy: vec![0; p],
+            stamp: 0,
+            out_load: vec![0; ports],
+            in_load: vec![0; ports],
+            pe_in: vec![0; p],
+            load_stamp: vec![0; ports],
+            pe_stamp: vec![0; p],
+            src_seen: vec![0; p],
+            round: 0,
+            key_buf: Vec::new(),
+            memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
+            memo_enabled: true,
         }
+    }
+
+    /// Enables or disables the round-outcome memo (differential testing:
+    /// outcomes must be identical either way, only the time to produce
+    /// them changes).
+    pub fn set_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+    }
+
+    /// Hit/miss accounting of the round-outcome memo.
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo.stats()
     }
 
     /// Number of cluster ports.
@@ -90,76 +175,190 @@ impl DeltaRouter {
 
     /// Routes one round of `(src PE, dst PE)` messages and reports the
     /// pass counts. Deterministic: retry order rotates with the pass index.
-    pub fn route(&self, sends: &[(usize, usize)]) -> RouteOutcome {
-        let min_passes = self.min_passes(sends);
+    ///
+    /// Three tiers, fastest first:
+    ///
+    /// 1. a memo hit on the round fingerprint returns the stored outcome
+    ///    in O(m) — algorithms replay the same rounds for thousands of
+    ///    supersteps, so this is the steady state;
+    /// 2. rounds whose shape makes the greedy retry loop provably achieve
+    ///    `min_passes` (uniform XOR-mask permutations, single-destination
+    ///    fan-in, single-port fan-out) are priced in O(m) without
+    ///    simulating a single pass;
+    /// 3. everything else runs the greedy pass simulation on persistent
+    ///    scratch, bit-identical to the original retry loop.
+    pub fn route(&mut self, sends: &[(usize, usize)]) -> RouteOutcome {
         if sends.is_empty() {
             return RouteOutcome {
                 passes: 0,
                 min_passes: 0,
             };
         }
+        if !self.memo_enabled {
+            return self.simulate(sends);
+        }
+        self.key_buf.clear();
+        for &(s, d) in sends {
+            self.key_buf.push(((s as u64) << 32) | d as u64);
+        }
+        if let Some(out) = self.memo.lookup(&self.key_buf) {
+            return out;
+        }
+        let out = self.simulate(sends);
+        let key = std::mem::take(&mut self.key_buf);
+        self.memo.insert(&key, out);
+        self.key_buf = key;
+        out
+    }
+
+    /// The greedy pass simulation behind [`DeltaRouter::route`] (tiers 2
+    /// and 3 of its docs). `sends` must be non-empty.
+    fn simulate(&mut self, sends: &[(usize, usize)]) -> RouteOutcome {
+        // One O(m) analysis pass: the load lower bound plus the
+        // round-shape flags that gate the exact fast paths.
+        if self.round == u32::MAX {
+            self.load_stamp.fill(0);
+            self.pe_stamp.fill(0);
+            self.src_seen.fill(0);
+            self.round = 0;
+        }
+        self.round += 1;
+        let round = self.round;
+        let (s0, d0) = sends[0];
+        let mask = s0 ^ d0;
+        let sp0 = s0 / CLUSTER;
+        let mut uniform_mask = true;
+        let mut srcs_distinct = true;
+        let mut single_dst = true;
+        let mut single_src_port = true;
+        let (mut max_out, mut max_in, mut max_pe) = (0u32, 0u32, 0u32);
         for &(src, dst) in sends {
             debug_assert!(src < self.p && dst < self.p, "PE id out of range");
+            uniform_mask &= (src ^ dst) == mask;
+            single_dst &= dst == d0;
+            let (sp, dp) = (src / CLUSTER, dst / CLUSTER);
+            single_src_port &= sp == sp0;
+            if self.load_stamp[sp] != round {
+                self.load_stamp[sp] = round;
+                self.out_load[sp] = 0;
+                self.in_load[sp] = 0;
+            }
+            self.out_load[sp] += 1;
+            max_out = max_out.max(self.out_load[sp]);
+            if self.load_stamp[dp] != round {
+                self.load_stamp[dp] = round;
+                self.out_load[dp] = 0;
+                self.in_load[dp] = 0;
+            }
+            self.in_load[dp] += 1;
+            max_in = max_in.max(self.in_load[dp]);
+            if self.pe_stamp[dst] != round {
+                self.pe_stamp[dst] = round;
+                self.pe_in[dst] = 0;
+            }
+            self.pe_in[dst] += 1;
+            max_pe = max_pe.max(self.pe_in[dst]);
+            srcs_distinct &= self.src_seen[src] != round;
+            self.src_seen[src] = round;
+        }
+        let min_passes = max_out.max(max_in).max(max_pe).max(1) as usize;
+
+        // Exact fast paths — each shape routes in exactly `min_passes`
+        // greedy passes, so the simulation can be skipped outright:
+        //
+        // * uniform XOR mask with distinct sources: `dst = src ^ mask`
+        //   implies `dp = sp ^ (mask/16)`, and an XOR-by-constant port
+        //   permutation walks the omega stages conflict-free (two circuits
+        //   agreeing on any stage node must agree on all address bits).
+        //   Destinations are distinct, so no PE blocks either; each port
+        //   drains one message per pass and finishes in max-port-load =
+        //   `min_passes` passes. This covers every hypercube/bit-flip
+        //   exchange — the bitonic hot path.
+        // * single destination PE: the PE accepts exactly one message per
+        //   pass, so any greedy order needs exactly `m = min_passes`.
+        // * single source port: the port originates exactly one circuit
+        //   per pass; again exactly `m = min_passes` passes.
+        if (uniform_mask && srcs_distinct) || single_dst || single_src_port {
+            return RouteOutcome {
+                passes: min_passes,
+                min_passes,
+            };
         }
 
-        let mut pending: Vec<(usize, usize)> = sends.to_vec();
+        self.pending.clear();
+        for &(src, dst) in sends {
+            #[allow(clippy::cast_possible_truncation)] // ports <= 2^16, p <= 2^32
+            self.pending.push(Pend {
+                sp: (src / CLUSTER) as u16,
+                dp: (dst / CLUSTER) as u16,
+                dst: dst as u32,
+            });
+        }
         let mut passes = 0usize;
-        // Reusable occupancy maps, keyed by pass stamp to avoid clearing.
-        let mut src_busy = vec![0u32; self.ports];
-        let mut node_busy = vec![0u32; (self.stages as usize).max(1) * self.ports];
-        let mut pe_busy = vec![0u32; self.p];
-        let mut stamp = 0u32;
-
-        while !pending.is_empty() {
+        while !self.pending.is_empty() {
             passes += 1;
-            stamp += 1;
-            let mut next = Vec::with_capacity(pending.len() / 2);
-            // Rotate the service order so no message starves.
-            let offset = (passes * 17) % pending.len();
-            for idx in 0..pending.len() {
-                let (src, dst) = pending[(idx + offset) % pending.len()];
-                let sp = self.port_of(src);
-                let dp = self.port_of(dst);
-                if src_busy[sp] == stamp || pe_busy[dst] == stamp {
-                    next.push((src, dst));
-                    continue;
-                }
-                if sp == dp {
-                    // Intra-cluster transfer: uses the port's local crossbar
-                    // only; no internal network nodes.
-                    src_busy[sp] = stamp;
-                    pe_busy[dst] = stamp;
-                    continue;
-                }
-                // Walk the omega path; conflict if any stage node is taken.
-                let mut x = sp;
-                let mut path_ok = true;
-                let mut path = [0usize; 16];
-                for s in 0..self.stages {
-                    let bit = (dp >> (self.stages - 1 - s)) & 1;
-                    x = ((x << 1) | bit) & (self.ports - 1);
-                    let node = s as usize * self.ports + x;
-                    if node_busy[node] == stamp {
-                        path_ok = false;
-                        break;
-                    }
-                    path[s as usize] = node;
-                }
-                if !path_ok {
-                    next.push((src, dst));
-                    continue;
-                }
-                for &node in path.iter().take(self.stages as usize) {
-                    node_busy[node] = stamp;
-                }
-                src_busy[sp] = stamp;
-                pe_busy[dst] = stamp;
+            if self.stamp == u32::MAX {
+                self.src_busy.fill(0);
+                self.node_busy.fill(0);
+                self.pe_busy.fill(0);
+                self.stamp = 0;
             }
-            pending = next;
+            self.stamp += 1;
+            let stamp = self.stamp;
+            self.deferred.clear();
+            // Rotate the service order so no message starves. The wrapped
+            // index is folded with one compare instead of a per-access
+            // modulo — same visit order as `pending[(idx + offset) % len]`.
+            let len = self.pending.len();
+            let offset = (passes * 17) % len;
+            for i in 0..len {
+                let idx = if i + offset >= len {
+                    i + offset - len
+                } else {
+                    i + offset
+                };
+                let m = self.pending[idx];
+                let sp = m.sp as usize;
+                let dst = m.dst as usize;
+                if self.src_busy[sp] == stamp || self.pe_busy[dst] == stamp {
+                    self.deferred.push(m);
+                    continue;
+                }
+                let dp = m.dp as usize;
+                if sp != dp {
+                    // Walk the omega path; conflict if any stage node is
+                    // taken. (Intra-cluster transfers use the port's local
+                    // crossbar only — no internal network nodes.)
+                    let mut x = sp;
+                    let mut path_ok = true;
+                    let mut path = [0usize; 16];
+                    #[allow(clippy::needless_range_loop)] // `s` also drives the bit walk
+                    for s in 0..self.stages as usize {
+                        let bit = (dp >> (self.stages as usize - 1 - s)) & 1;
+                        x = ((x << 1) | bit) & (self.ports - 1);
+                        let node = s * self.ports + x;
+                        if self.node_busy[node] == stamp {
+                            path_ok = false;
+                            break;
+                        }
+                        path[s] = node;
+                    }
+                    if !path_ok {
+                        self.deferred.push(m);
+                        continue;
+                    }
+                    for &node in path.iter().take(self.stages as usize) {
+                        self.node_busy[node] = stamp;
+                    }
+                }
+                self.src_busy[sp] = stamp;
+                self.pe_busy[dst] = stamp;
+            }
+            std::mem::swap(&mut self.pending, &mut self.deferred);
             assert!(
                 passes < 1_000_000,
                 "router livelock: {} messages stuck",
-                pending.len()
+                self.pending.len()
             );
         }
         RouteOutcome { passes, min_passes }
@@ -174,7 +373,7 @@ mod tests {
 
     #[test]
     fn empty_round_is_free() {
-        let r = DeltaRouter::new(1024);
+        let mut r = DeltaRouter::new(1024);
         assert_eq!(
             r.route(&[]),
             RouteOutcome {
@@ -186,7 +385,7 @@ mod tests {
 
     #[test]
     fn single_message_routes_in_one_pass() {
-        let r = DeltaRouter::new(1024);
+        let mut r = DeltaRouter::new(1024);
         let out = r.route(&[(3, 997)]);
         assert_eq!(out.passes, 1);
         assert_eq!(out.min_passes, 1);
@@ -194,7 +393,7 @@ mod tests {
 
     #[test]
     fn bit_flip_permutations_achieve_the_minimum() {
-        let r = DeltaRouter::new(1024);
+        let mut r = DeltaRouter::new(1024);
         for bit in [0u32, 3, 4, 7, 9] {
             let sends: Vec<(usize, usize)> =
                 (0..1024).map(|i| (i, hypercube_partner(i, bit))).collect();
@@ -209,7 +408,7 @@ mod tests {
 
     #[test]
     fn random_permutations_need_more_passes_than_bit_flips() {
-        let r = DeltaRouter::new(1024);
+        let mut r = DeltaRouter::new(1024);
         let mut rng = seeded(11);
         let mut total = 0usize;
         for _ in 0..5 {
@@ -228,7 +427,7 @@ mod tests {
 
     #[test]
     fn hot_receiver_serializes() {
-        let r = DeltaRouter::new(64);
+        let mut r = DeltaRouter::new(64);
         // 32 PEs all send to PE 0.
         let sends: Vec<(usize, usize)> = (16..48).map(|i| (i, 0)).collect();
         let out = r.route(&sends);
@@ -238,7 +437,7 @@ mod tests {
 
     #[test]
     fn partial_permutations_use_fewer_passes() {
-        let r = DeltaRouter::new(1024);
+        let mut r = DeltaRouter::new(1024);
         let mut rng = seeded(12);
         let (s, d) = pcm_core::rng::random_partial_permutation(1024, 32, &mut rng);
         let sends: Vec<(usize, usize)> = s.into_iter().zip(d).collect();
@@ -252,7 +451,7 @@ mod tests {
 
     #[test]
     fn intra_cluster_traffic_avoids_the_network() {
-        let r = DeltaRouter::new(64);
+        let mut r = DeltaRouter::new(64);
         // Every PE sends to its neighbour inside the same cluster.
         let sends: Vec<(usize, usize)> = (0..64)
             .map(|i| (i, (i / CLUSTER) * CLUSTER + ((i + 1) % CLUSTER)))
@@ -269,7 +468,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let r = DeltaRouter::new(256);
+        let mut r = DeltaRouter::new(256);
         let mut rng = seeded(5);
         let perm = random_permutation(256, &mut rng);
         let sends: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();

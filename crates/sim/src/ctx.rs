@@ -32,6 +32,11 @@ pub(crate) struct ProcAux {
     pub charge_ok: bool,
     /// Whether the processor read its inbox this superstep.
     pub read_inbox: bool,
+    /// Number of heap-allocated payloads currently in `inbox`. When zero
+    /// the delivery pre-pass clears the inbox in place instead of
+    /// draining it message by message (recycling an inline payload is a
+    /// no-op, so the two are identical).
+    pub inbox_heap: usize,
 }
 
 /// The scalar outcome of one processor's superstep, as returned by
@@ -73,20 +78,27 @@ pub struct Ctx<'a, S> {
     /// when validated. Interior mutability because the `msgs*` accessors
     /// take `&self`.
     events: RefCell<&'a mut Vec<ShadowEvent>>,
-    rng: StdRng,
+    /// Deterministic per-processor-per-superstep rng, constructed lazily
+    /// from `rng_seed` on first use: most supersteps never draw from it,
+    /// and the (ChaCha) key setup is a measurable per-processor cost.
+    /// Boxed so the rarely-used ~300-byte generator state doesn't bloat
+    /// the `Ctx` the hot loop builds for every processor.
+    rng: Option<Box<StdRng>>,
+    rng_seed: u64,
 }
 
 impl<'a, S> Ctx<'a, S> {
+    #[allow(clippy::too_many_arguments)] // crate-private, one call site
     pub(crate) fn new(
         pid: ProcId,
         p: usize,
         state: &'a mut S,
         aux: &'a mut ProcAux,
         compute: &'a dyn ComputeModel,
-        rng: StdRng,
+        word: usize,
+        rng_seed: u64,
         validated: bool,
     ) -> Self {
-        let word = compute.word_bytes();
         aux.outbox.clear();
         aux.events.clear();
         aux.oob_sends.clear();
@@ -113,7 +125,8 @@ impl<'a, S> Ctx<'a, S> {
             oob_sends,
             validated,
             events: RefCell::new(events),
-            rng,
+            rng: None,
+            rng_seed,
         }
     }
 
@@ -134,7 +147,10 @@ impl<'a, S> Ctx<'a, S> {
 
     /// Deterministic per-processor-per-superstep RNG.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+        use rand::SeedableRng;
+        let seed = self.rng_seed;
+        self.rng
+            .get_or_insert_with(|| Box::new(StdRng::seed_from_u64(seed)))
     }
 
     // ---- local computation accounting -----------------------------------
@@ -288,6 +304,7 @@ impl<'a, S> Ctx<'a, S> {
     }
 
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // single-message sizes < 4 Gi words
     fn push_sized(
         &mut self,
         dst: ProcId,
@@ -319,8 +336,8 @@ impl<'a, S> Ctx<'a, S> {
             dst,
             tag,
             kind,
-            logical_words,
-            logical_bytes,
+            logical_words: logical_words as u32,
+            logical_bytes: logical_bytes as u32,
             payload,
         });
     }

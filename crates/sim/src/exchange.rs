@@ -266,28 +266,36 @@ fn run_scatter(t: &mut ScatterTask<'_>) {
         for m in aux.outbox.drain(..) {
             sends.push(SendRecord {
                 dst: m.dst,
-                words: m.logical_words,
-                bytes: m.logical_bytes,
+                words: m.logical_words as usize,
+                bytes: m.logical_bytes as usize,
                 kind: m.kind,
             });
             if t.tracing {
-                stats.bytes += m.logical_bytes;
+                stats.bytes += m.logical_bytes as usize;
                 match m.kind {
                     MsgKind::Words => {
-                        stats.messages += m.logical_words;
-                        stats.word_msgs += m.logical_words;
-                        sent_words += m.logical_words;
+                        stats.messages += m.logical_words as usize;
+                        stats.word_msgs += m.logical_words as usize;
+                        sent_words += m.logical_words as usize;
                     }
                     MsgKind::Block => {
                         stats.messages += 1;
                         stats.block_msgs += 1;
-                        bump_round(&mut stats.round_max_block, block_round, m.logical_bytes);
+                        bump_round(
+                            &mut stats.round_max_block,
+                            block_round,
+                            m.logical_bytes as usize,
+                        );
                         block_round += 1;
                     }
                     MsgKind::Xnet => {
                         stats.messages += 1;
                         stats.xnet_msgs += 1;
-                        bump_round(&mut stats.round_max_xnet, xnet_round, m.logical_bytes);
+                        bump_round(
+                            &mut stats.round_max_xnet,
+                            xnet_round,
+                            m.logical_bytes as usize,
+                        );
                         xnet_round += 1;
                     }
                 }
@@ -334,6 +342,12 @@ fn run_gather(t: &mut GatherTask<'_>) {
     // toward their senders' shards in (dst ascending, inbox order) —
     // the sequential recycle order restricted to this shard.
     for aux in t.procs.iter_mut() {
+        if aux.inbox_heap == 0 {
+            // No heap payloads to stage; dropping inline payloads in
+            // place is identical to draining them one by one.
+            aux.inbox.clear();
+            continue;
+        }
         for msg in aux.inbox.drain(..) {
             let src = msg.src;
             if let Payload::Heap(buf) = msg.into_payload() {
@@ -341,6 +355,7 @@ fn run_gather(t: &mut GatherTask<'_>) {
                 stats.heap_staged += 1;
             }
         }
+        aux.inbox_heap = 0;
     }
     // Deliver: ascending source-shard lanes reproduce the sequential
     // (src ascending, send order) inbox sequence exactly.
@@ -349,12 +364,13 @@ fn run_gather(t: &mut GatherTask<'_>) {
             let k = msg.dst - t.base;
             if t.tracing {
                 if msg.kind == MsgKind::Words {
-                    t.recv[k] += msg.logical_words;
+                    t.recv[k] += msg.logical_words as usize;
                 }
                 if msg.logical_words > 0 {
                     t.active[k] = true;
                 }
             }
+            t.procs[k].inbox_heap += usize::from(msg.payload_is_heap());
             t.procs[k].inbox.push(msg);
         }
     }

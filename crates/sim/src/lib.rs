@@ -19,6 +19,7 @@
 //!   including the per-processor *send order* that distinguishes staggered
 //!   from naive schedules.
 
+pub mod cache;
 pub mod compute;
 pub mod ctx;
 mod exchange;
@@ -32,13 +33,16 @@ pub mod topology;
 pub mod trace;
 pub mod validate;
 
+pub use cache::{CacheStats, PricingCache};
 pub use compute::{ComputeModel, UniformCompute};
 pub use ctx::Ctx;
 pub use exchange::MAX_SHARDS;
 pub use machine::Machine;
 pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD, MAX_POOLED_PAYLOAD};
 pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
-pub use pattern::{BlockRound, CommPattern, Segment, SendRecord};
+pub use pattern::{
+    BlockRound, BlockRoundView, CommPattern, PatternScratch, Segment, SegmentView, SendRecord,
+};
 pub use plan::{extract_plans, RunPlan, StepPlan};
 pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};
 pub use trace::{RunBreakdown, SuperstepTrace};

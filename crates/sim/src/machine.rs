@@ -35,7 +35,6 @@ use std::sync::Arc;
 use pcm_core::rng::{child_seed, seeded};
 use pcm_core::SimTime;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::compute::ComputeModel;
@@ -218,6 +217,18 @@ impl<S: Send> Machine<S> {
         &*self.compute
     }
 
+    /// Enables or disables the network model's route memo (models without
+    /// one ignore the call). Memoization caches only deterministic pricing
+    /// values, so toggling it never changes a simulated time.
+    pub fn set_route_memo(&mut self, enabled: bool) {
+        self.net.set_route_memo(enabled);
+    }
+
+    /// Hit/miss statistics of the network model's route memo, if any.
+    pub fn route_memo_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.net.route_memo_stats()
+    }
+
     /// Executes one superstep: runs `f` on every processor, prices the
     /// resulting communication pattern, advances the simulated clock and
     /// delivers the messages for the next superstep.
@@ -229,12 +240,13 @@ impl<S: Send> Machine<S> {
         let step = self.step_count;
         let seed = self.seed;
         let compute: &dyn ComputeModel = &*self.compute;
+        let word = compute.word_bytes();
         let validated = self.validator.is_some();
 
         let run_one = |pid: usize, state: &mut S, aux: &mut ProcAux| {
-            let rng = StdRng::seed_from_u64(child_seed(seed, (step * p + pid) as u64));
+            let rng_seed = child_seed(seed, (step * p + pid) as u64);
             let outcome = {
-                let mut ctx = Ctx::new(pid, p, state, aux, compute, rng, validated);
+                let mut ctx = Ctx::new(pid, p, state, aux, compute, word, rng_seed, validated);
                 f(&mut ctx);
                 ctx.finish()
             };
@@ -243,7 +255,9 @@ impl<S: Send> Machine<S> {
             aux.read_inbox = outcome.read_inbox;
         };
 
-        if self.parallel && p > 1 {
+        // A single-worker pool would run the par_iter pipeline inline
+        // anyway; the plain loop skips its zip-chunk plumbing.
+        if self.parallel && p > 1 && rayon::current_num_threads() > 1 {
             self.states
                 .par_iter_mut()
                 .zip(self.procs.par_iter_mut())
@@ -265,10 +279,12 @@ impl<S: Send> Machine<S> {
         // so those (rare, tooling-driven) configurations keep the
         // sequential reference path — which is also what `with_sequential`
         // and `set_parallel(false)` pin for the determinism auditors.
-        if self.parallel && self.shards > 1 && self.validator.is_none() && self.plan.is_none() {
+        if self.validator.is_some() || self.plan.is_some() {
+            self.exchange_reference(step);
+        } else if self.parallel && self.shards > 1 {
             self.exchange_sharded(step);
         } else {
-            self.exchange_sequential(step);
+            self.exchange_fused(step);
         }
 
         self.step_count += 1;
@@ -324,10 +340,75 @@ impl<S: Send> Machine<S> {
         }
     }
 
-    /// The sequential exchange path (also the validator/plan-extraction
+    /// Single-sweep sequential exchange for the common configuration (no
+    /// validator, no plan recorder): one pass over the outboxes both
+    /// rebuilds the pattern records and moves each message to its
+    /// destination inbox, instead of touching every message twice.
+    /// Delivery runs before pricing here, which is unobservable — pricing
+    /// reads only the finished pattern and the network rng, delivery only
+    /// moves messages — so clock, traces and inbox contents are
+    /// bit-identical to [`Self::exchange_reference`].
+    fn exchange_fused(&mut self, step: usize) {
+        let p = self.p;
+        // Drop consumed inboxes first so delivery can append in place.
+        // Recycling an inline payload is a no-op, so an inbox with no
+        // heap payloads is cleared without visiting its messages.
+        let mut max_compute = 0.0f64;
+        for dst in 0..p {
+            max_compute = max_compute.max(self.procs[dst].compute_us);
+            if self.procs[dst].inbox_heap == 0 {
+                self.procs[dst].inbox.clear();
+            } else {
+                let mut inbox = std::mem::take(&mut self.procs[dst].inbox);
+                for msg in inbox.drain(..) {
+                    let src = msg.src;
+                    self.procs[src].pool.recycle(msg.into_payload());
+                }
+                let aux = &mut self.procs[dst];
+                aux.inbox = inbox;
+                aux.inbox_heap = 0;
+            }
+        }
+        // One sweep: record each outbox message in the pattern and push it
+        // to its inbox, preserving the (src, send-order) delivery order.
+        let mut total_records = 0usize;
+        for src in 0..p {
+            if self.procs[src].outbox.is_empty() {
+                self.pattern.sends[src].clear();
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.procs[src].outbox);
+            let sends = &mut self.pattern.sends[src];
+            sends.clear();
+            total_records += outbox.len();
+            for msg in outbox.drain(..) {
+                sends.push(SendRecord {
+                    dst: msg.dst,
+                    words: msg.logical_words as usize,
+                    bytes: msg.logical_bytes as usize,
+                    kind: msg.kind,
+                });
+                let aux = &mut self.procs[msg.dst];
+                aux.inbox_heap += usize::from(msg.payload_is_heap());
+                aux.inbox.push(msg);
+            }
+            self.procs[src].outbox = outbox;
+        }
+        let comm = if total_records == 0 {
+            self.net.barrier()
+        } else {
+            self.net.route(&self.pattern, &mut self.net_rng)
+        };
+        let compute_time = SimTime::from_micros(max_compute);
+        self.clock += compute_time + comm;
+        if self.tracing {
+            self.record_trace(step, compute_time, comm);
+        }
+    }
+
+    /// The reference sequential exchange (the validator/plan-extraction
     /// path, which needs the pattern and inboxes observed mid-phase).
-    #[inline]
-    fn exchange_sequential(&mut self, step: usize) {
+    fn exchange_reference(&mut self, step: usize) {
         let p = self.p;
         // Rebuild the communication pattern in place and size each inbox
         // for the delivery pre-pass, in one sweep over the outboxes.
@@ -344,8 +425,8 @@ impl<S: Send> Machine<S> {
             for m in &aux.outbox {
                 sends.push(SendRecord {
                     dst: m.dst,
-                    words: m.logical_words,
-                    bytes: m.logical_bytes,
+                    words: m.logical_words as usize,
+                    bytes: m.logical_bytes as usize,
                     kind: m.kind,
                 });
                 self.deliver_counts[m.dst] += 1;
@@ -379,85 +460,7 @@ impl<S: Send> Machine<S> {
         self.clock += compute_time + comm;
 
         if self.tracing && !dry_run {
-            // All pattern statistics in one pass over the send records,
-            // using the machine's reusable scratch buffers. Semantics are
-            // identical to the CommPattern query methods.
-            let pattern = &self.pattern;
-            let recv = &mut self.stat_recv;
-            let active = &mut self.stat_active;
-            for v in recv.iter_mut() {
-                *v = 0;
-            }
-            for a in active.iter_mut() {
-                *a = false;
-            }
-            let mut messages = 0usize;
-            let mut bytes = 0usize;
-            let mut h_send = 0usize;
-            let (mut word_msgs, mut block_msgs, mut xnet_msgs) = (0usize, 0usize, 0usize);
-            for (src, recs) in pattern.sends.iter().enumerate() {
-                let mut sent_words = 0usize;
-                for r in recs {
-                    bytes += r.bytes;
-                    match r.kind {
-                        MsgKind::Words => {
-                            messages += r.words;
-                            word_msgs += r.words;
-                            sent_words += r.words;
-                            recv[r.dst] += r.words;
-                        }
-                        MsgKind::Block => {
-                            messages += 1;
-                            block_msgs += 1;
-                        }
-                        MsgKind::Xnet => {
-                            messages += 1;
-                            xnet_msgs += 1;
-                        }
-                    }
-                    if r.words > 0 {
-                        active[src] = true;
-                        active[r.dst] = true;
-                    }
-                }
-                h_send = h_send.max(sent_words);
-            }
-            let h_recv = recv.iter().copied().max().unwrap_or(0);
-            let active = active.iter().filter(|&&a| a).count();
-            // Block/xnet rounds: round `r` holds the `r`-th record of that
-            // kind from each source; its cost driver is the largest block.
-            let mut block_steps = 0usize;
-            let mut block_bytes_sum = 0usize;
-            for kind in [MsgKind::Block, MsgKind::Xnet] {
-                let round_max = &mut self.stat_round_max;
-                round_max.clear();
-                for recs in &pattern.sends {
-                    for (round, r) in recs.iter().filter(|r| r.kind == kind).enumerate() {
-                        if round == round_max.len() {
-                            round_max.push(r.bytes);
-                        } else {
-                            round_max[round] = round_max[round].max(r.bytes);
-                        }
-                    }
-                }
-                block_steps += round_max.len();
-                block_bytes_sum += round_max.iter().sum::<usize>();
-            }
-            self.traces.push(SuperstepTrace {
-                index: step,
-                compute: compute_time,
-                comm,
-                messages,
-                bytes,
-                h_send,
-                h_recv,
-                active,
-                block_steps,
-                block_bytes_sum,
-                word_msgs,
-                block_msgs,
-                xnet_msgs,
-            });
+            self.record_trace(step, compute_time, comm);
         }
 
         if let Some(validator) = self.validator.as_mut() {
@@ -485,7 +488,7 @@ impl<S: Send> Machine<S> {
                             dst: m.dst,
                             tag: m.tag,
                             kind: m.kind,
-                            words: m.logical_words,
+                            words: m.logical_words as usize,
                         })
                         .collect()
                 })
@@ -511,21 +514,120 @@ impl<S: Send> Machine<S> {
         // move outbox messages in (src, send-order) order so receivers
         // observe the same deterministic sequence as before.
         for dst in 0..p {
-            let mut inbox = std::mem::take(&mut self.procs[dst].inbox);
-            for msg in inbox.drain(..) {
-                let src = msg.src;
-                self.procs[src].pool.recycle(msg.into_payload());
+            let need = self.deliver_counts[dst];
+            if self.procs[dst].inbox_heap == 0 {
+                // Recycling an inline payload is a no-op, so an inbox
+                // with no heap payloads can be dropped in place.
+                let aux = &mut self.procs[dst];
+                aux.inbox.clear();
+                aux.inbox.reserve(need);
+            } else {
+                let mut inbox = std::mem::take(&mut self.procs[dst].inbox);
+                for msg in inbox.drain(..) {
+                    let src = msg.src;
+                    self.procs[src].pool.recycle(msg.into_payload());
+                }
+                inbox.reserve(need);
+                let aux = &mut self.procs[dst];
+                aux.inbox = inbox;
+                aux.inbox_heap = 0;
             }
-            inbox.reserve(self.deliver_counts[dst]);
-            self.procs[dst].inbox = inbox;
         }
         for src in 0..p {
             let mut outbox = std::mem::take(&mut self.procs[src].outbox);
             for msg in outbox.drain(..) {
-                self.procs[msg.dst].inbox.push(msg);
+                let aux = &mut self.procs[msg.dst];
+                aux.inbox_heap += usize::from(msg.payload_is_heap());
+                aux.inbox.push(msg);
             }
             self.procs[src].outbox = outbox;
         }
+    }
+
+    /// Collects the superstep trace: all pattern statistics in one pass
+    /// over the send records, using the machine's reusable scratch
+    /// buffers. Semantics are identical to the `CommPattern` query
+    /// methods.
+    fn record_trace(&mut self, step: usize, compute_time: SimTime, comm: SimTime) {
+        // All pattern statistics in one pass over the send records,
+        // using the machine's reusable scratch buffers. Semantics are
+        // identical to the CommPattern query methods.
+        let pattern = &self.pattern;
+        let recv = &mut self.stat_recv;
+        let active = &mut self.stat_active;
+        for v in recv.iter_mut() {
+            *v = 0;
+        }
+        for a in active.iter_mut() {
+            *a = false;
+        }
+        let mut messages = 0usize;
+        let mut bytes = 0usize;
+        let mut h_send = 0usize;
+        let (mut word_msgs, mut block_msgs, mut xnet_msgs) = (0usize, 0usize, 0usize);
+        for (src, recs) in pattern.sends.iter().enumerate() {
+            let mut sent_words = 0usize;
+            for r in recs {
+                bytes += r.bytes;
+                match r.kind {
+                    MsgKind::Words => {
+                        messages += r.words;
+                        word_msgs += r.words;
+                        sent_words += r.words;
+                        recv[r.dst] += r.words;
+                    }
+                    MsgKind::Block => {
+                        messages += 1;
+                        block_msgs += 1;
+                    }
+                    MsgKind::Xnet => {
+                        messages += 1;
+                        xnet_msgs += 1;
+                    }
+                }
+                if r.words > 0 {
+                    active[src] = true;
+                    active[r.dst] = true;
+                }
+            }
+            h_send = h_send.max(sent_words);
+        }
+        let h_recv = recv.iter().copied().max().unwrap_or(0);
+        let active = active.iter().filter(|&&a| a).count();
+        // Block/xnet rounds: round `r` holds the `r`-th record of that
+        // kind from each source; its cost driver is the largest block.
+        let mut block_steps = 0usize;
+        let mut block_bytes_sum = 0usize;
+        for kind in [MsgKind::Block, MsgKind::Xnet] {
+            let round_max = &mut self.stat_round_max;
+            round_max.clear();
+            for recs in &pattern.sends {
+                for (round, r) in recs.iter().filter(|r| r.kind == kind).enumerate() {
+                    if round == round_max.len() {
+                        round_max.push(r.bytes);
+                    } else {
+                        round_max[round] = round_max[round].max(r.bytes);
+                    }
+                }
+            }
+            block_steps += round_max.len();
+            block_bytes_sum += round_max.iter().sum::<usize>();
+        }
+        self.traces.push(SuperstepTrace {
+            index: step,
+            compute: compute_time,
+            comm,
+            messages,
+            bytes,
+            h_send,
+            h_recv,
+            active,
+            block_steps,
+            block_bytes_sum,
+            word_msgs,
+            block_msgs,
+            xnet_msgs,
+        });
     }
 
     /// A barrier-only superstep.

@@ -197,10 +197,12 @@ pub struct Message {
     pub tag: u32,
     /// Pricing kind.
     pub kind: MsgKind,
-    /// Number of logical machine words this message represents.
-    pub logical_words: usize,
+    /// Number of logical machine words this message represents. `u32`
+    /// (with `logical_bytes`) keeps the struct — copied twice per
+    /// delivery — at 64 bytes; a single message cannot carry 4 Gi words.
+    pub logical_words: u32,
     /// Number of bytes on the (simulated) wire: `logical_words · w`.
-    pub logical_bytes: usize,
+    pub logical_bytes: u32,
     /// The actual values, for algorithm correctness.
     pub(crate) payload: Payload,
 }
@@ -215,6 +217,12 @@ impl Message {
     /// Consumes the message, yielding its payload for recycling.
     pub(crate) fn into_payload(self) -> Payload {
         self.payload
+    }
+
+    /// Whether the payload lives on the heap (and is worth recycling).
+    #[inline]
+    pub(crate) fn payload_is_heap(&self) -> bool {
+        matches!(self.payload, Payload::Heap(_))
     }
     /// Interprets the payload as `u32` values.
     ///

@@ -9,6 +9,7 @@
 use pcm_core::SimTime;
 use rand::rngs::StdRng;
 
+use crate::cache::CacheStats;
 use crate::pattern::CommPattern;
 
 /// Prices superstep communication for a particular machine.
@@ -24,6 +25,18 @@ pub trait NetworkModel: Send {
 
     /// Human-readable model name.
     fn name(&self) -> &str;
+
+    /// Enables or disables the model's route memo, if it has one. Because
+    /// only deterministic pricing values are memoized (jitter is always
+    /// drawn live from the sequential rng), toggling the memo must not
+    /// change any simulated time — the differential test in
+    /// `tests/pricing_memo.rs` holds every machine to that.
+    fn set_route_memo(&mut self, _enabled: bool) {}
+
+    /// Hit/miss statistics of the model's route memo, if it has one.
+    fn route_memo_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// A zero-cost network: communication and barriers are free. Useful for

@@ -16,6 +16,155 @@
 
 use crate::message::{Message, MsgKind, ProcId};
 
+/// Reusable scratch for the allocation-free pattern iteration APIs
+/// ([`CommPattern::visit_word_segments`], [`CommPattern::visit_block_rounds`],
+/// [`CommPattern::visit_xnet_rounds`]).
+///
+/// A network model owns one `PatternScratch` and hands it to every visit
+/// call. All buffers are grown on demand and reused across supersteps, so
+/// after a warm-up step the pricing path performs no heap allocation. The
+/// per-destination counters are stamp-keyed: advancing the stamp
+/// invalidates every entry without clearing the arrays.
+#[derive(Debug, Default)]
+pub struct PatternScratch {
+    /// Sorted, deduped cumulative record boundaries on the round axis.
+    boundaries: Vec<usize>,
+    /// Flattened per-proc word spans, grouped by source processor.
+    spans: Vec<Span>,
+    /// `spans` range of proc `i` is `span_off[i]..span_off[i + 1]`.
+    span_off: Vec<u32>,
+    /// Per-proc monotone cursor into `spans` (absolute indices).
+    cursors: Vec<u32>,
+    /// Active `(src, dst)` pairs of the segment under construction.
+    seg_sends: Vec<(ProcId, ProcId)>,
+    /// Active `(src, dst, bytes)` triples of the round under construction.
+    round_sends: Vec<(ProcId, ProcId, usize)>,
+    /// Flattened per-proc `(dst, bytes)` records of one block kind.
+    blocks: Vec<(ProcId, usize)>,
+    /// `blocks` range of proc `i` is `block_off[i]..block_off[i + 1]`.
+    block_off: Vec<u32>,
+    /// Stamp-keyed per-destination in-degree counters.
+    deg: Vec<u32>,
+    /// Stamp-keyed per-destination byte counters.
+    recv_bytes: Vec<usize>,
+    /// Stamp an entry of `deg`/`recv_bytes` was last reset at.
+    stamp_of: Vec<u32>,
+    /// Current stamp; entries with an older stamp read as zero.
+    stamp: u32,
+}
+
+/// One contiguous run of word rounds from a single source record.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    start: usize,
+    end: usize,
+    src: ProcId,
+    dst: ProcId,
+    per_msg: usize,
+}
+
+impl PatternScratch {
+    /// A fresh scratch; buffers grow to fit the first pattern visited.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the per-destination arrays to cover `p` processors.
+    fn ensure_p(&mut self, p: usize) {
+        if self.deg.len() < p {
+            self.deg.resize(p, 0);
+            self.recv_bytes.resize(p, 0);
+            self.stamp_of.resize(p, 0);
+        }
+        if self.cursors.len() < p {
+            self.cursors.resize(p, 0);
+        }
+    }
+
+    /// Advances to a fresh stamp, invalidating every counter entry.
+    fn next_stamp(&mut self) -> u32 {
+        if self.stamp == u32::MAX {
+            // Wrap: physically clear so stale stamps cannot alias.
+            self.stamp_of.fill(0);
+            self.deg.fill(0);
+            self.recv_bytes.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Counts one message into `dst`, returning its new in-degree.
+    #[inline]
+    fn touch(&mut self, dst: ProcId, bytes: usize) -> (u32, usize) {
+        if self.stamp_of[dst] != self.stamp {
+            self.stamp_of[dst] = self.stamp;
+            self.deg[dst] = 0;
+            self.recv_bytes[dst] = 0;
+        }
+        self.deg[dst] += 1;
+        self.recv_bytes[dst] += bytes;
+        (self.deg[dst], self.recv_bytes[dst])
+    }
+}
+
+/// Borrowed view of one word segment, as produced by
+/// [`CommPattern::visit_word_segments`]. Mirrors [`Segment`], but the send
+/// list lives in the caller's [`PatternScratch`] and the in-degree is
+/// precomputed incrementally (no sort, no allocation).
+#[derive(Debug)]
+pub struct SegmentView<'a> {
+    /// Number of identical rounds in this segment.
+    pub rounds: usize,
+    /// The active (src, dst) pairs of each round, sorted by src.
+    pub sends: &'a [(ProcId, ProcId)],
+    /// The largest per-message payload in the segment, in bytes.
+    pub msg_bytes: usize,
+    max_in_degree: usize,
+}
+
+impl SegmentView<'_> {
+    /// Maximum number of senders targeting a single destination in one
+    /// round of this segment (1 for a permutation round).
+    pub fn max_in_degree(&self) -> usize {
+        self.max_in_degree
+    }
+
+    /// `true` when each round of the segment is a (partial) permutation.
+    pub fn is_permutation(&self) -> bool {
+        self.max_in_degree <= 1
+    }
+}
+
+/// Borrowed view of one block (or xnet) round, as produced by
+/// [`CommPattern::visit_block_rounds`]. Mirrors [`BlockRound`] with the
+/// aggregate statistics precomputed incrementally.
+#[derive(Debug)]
+pub struct BlockRoundView<'a> {
+    /// `(src, dst, bytes)` triples active in this round, sorted by src.
+    pub sends: &'a [(ProcId, ProcId, usize)],
+    max_bytes: usize,
+    max_recv_bytes: usize,
+    max_in_degree: usize,
+}
+
+impl BlockRoundView<'_> {
+    /// Largest block in the round, in bytes.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Total bytes received by the most loaded destination.
+    pub fn max_recv_bytes(&self) -> usize {
+        self.max_recv_bytes
+    }
+
+    /// Maximum number of blocks converging on one destination.
+    pub fn max_in_degree(&self) -> usize {
+        self.max_in_degree
+    }
+}
+
 /// One entry of a processor's ordered send list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendRecord {
@@ -135,8 +284,8 @@ impl CommPattern {
             for m in out {
                 recs.push(SendRecord {
                     dst: m.dst,
-                    words: m.logical_words,
-                    bytes: m.logical_bytes,
+                    words: m.logical_words as usize,
+                    bytes: m.logical_bytes as usize,
                     kind: m.kind,
                 });
             }
@@ -254,87 +403,228 @@ impl CommPattern {
 
     /// Splits the word rounds into maximal constant-pattern segments.
     /// Block records are ignored here (see [`CommPattern::block_rounds`]).
+    ///
+    /// Allocating convenience wrapper over
+    /// [`CommPattern::visit_word_segments`] for cold-path consumers
+    /// (reference models, checkers, tests); the pricing hot path uses the
+    /// visitor directly with machine-owned scratch.
     pub fn word_segments(&self) -> Vec<Segment> {
-        // Per-proc cumulative record boundaries over the word-round axis.
-        let mut boundaries: Vec<usize> = vec![0];
-        let mut per_proc: Vec<Vec<(usize, usize, ProcId, usize)>> = Vec::with_capacity(self.p);
-        for recs in &self.sends {
+        let mut scratch = PatternScratch::new();
+        let mut segments = Vec::new();
+        self.visit_word_segments(&mut scratch, |seg| {
+            segments.push(Segment {
+                rounds: seg.rounds,
+                sends: seg.sends.to_vec(),
+                msg_bytes: seg.msg_bytes,
+            });
+        });
+        segments
+    }
+
+    /// Visits the maximal constant-pattern word segments in round order,
+    /// without allocating: the segment send lists live in `scratch` and
+    /// are only valid for the duration of each callback.
+    ///
+    /// Produces exactly the segments of [`CommPattern::word_segments`], in
+    /// the same order.
+    pub fn visit_word_segments<F>(&self, scratch: &mut PatternScratch, mut f: F)
+    where
+        F: FnMut(SegmentView<'_>),
+    {
+        scratch.ensure_p(self.p);
+        scratch.spans.clear();
+        scratch.span_off.clear();
+        scratch.boundaries.clear();
+        scratch.boundaries.push(0);
+        // Uniform fast path: when every sending proc contributes exactly
+        // one span and all spans end on the same round, the pattern is a
+        // single segment — the shape of every pairwise exchange — and the
+        // boundary sort can be skipped entirely.
+        let mut uniform = true;
+        let mut common_end = 0usize;
+        for (src, recs) in self.sends.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)] // span count fits u32
+            scratch.span_off.push(scratch.spans.len() as u32);
+            let first = scratch.spans.len();
             let mut pos = 0usize;
-            let mut spans = Vec::new();
             for r in recs {
                 if r.kind != MsgKind::Words || r.words == 0 {
                     continue;
                 }
                 let per_msg = r.bytes.div_ceil(r.words);
-                spans.push((pos, pos + r.words, r.dst, per_msg));
+                scratch.spans.push(Span {
+                    start: pos,
+                    end: pos + r.words,
+                    src,
+                    dst: r.dst,
+                    per_msg,
+                });
                 pos += r.words;
-                boundaries.push(pos);
+                scratch.boundaries.push(pos);
             }
-            per_proc.push(spans);
+            match scratch.spans.len() - first {
+                0 => {}
+                1 if common_end == 0 || common_end == pos => common_end = pos,
+                _ => uniform = false,
+            }
         }
-        boundaries.sort_unstable();
-        boundaries.dedup();
-        if boundaries.len() <= 1 {
-            return Vec::new();
+        #[allow(clippy::cast_possible_truncation)] // span count fits u32
+        scratch.span_off.push(scratch.spans.len() as u32);
+        if scratch.spans.is_empty() {
+            return;
         }
 
-        let mut segments = Vec::with_capacity(boundaries.len() - 1);
-        // Per-proc cursor into its span list, advanced monotonically.
-        let mut cursors = vec![0usize; self.p];
-        for win in boundaries.windows(2) {
-            let (start, end) = (win[0], win[1]);
-            let mut sends = Vec::new();
+        if uniform {
+            // One segment spanning rounds 0..common_end; spans are already
+            // grouped by src, one per sending proc.
+            scratch.seg_sends.clear();
             let mut msg_bytes = 0usize;
-            for (src, spans) in per_proc.iter().enumerate() {
-                let cur = &mut cursors[src];
-                while *cur < spans.len() && spans[*cur].1 <= start {
-                    *cur += 1;
+            scratch.next_stamp();
+            let mut max_deg = 0u32;
+            for i in 0..scratch.spans.len() {
+                let Span {
+                    src, dst, per_msg, ..
+                } = scratch.spans[i];
+                scratch.seg_sends.push((src, dst));
+                msg_bytes = msg_bytes.max(per_msg);
+                max_deg = max_deg.max(scratch.touch(dst, 0).0);
+            }
+            f(SegmentView {
+                rounds: common_end,
+                sends: &scratch.seg_sends,
+                msg_bytes,
+                max_in_degree: max_deg as usize,
+            });
+            return;
+        }
+
+        scratch.boundaries.sort_unstable();
+        scratch.boundaries.dedup();
+        for src in 0..self.sends.len() {
+            scratch.cursors[src] = scratch.span_off[src];
+        }
+        for w in 1..scratch.boundaries.len() {
+            let (start, end) = (scratch.boundaries[w - 1], scratch.boundaries[w]);
+            scratch.seg_sends.clear();
+            let mut msg_bytes = 0usize;
+            scratch.next_stamp();
+            let mut max_deg = 0u32;
+            for src in 0..self.sends.len() {
+                let hi = scratch.span_off[src + 1];
+                let mut cur = scratch.cursors[src];
+                while cur < hi && scratch.spans[cur as usize].end <= start {
+                    cur += 1;
                 }
-                if *cur < spans.len() && spans[*cur].0 <= start && start < spans[*cur].1 {
-                    sends.push((src, spans[*cur].2));
-                    msg_bytes = msg_bytes.max(spans[*cur].3);
+                scratch.cursors[src] = cur;
+                if cur < hi {
+                    let span = scratch.spans[cur as usize];
+                    if span.start <= start && start < span.end {
+                        scratch.seg_sends.push((src, span.dst));
+                        msg_bytes = msg_bytes.max(span.per_msg);
+                        max_deg = max_deg.max(scratch.touch(span.dst, 0).0);
+                    }
                 }
             }
-            if !sends.is_empty() {
-                segments.push(Segment {
+            if !scratch.seg_sends.is_empty() {
+                f(SegmentView {
                     rounds: end - start,
-                    sends,
+                    sends: &scratch.seg_sends,
                     msg_bytes,
+                    max_in_degree: max_deg as usize,
                 });
             }
         }
-        segments
     }
 
     /// Groups block records into rounds: the `r`-th block of each
     /// processor forms round `r` (MP-BPRAM single-port semantics).
+    ///
+    /// Allocating wrapper over [`CommPattern::visit_block_rounds`].
     pub fn block_rounds(&self) -> Vec<BlockRound> {
         self.rounds_of(MsgKind::Block)
     }
 
     /// Rounds of explicit xnet (neighbour-grid) transfers.
+    ///
+    /// Allocating wrapper over [`CommPattern::visit_xnet_rounds`].
     pub fn xnet_rounds(&self) -> Vec<BlockRound> {
         self.rounds_of(MsgKind::Xnet)
     }
 
+    /// Visits the block rounds without allocating; round send lists live
+    /// in `scratch` and are valid for the duration of each callback.
+    pub fn visit_block_rounds<F>(&self, scratch: &mut PatternScratch, f: F)
+    where
+        F: FnMut(BlockRoundView<'_>),
+    {
+        self.visit_rounds_of(MsgKind::Block, scratch, f);
+    }
+
+    /// Visits the xnet rounds without allocating.
+    pub fn visit_xnet_rounds<F>(&self, scratch: &mut PatternScratch, f: F)
+    where
+        F: FnMut(BlockRoundView<'_>),
+    {
+        self.visit_rounds_of(MsgKind::Xnet, scratch, f);
+    }
+
     fn rounds_of(&self, kind: MsgKind) -> Vec<BlockRound> {
-        let max_blocks = self
-            .sends
-            .iter()
-            .map(|recs| recs.iter().filter(|r| r.kind == kind).count())
-            .max()
-            .unwrap_or(0);
-        let mut rounds = Vec::with_capacity(max_blocks);
-        for r in 0..max_blocks {
-            let mut sends = Vec::new();
-            for (src, recs) in self.sends.iter().enumerate() {
-                if let Some(rec) = recs.iter().filter(|x| x.kind == kind).nth(r) {
-                    sends.push((src, rec.dst, rec.bytes));
+        let mut scratch = PatternScratch::new();
+        let mut rounds = Vec::new();
+        self.visit_rounds_of(kind, &mut scratch, |round| {
+            rounds.push(BlockRound {
+                sends: round.sends.to_vec(),
+            });
+        });
+        rounds
+    }
+
+    fn visit_rounds_of<F>(&self, kind: MsgKind, scratch: &mut PatternScratch, mut f: F)
+    where
+        F: FnMut(BlockRoundView<'_>),
+    {
+        scratch.ensure_p(self.p);
+        scratch.blocks.clear();
+        scratch.block_off.clear();
+        let mut max_blocks = 0usize;
+        for recs in &self.sends {
+            #[allow(clippy::cast_possible_truncation)] // record count fits u32
+            scratch.block_off.push(scratch.blocks.len() as u32);
+            let first = scratch.blocks.len();
+            for r in recs {
+                if r.kind == kind {
+                    scratch.blocks.push((r.dst, r.bytes));
                 }
             }
-            rounds.push(BlockRound { sends });
+            max_blocks = max_blocks.max(scratch.blocks.len() - first);
         }
-        rounds
+        #[allow(clippy::cast_possible_truncation)] // record count fits u32
+        scratch.block_off.push(scratch.blocks.len() as u32);
+
+        for r in 0..max_blocks {
+            scratch.round_sends.clear();
+            scratch.next_stamp();
+            let mut max_bytes = 0usize;
+            let mut max_recv = 0usize;
+            let mut max_deg = 0u32;
+            for src in 0..self.sends.len() {
+                let off = scratch.block_off[src] as usize + r;
+                if off < scratch.block_off[src + 1] as usize {
+                    let (dst, bytes) = scratch.blocks[off];
+                    scratch.round_sends.push((src, dst, bytes));
+                    max_bytes = max_bytes.max(bytes);
+                    let (deg, recv) = scratch.touch(dst, bytes);
+                    max_deg = max_deg.max(deg);
+                    max_recv = max_recv.max(recv);
+                }
+            }
+            f(BlockRoundView {
+                sends: &scratch.round_sends,
+                max_bytes,
+                max_recv_bytes: max_recv,
+                max_in_degree: max_deg as usize,
+            });
+        }
     }
 }
 

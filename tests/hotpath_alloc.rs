@@ -21,6 +21,7 @@
 
 use std::sync::{Arc, Once};
 
+use pcm_machines::Platform;
 use pcm_sim::{Ctx, IdealNetwork, Machine, UniformCompute};
 
 #[global_allocator]
@@ -103,6 +104,40 @@ fn steady_state_delta(parallel: bool, shards: Option<usize>, heap_traffic: bool)
     alloc_counter::allocations() - before
 }
 
+/// A priced superstep on a real machine model: fixed word traffic (a
+/// shifted permutation of 4-word inline messages), inbox consumed every
+/// step. The communication pattern repeats, so after warm-up the pricing
+/// layer must run entirely on memoized outcomes and reused scratch — the
+/// pattern fingerprint key, the route memo slots and the router's
+/// stamp-keyed occupancy arrays all hold their capacity.
+fn priced_delta(plat: &Platform) -> u64 {
+    let p = plat.p();
+    let mut m = plat.machine(vec![0u64; p], 7);
+    m.set_tracing(false);
+    let step = |ctx: &mut Ctx<'_, u64>| {
+        ctx.charge(1.0);
+        let mut sum = 0u32;
+        for msg in ctx.msgs() {
+            sum = sum.wrapping_add(msg.word_u32());
+        }
+        *ctx.state = ctx.state.wrapping_add(u64::from(sum));
+        let pid = ctx.pid();
+        let word = (pid as u32).wrapping_add(sum);
+        ctx.send_words_u32(
+            (pid * 7 + 3) % ctx.nprocs(),
+            &[word, word ^ 1, word ^ 2, word ^ 3],
+        );
+    };
+    for _ in 0..50 {
+        m.superstep(step);
+    }
+    let before = alloc_counter::allocations();
+    for _ in 0..100 {
+        m.superstep(step);
+    }
+    alloc_counter::allocations() - before
+}
+
 #[test]
 fn steady_state_supersteps_do_not_allocate() {
     force_pool();
@@ -127,4 +162,16 @@ fn steady_state_supersteps_do_not_allocate() {
         heap, 0,
         "sharded heap-payload path allocated {heap} times in 100 supersteps"
     );
+    // Priced supersteps: the full pricing stack (pattern fingerprinting,
+    // route memo, delta-router scratch, port-load folds) on each machine
+    // must be allocation-free once its memos are warm.
+    for plat in [Platform::maspar_with(64), Platform::gcel(), Platform::cm5()] {
+        let priced = priced_delta(&plat);
+        assert_eq!(
+            priced,
+            0,
+            "{} priced hot path allocated {priced} times in 100 supersteps",
+            plat.name()
+        );
+    }
 }
