@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` mirrors .github/workflows/ci.yml.
 
-.PHONY: ci build test sanitize race golden shard audit sym analyze doc fmt clippy bench bench-smoke bench-scaling bench-pricing pricing-gate
+.PHONY: ci build test sanitize race golden shard audit sym trace trace-gate analyze doc fmt clippy bench bench-smoke bench-scaling bench-pricing pricing-gate
 
 ci: build test audit sym doc fmt clippy
 
@@ -32,8 +32,22 @@ audit:
 sym:
 	cargo run --release -p pcm-sym --bin pcm-sym -- --out SYM_report.json
 
+# Superstep tracing: replay the pinned grid with tracing on, prove exact
+# cost attribution, regenerate TRACE_report.json and a Chrome/Perfetto
+# trace (TRACE_chrome.json, not committed — it carries wall-clock args).
+trace:
+	cargo run --release -p pcm-trace --bin pcm-trace -- --export chrome
+
+# Tracing gates: bit-identical attribution + zero perturbation, the
+# zero-allocation hot path with tracing ON, and report drift.
+trace-gate:
+	cargo test -q --test trace
+	cargo test -q --test hotpath_alloc
+	cargo run --release -p pcm-trace --bin pcm-trace
+	git diff --exit-code TRACE_report.json
+
 # Every static analyzer in one pass.
-analyze: sanitize race audit sym
+analyze: sanitize race audit sym trace-gate
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -250,6 +250,15 @@ fn pricing_route(cfg: &Config, plat: &Platform, memo: bool) -> BenchResult {
                 #[allow(clippy::cast_precision_loss)]
                 extra.push(("memo_hit_rate", stats.hits as f64 / total as f64));
             }
+            // Full counter set, uniform across all three machines: the
+            // hit rate alone hides eviction churn and length-cap bypasses.
+            #[allow(clippy::cast_precision_loss)]
+            extra.extend([
+                ("memo_hits", stats.hits as f64),
+                ("memo_misses", stats.misses as f64),
+                ("memo_evictions", stats.evictions as f64),
+                ("memo_bypasses", stats.bypasses as f64),
+            ]);
         }
     }
     BenchResult {
@@ -933,7 +942,10 @@ fn main() {
         Some(String::from("BENCH_simulator.json"))
     };
     if let Some(path) = out_path.or(default_out) {
-        std::fs::write(&path, report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        // Atomic (temp + fsync + rename): the committed report must never
+        // be observable half-written, even if the run is interrupted.
+        pcm_core::fsio::write_atomic(&path, report)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("bench-report: wrote {path}");
     }
 }

@@ -16,10 +16,13 @@
 //! * [`units`] — megaflops and byte/word conversion helpers,
 //! * [`dim`] / [`symexpr`] — physical dimensions and the typed symbolic
 //!   expression IR that `pcm-models` predictors re-express their closed
-//!   forms into (verified by the `pcm-sym` analyzer).
+//!   forms into (verified by the `pcm-sym` analyzer),
+//! * [`fsio`] — atomic (temp file + fsync + rename) report writing shared
+//!   by the binaries that emit committed JSON artifacts.
 
 pub mod dim;
 pub mod fit;
+pub mod fsio;
 pub mod plot;
 pub mod rng;
 pub mod series;

@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 
 use crate::loads::PortLoads;
 use pcm_sim::cache::{CacheStats, PricingCache};
-use pcm_sim::{CommPattern, ComputeModel, MsgKind, NetworkModel, PatternScratch};
+use pcm_sim::{CommPattern, ComputeModel, MsgKind, NetTerms, NetworkModel, PatternScratch};
 
 /// Slots in the whole-pattern pricing memo.
 const MEMO_SLOTS: usize = 1024;
@@ -77,6 +77,8 @@ pub struct Cm5Network {
     key_buf: Vec<u64>,
     memo: PricingCache<f64>,
     memo_enabled: bool,
+    /// Cumulative deterministic cost-term counters (observability only).
+    terms: NetTerms,
 }
 
 /// Prices the deterministic `words + blocks` total of one pattern using
@@ -141,6 +143,7 @@ impl Cm5Network {
             key_buf: Vec::new(),
             memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
             memo_enabled: true,
+            terms: NetTerms::default(),
         }
     }
 
@@ -165,8 +168,11 @@ impl NetworkModel for Cm5Network {
             key_buf,
             memo,
             memo_enabled,
+            terms,
         } = self;
         let (p, c) = (*p, *costs);
+        terms.routes += 1;
+        terms.barrier_us += c.barrier;
         // The jitter draw stays outside the memo: the rng stream (and the
         // golden digests) are identical with the memo on or off.
         let deterministic = if *memo_enabled {
@@ -180,6 +186,8 @@ impl NetworkModel for Cm5Network {
     }
 
     fn barrier(&mut self) -> SimTime {
+        self.terms.barriers += 1;
+        self.terms.barrier_us += self.costs.barrier;
         SimTime::from_micros(self.costs.barrier)
     }
 
@@ -193,6 +201,10 @@ impl NetworkModel for Cm5Network {
 
     fn route_memo_stats(&self) -> Option<CacheStats> {
         Some(self.memo.stats())
+    }
+
+    fn cost_terms(&self) -> Option<NetTerms> {
+        Some(self.terms)
     }
 }
 

@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 
 use crate::loads::PortLoads;
 use pcm_sim::cache::{CacheStats, PricingCache};
-use pcm_sim::{CommPattern, MsgKind, NetworkModel, PatternScratch};
+use pcm_sim::{CommPattern, MsgKind, NetTerms, NetworkModel, PatternScratch};
 
 /// Slots in the whole-pattern pricing memo.
 const MEMO_SLOTS: usize = 1024;
@@ -113,6 +113,8 @@ pub struct GcelNetwork {
     key_buf: Vec<u64>,
     memo: PricingCache<GcelPriced>,
     memo_enabled: bool,
+    /// Cumulative deterministic cost-term counters (observability only).
+    terms: NetTerms,
 }
 
 /// Deterministic pricing outcome of one pattern, safe to memoize. The
@@ -263,6 +265,7 @@ impl GcelNetwork {
             key_buf: Vec::new(),
             memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
             memo_enabled: true,
+            terms: NetTerms::default(),
         }
     }
 
@@ -288,8 +291,11 @@ impl NetworkModel for GcelNetwork {
             key_buf,
             memo,
             memo_enabled,
+            terms,
         } = self;
         let (p, side, c) = (*p, *side, *costs);
+        terms.routes += 1;
+        terms.barrier_us += c.barrier;
         let priced = if *memo_enabled {
             crate::fingerprint::pattern_key(key_buf, pattern);
             *memo.get_or_insert_with(key_buf, || {
@@ -314,6 +320,8 @@ impl NetworkModel for GcelNetwork {
     }
 
     fn barrier(&mut self) -> SimTime {
+        self.terms.barriers += 1;
+        self.terms.barrier_us += self.costs.barrier;
         SimTime::from_micros(self.costs.barrier)
     }
 
@@ -327,6 +335,10 @@ impl NetworkModel for GcelNetwork {
 
     fn route_memo_stats(&self) -> Option<CacheStats> {
         Some(self.memo.stats())
+    }
+
+    fn cost_terms(&self) -> Option<NetTerms> {
+        Some(self.terms)
     }
 }
 

@@ -16,7 +16,7 @@ use pcm_core::SimTime;
 use rand::rngs::StdRng;
 
 use pcm_sim::cache::{CacheStats, PricingCache};
-use pcm_sim::{CommPattern, NetworkModel, PatternScratch};
+use pcm_sim::{CommPattern, NetTerms, NetworkModel, PatternScratch};
 
 use crate::loads::PortLoads;
 use router::{DeltaRouter, RouteOutcome, CLUSTER};
@@ -100,6 +100,9 @@ pub struct MasParNetwork {
     coeffs: Vec<f64>,
     memo_enabled: bool,
     loads: PortLoads,
+    /// Cumulative deterministic cost-term counters (observability only;
+    /// the router pass totals are filled in at read time).
+    terms: NetTerms,
 }
 
 /// Cost of one word round given the router outcome. Mixed intra/inter
@@ -248,6 +251,7 @@ impl MasParNetwork {
             coeffs: Vec::new(),
             memo_enabled: true,
             loads: PortLoads::new(),
+            terms: NetTerms::default(),
         }
     }
 
@@ -294,8 +298,11 @@ impl NetworkModel for MasParNetwork {
             coeffs,
             memo_enabled,
             loads,
+            terms,
             ..
         } = self;
+        terms.routes += 1;
+        terms.barrier_us += costs.barrier;
         let grid_side = *grid_side;
         let terms: &[f64] = if *memo_enabled {
             crate::fingerprint::pattern_key(pat_key, pattern);
@@ -324,6 +331,8 @@ impl NetworkModel for MasParNetwork {
     }
 
     fn barrier(&mut self) -> SimTime {
+        self.terms.barriers += 1;
+        self.terms.barrier_us += self.costs.barrier;
         SimTime::from_micros(self.costs.barrier)
     }
 
@@ -345,6 +354,16 @@ impl NetworkModel for MasParNetwork {
             misses: a.misses + b.misses,
             evictions: a.evictions + b.evictions,
             bypasses: a.bypasses + b.bypasses,
+        })
+    }
+
+    fn cost_terms(&self) -> Option<NetTerms> {
+        let r = self.router.totals();
+        Some(NetTerms {
+            router_rounds: r.rounds,
+            router_passes: r.passes,
+            router_min_passes: r.min_passes,
+            ..self.terms
         })
     }
 }

@@ -32,6 +32,20 @@ const MEMO_SLOTS: usize = 4096;
 /// of key storage; the bypass is counted, not silent.
 const MEMO_MAX_KEY: usize = 1 << 14;
 
+/// Cumulative routed-round totals of a [`DeltaRouter`], for the tracing
+/// layer. Memo hits count too (the stored outcome still describes the
+/// passes that round needs), so the totals are a pure function of the
+/// round sequence — bit-reproducible, memo on or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterTotals {
+    /// Non-empty rounds routed (or answered from the memo).
+    pub rounds: u64,
+    /// Cumulative greedy passes across those rounds.
+    pub passes: u64,
+    /// Cumulative information-theoretic minimum passes.
+    pub min_passes: u64,
+}
+
 /// The router's pass-count outcome for one communication round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RouteOutcome {
@@ -96,6 +110,9 @@ pub struct DeltaRouter {
     /// counts hits/misses/evictions/bypasses.
     memo: PricingCache<RouteOutcome>,
     memo_enabled: bool,
+    /// Cumulative routed-round totals (observability only; never read by
+    /// the pricing path).
+    totals: RouterTotals,
 }
 
 impl DeltaRouter {
@@ -131,6 +148,7 @@ impl DeltaRouter {
             key_buf: Vec::new(),
             memo: PricingCache::new(MEMO_SLOTS, MEMO_MAX_KEY),
             memo_enabled: true,
+            totals: RouterTotals::default(),
         }
     }
 
@@ -144,6 +162,11 @@ impl DeltaRouter {
     /// Hit/miss accounting of the round-outcome memo.
     pub fn memo_stats(&self) -> CacheStats {
         self.memo.stats()
+    }
+
+    /// Cumulative routed-round totals (see [`RouterTotals`]).
+    pub fn totals(&self) -> RouterTotals {
+        self.totals
     }
 
     /// Number of cluster ports.
@@ -194,20 +217,26 @@ impl DeltaRouter {
                 min_passes: 0,
             };
         }
-        if !self.memo_enabled {
-            return self.simulate(sends);
-        }
-        self.key_buf.clear();
-        for &(s, d) in sends {
-            self.key_buf.push(((s as u64) << 32) | d as u64);
-        }
-        if let Some(out) = self.memo.lookup(&self.key_buf) {
-            return out;
-        }
-        let out = self.simulate(sends);
-        let key = std::mem::take(&mut self.key_buf);
-        self.memo.insert(&key, out);
-        self.key_buf = key;
+        let out = if !self.memo_enabled {
+            self.simulate(sends)
+        } else {
+            self.key_buf.clear();
+            for &(s, d) in sends {
+                self.key_buf.push(((s as u64) << 32) | d as u64);
+            }
+            if let Some(out) = self.memo.lookup(&self.key_buf) {
+                out
+            } else {
+                let out = self.simulate(sends);
+                let key = std::mem::take(&mut self.key_buf);
+                self.memo.insert(&key, out);
+                self.key_buf = key;
+                out
+            }
+        };
+        self.totals.rounds += 1;
+        self.totals.passes += out.passes as u64;
+        self.totals.min_passes += out.min_passes as u64;
         out
     }
 

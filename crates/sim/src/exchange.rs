@@ -415,6 +415,19 @@ impl ExchangeScratch {
         Geom::new(self.p, self.s)
     }
 
+    /// Copies each shard's scatter-phase send-record count into `out`
+    /// (deterministic: a pure function of the pattern and the shard
+    /// geometry) and returns the shard count written. Valid after
+    /// [`ExchangeScratch::scatter`]; used by the observability probe as
+    /// the shard-imbalance observable.
+    pub(crate) fn shard_records(&self, out: &mut [u64]) -> usize {
+        let n = self.s.min(out.len());
+        for (o, slot) in out.iter_mut().zip(&self.slots) {
+            *o = slot.stats.records as u64; // usize fits in u64
+        }
+        n
+    }
+
     /// Phase 1 (source-parallel): pattern rebuild + outbox scatter into
     /// the lanes + source-side trace partials, merged in shard order.
     pub(crate) fn scatter(

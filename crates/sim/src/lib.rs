@@ -28,6 +28,7 @@ pub mod message;
 pub mod network;
 pub mod pattern;
 pub mod plan;
+pub mod probe;
 pub mod shadow;
 pub mod topology;
 pub mod trace;
@@ -39,11 +40,12 @@ pub use ctx::Ctx;
 pub use exchange::MAX_SHARDS;
 pub use machine::Machine;
 pub use message::{Message, MsgKind, Payload, ProcId, INLINE_PAYLOAD, MAX_POOLED_PAYLOAD};
-pub use network::{IdealNetwork, LogPNetwork, NetworkModel, TextbookBspNetwork};
+pub use network::{IdealNetwork, LogPNetwork, NetTerms, NetworkModel, TextbookBspNetwork};
 pub use pattern::{
     BlockRound, BlockRoundView, CommPattern, PatternScratch, Segment, SegmentView, SendRecord,
 };
 pub use plan::{extract_plans, RunPlan, StepPlan};
+pub use probe::{with_probe, ExchangePath, PhaseNanos, StepObs, SuperstepProbe};
 pub use shadow::{ConsumeFilter, RegionId, SendMeta, ShadowEvent};
 pub use trace::{RunBreakdown, SuperstepTrace};
 pub use validate::{

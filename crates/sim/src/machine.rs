@@ -44,6 +44,7 @@ use crate::message::MsgKind;
 use crate::network::NetworkModel;
 use crate::pattern::{CommPattern, SendRecord};
 use crate::plan::{self, PlanRecorder, StepPlan};
+use crate::probe::{self, ExchangePath, PhaseNanos, StepObs, SuperstepProbe};
 use crate::shadow::{SendMeta, ShadowEvent};
 use crate::trace::{RunBreakdown, SuperstepTrace};
 use crate::validate::{self, RunReport, StepReport, Validator};
@@ -87,6 +88,13 @@ pub struct Machine<S> {
     shards: usize,
     /// Reusable lane grid for the sharded exchange.
     exchange: ExchangeScratch,
+    /// Observability probe installed via [`crate::probe::with_probe`] at
+    /// construction time; observes every priced superstep. `None` on the
+    /// unprobed hot path — one discriminant test per superstep.
+    probe: Option<Box<dyn SuperstepProbe>>,
+    /// Per-shard record scratch handed to the probe (allocated once at
+    /// construction, only when a probe is installed).
+    probe_shards: Vec<u64>,
 }
 
 /// Default shard count: one shard per pool worker, but only on machines
@@ -110,6 +118,12 @@ impl<S: Send> Machine<S> {
     ) -> Self {
         let p = states.len();
         assert!(p > 0, "a machine needs at least one processor");
+        let probe = probe::current_probe(p);
+        let probe_shards = if probe.is_some() {
+            vec![0u64; MAX_SHARDS]
+        } else {
+            Vec::new()
+        };
         Machine {
             p,
             procs: (0..p).map(|_| ProcAux::default()).collect(),
@@ -136,6 +150,8 @@ impl<S: Send> Machine<S> {
             shards: validate::forced_shards()
                 .map_or_else(|| default_shards(p), |s| s.clamp(1, p.min(MAX_SHARDS))),
             exchange: ExchangeScratch::default(),
+            probe,
+            probe_shards,
         }
     }
 
@@ -257,6 +273,7 @@ impl<S: Send> Machine<S> {
 
         // A single-worker pool would run the par_iter pipeline inline
         // anyway; the plain loop skips its zip-chunk plumbing.
+        let t_compute = probe::mark(self.probe.is_some());
         if self.parallel && p > 1 && rayon::current_num_threads() > 1 {
             self.states
                 .par_iter_mut()
@@ -274,27 +291,67 @@ impl<S: Send> Machine<S> {
             }
         }
 
+        let compute_ns = probe::since(t_compute);
+
         // Exchange: pattern rebuild, pricing, tracing, delivery. The
         // sharded engine needs neither validator reports nor plan clones,
         // so those (rare, tooling-driven) configurations keep the
         // sequential reference path — which is also what `with_sequential`
         // and `set_parallel(false)` pin for the determinism auditors.
         if self.validator.is_some() || self.plan.is_some() {
-            self.exchange_reference(step);
+            self.exchange_reference(step, compute_ns);
         } else if self.parallel && self.shards > 1 {
-            self.exchange_sharded(step);
+            self.exchange_sharded(step, compute_ns);
         } else {
-            self.exchange_fused(step);
+            self.exchange_fused(step, compute_ns);
         }
 
         self.step_count += 1;
+    }
+
+    /// Reports one finished superstep to the installed probe (a no-op
+    /// without one). Runs after the clock update and delivery, reading
+    /// only values the machine already computed, so it cannot perturb the
+    /// simulation.
+    fn notify_probe(
+        &mut self,
+        step: usize,
+        compute: SimTime,
+        comm: SimTime,
+        records: usize,
+        path: ExchangePath,
+        phases: PhaseNanos,
+    ) {
+        let Some(mut probe) = self.probe.take() else {
+            return;
+        };
+        let shard_count = if path == ExchangePath::Sharded {
+            self.exchange.shard_records(&mut self.probe_shards)
+        } else {
+            0
+        };
+        probe.observe(&StepObs {
+            step,
+            compute,
+            comm,
+            clock: self.clock,
+            records,
+            path,
+            shard_records: &self.probe_shards[..shard_count],
+            phases,
+            memo: self.net.route_memo_stats(),
+            terms: self.net.cost_terms(),
+        });
+        self.probe = Some(probe);
     }
 
     /// The sharded parallel exchange: scatter (pattern rebuild + lane
     /// fill), price, gather (delivery + recycle staging), sender-affine
     /// recycle, ordered trace-partial merge. Bit-identical to
     /// [`Self::exchange_sequential`] — see `exchange.rs` for the argument.
-    fn exchange_sharded(&mut self, step: usize) {
+    fn exchange_sharded(&mut self, step: usize, compute_ns: u64) {
+        let probing = self.probe.is_some();
+        let t = probe::mark(probing);
         let a = self.exchange.scatter(
             self.p,
             self.shards,
@@ -303,22 +360,43 @@ impl<S: Send> Machine<S> {
             &mut self.stat_active,
             self.tracing,
         );
+        let scatter_ns = probe::since(t);
+        let t = probe::mark(probing);
         let comm = if a.total_records == 0 {
             self.net.barrier()
         } else {
             self.net.route(&self.pattern, &mut self.net_rng)
         };
+        let price_ns = probe::since(t);
         let compute_time = SimTime::from_micros(a.max_compute);
         self.clock += compute_time + comm;
+        let t = probe::mark(probing);
         let b = self.exchange.gather(
             &mut self.procs,
             &mut self.stat_recv,
             &mut self.stat_active,
             self.tracing,
         );
+        let gather_ns = probe::since(t);
+        let t = probe::mark(probing);
         if b.heap_staged > 0 {
             self.exchange.recycle(&mut self.procs);
         }
+        let recycle_ns = probe::since(t);
+        self.notify_probe(
+            step,
+            compute_time,
+            comm,
+            a.total_records,
+            ExchangePath::Sharded,
+            PhaseNanos {
+                compute: compute_ns,
+                scatter: scatter_ns,
+                price: price_ns,
+                gather: gather_ns,
+                recycle: recycle_ns,
+            },
+        );
         if self.tracing {
             let (block_steps, block_bytes_sum) =
                 self.exchange.merge_rounds(&mut self.stat_round_max);
@@ -348,7 +426,9 @@ impl<S: Send> Machine<S> {
     /// reads only the finished pattern and the network rng, delivery only
     /// moves messages — so clock, traces and inbox contents are
     /// bit-identical to [`Self::exchange_reference`].
-    fn exchange_fused(&mut self, step: usize) {
+    fn exchange_fused(&mut self, step: usize, compute_ns: u64) {
+        let probing = self.probe.is_some();
+        let t = probe::mark(probing);
         let p = self.p;
         // Drop consumed inboxes first so delivery can append in place.
         // Recycling an inline payload is a no-op, so an inbox with no
@@ -394,13 +474,30 @@ impl<S: Send> Machine<S> {
             }
             self.procs[src].outbox = outbox;
         }
+        let gather_ns = probe::since(t);
+        let t = probe::mark(probing);
         let comm = if total_records == 0 {
             self.net.barrier()
         } else {
             self.net.route(&self.pattern, &mut self.net_rng)
         };
+        let price_ns = probe::since(t);
         let compute_time = SimTime::from_micros(max_compute);
         self.clock += compute_time + comm;
+        self.notify_probe(
+            step,
+            compute_time,
+            comm,
+            total_records,
+            ExchangePath::Fused,
+            PhaseNanos {
+                compute: compute_ns,
+                scatter: 0,
+                price: price_ns,
+                gather: gather_ns,
+                recycle: 0,
+            },
+        );
         if self.tracing {
             self.record_trace(step, compute_time, comm);
         }
@@ -408,7 +505,8 @@ impl<S: Send> Machine<S> {
 
     /// The reference sequential exchange (the validator/plan-extraction
     /// path, which needs the pattern and inboxes observed mid-phase).
-    fn exchange_reference(&mut self, step: usize) {
+    fn exchange_reference(&mut self, step: usize, compute_ns: u64) {
+        let probing = self.probe.is_some();
         let p = self.p;
         // Rebuild the communication pattern in place and size each inbox
         // for the delivery pre-pass, in one sweep over the outboxes.
@@ -445,6 +543,7 @@ impl<S: Send> Machine<S> {
         }
         let dry_run = self.plan.is_some();
 
+        let t = probe::mark(probing);
         let comm = if dry_run {
             SimTime::ZERO
         } else if total_records == 0 {
@@ -452,12 +551,29 @@ impl<S: Send> Machine<S> {
         } else {
             self.net.route(&self.pattern, &mut self.net_rng)
         };
+        let price_ns = probe::since(t);
         let compute_time = if dry_run {
             SimTime::ZERO
         } else {
             SimTime::from_micros(max_compute)
         };
         self.clock += compute_time + comm;
+        if !dry_run {
+            self.notify_probe(
+                step,
+                compute_time,
+                comm,
+                total_records,
+                ExchangePath::Reference,
+                PhaseNanos {
+                    compute: compute_ns,
+                    scatter: 0,
+                    price: price_ns,
+                    gather: 0,
+                    recycle: 0,
+                },
+            );
+        }
 
         if self.tracing && !dry_run {
             self.record_trace(step, compute_time, comm);

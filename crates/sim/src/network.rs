@@ -12,6 +12,30 @@ use rand::rngs::StdRng;
 use crate::cache::CacheStats;
 use crate::pattern::CommPattern;
 
+/// Cumulative deterministic cost-term counters of a network model, for
+/// observability tooling (the `pcm-trace` crate). Every field is a pure
+/// count or a sum of *deterministic* model constants — jittered values
+/// never enter, so these counters are bit-reproducible across runs and
+/// never feed back into pricing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetTerms {
+    /// `route` calls (supersteps with at least one send record).
+    pub routes: u64,
+    /// `barrier` calls (supersteps with no communication).
+    pub barriers: u64,
+    /// Cumulative deterministic barrier/latency term across both, in µs —
+    /// the model's `L` contribution before jitter.
+    pub barrier_us: f64,
+    /// Communication rounds the model's router actually priced (pattern
+    /// memo hits skip the router entirely, so this counts router *work*,
+    /// not supersteps). Zero for models without a pass-based router.
+    pub router_rounds: u64,
+    /// Cumulative router passes of those rounds.
+    pub router_passes: u64,
+    /// Cumulative information-theoretic minimum passes of those rounds.
+    pub router_min_passes: u64,
+}
+
 /// Prices superstep communication for a particular machine.
 pub trait NetworkModel: Send {
     /// Simulated time for routing `pattern` followed by a barrier.
@@ -35,6 +59,14 @@ pub trait NetworkModel: Send {
 
     /// Hit/miss statistics of the model's route memo, if it has one.
     fn route_memo_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Cumulative deterministic cost-term counters, if the model tracks
+    /// them. Reference models return `None`; the three machine
+    /// personalities in `pcm-machines` all implement this for the tracing
+    /// layer. Counting must never change pricing arithmetic or rng draws.
+    fn cost_terms(&self) -> Option<NetTerms> {
         None
     }
 }

@@ -1,0 +1,296 @@
+//! Superstep observability probe: lets external tracing tooling observe
+//! every priced superstep without perturbing the simulation.
+//!
+//! The probe is the read-only sibling of the [`crate::validate`] hook.
+//! Where a validator inspects *semantic* state (patterns, inboxes, shadow
+//! events) on the slow reference exchange path, a [`SuperstepProbe`]
+//! observes the *cost* of each superstep — the exact `compute`/`comm`
+//! [`SimTime`] pair the machine just added to its clock, which exchange
+//! engine ran, how long each engine phase took in wall-clock nanoseconds,
+//! how the send records split across exchange shards, and the cumulative
+//! route-memo and cost-term counters of the network model. All three
+//! exchange paths (fused, sharded, reference) report through the same
+//! callback, so a probe sees every superstep no matter how the machine is
+//! configured.
+//!
+//! Design constraints, in order:
+//!
+//! * **zero cost when off** — an uninstalled probe is a single `Option`
+//!   discriminant test per superstep; no `Instant::now()` is ever taken.
+//!   The `trace_guard` cargo feature compiles the installation hook away
+//!   entirely for the strictest gate.
+//! * **zero perturbation when on** — the probe observes values the
+//!   machine computed anyway. It runs strictly after the clock update and
+//!   never touches the network rng, so simulated times, golden digests and
+//!   delivery order are bit-identical with and without a probe (held by
+//!   `tests/trace.rs`).
+//! * **no steady-state allocation** — the machine's only probe-specific
+//!   buffer (the per-shard record scratch) is allocated at construction;
+//!   observers that want the zero-allocation gate to hold with tracing ON
+//!   must preallocate their own storage (see `pcm-trace`'s ring sink).
+//!
+//! Like the validator hook, installation is thread-local because
+//! algorithms construct machines internally (via `Platform::machine`);
+//! probes therefore need no `Send` bound and can share state with their
+//! installer through `Rc<RefCell<..>>`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use pcm_core::SimTime;
+
+use crate::cache::CacheStats;
+use crate::network::NetTerms;
+
+/// Which exchange engine priced the superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangePath {
+    /// Single-sweep sequential exchange (the common configuration).
+    Fused,
+    /// Sharded parallel exchange (scatter/price/gather/recycle).
+    Sharded,
+    /// Reference sequential exchange (validator / plan extraction).
+    Reference,
+}
+
+impl ExchangePath {
+    /// Stable lower-case label (used by trace exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExchangePath::Fused => "fused",
+            ExchangePath::Sharded => "sharded",
+            ExchangePath::Reference => "reference",
+        }
+    }
+}
+
+/// Wall-clock nanoseconds per engine phase of one superstep. Phases not
+/// run by the active exchange path are zero (the fused path folds
+/// delivery into `gather`; only the sharded path has `scatter`/`recycle`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Processor execution (the user closure over all processors).
+    pub compute: u64,
+    /// Sharded pattern rebuild + lane fill.
+    pub scatter: u64,
+    /// Network pricing (`route`/`barrier`).
+    pub price: u64,
+    /// Delivery (lane merge, or the fused delivery sweep).
+    pub gather: u64,
+    /// Sender-affine heap-payload recycling (+ trace-partial merge).
+    pub recycle: u64,
+}
+
+impl PhaseNanos {
+    /// Total attributed wall time of the superstep.
+    pub fn total(&self) -> u64 {
+        self.compute + self.scatter + self.price + self.gather + self.recycle
+    }
+}
+
+/// Everything the machine reports about one priced superstep, handed to
+/// the installed [`SuperstepProbe`] *after* the clock update.
+pub struct StepObs<'a> {
+    /// Superstep index (0-based).
+    pub step: usize,
+    /// Compute time this superstep added to the clock.
+    pub compute: SimTime,
+    /// Communication time this superstep added to the clock.
+    pub comm: SimTime,
+    /// The machine clock *after* this superstep. Folding
+    /// `compute + comm` per step in order reproduces this value
+    /// bit-identically (same additions, same order).
+    pub clock: SimTime,
+    /// Total send records of the superstep (0 means the network priced a
+    /// bare barrier).
+    pub records: usize,
+    /// Which exchange engine ran.
+    pub path: ExchangePath,
+    /// Per-shard send-record counts (empty unless `path` is `Sharded`);
+    /// the deterministic shard-imbalance observable.
+    pub shard_records: &'a [u64],
+    /// Wall-clock phase breakdown (non-deterministic; diagnostics only).
+    pub phases: PhaseNanos,
+    /// Cumulative route-memo statistics of the network model, if any.
+    pub memo: Option<CacheStats>,
+    /// Cumulative deterministic cost-term counters of the network model,
+    /// if it implements [`crate::NetworkModel::cost_terms`].
+    pub terms: Option<NetTerms>,
+}
+
+/// Observer of a machine's per-superstep costs. Implementations live
+/// outside `pcm-sim` (see the `pcm-trace` crate); the simulator only
+/// defines the reporting contract.
+pub trait SuperstepProbe {
+    /// Called once per superstep, after the clock update and delivery.
+    fn observe(&mut self, obs: &StepObs<'_>);
+}
+
+/// Factory invoked by `Machine::new` with the processor count.
+pub type ProbeFactory = Rc<dyn Fn(usize) -> Box<dyn SuperstepProbe>>;
+
+thread_local! {
+    static PROBE_HOOK: RefCell<Option<ProbeFactory>> = const { RefCell::new(None) };
+}
+
+/// Runs `body` with `factory` installed: every [`crate::Machine`] created
+/// on this thread inside `body` gets its own probe from the factory.
+/// Nests; the previous hook is restored on exit (also on panic).
+///
+/// With the `trace_guard` feature enabled this is a no-op wrapper: no
+/// probe can be installed, which is the strictest form of the
+/// zero-cost-when-off guarantee.
+#[cfg(not(feature = "trace_guard"))]
+pub fn with_probe<R>(
+    factory: impl Fn(usize) -> Box<dyn SuperstepProbe> + 'static,
+    body: impl FnOnce() -> R,
+) -> R {
+    let _guard = ProbeGuard::install(Some(Rc::new(factory)));
+    body()
+}
+
+/// `trace_guard` build: probes cannot be installed; `body` runs as-is.
+#[cfg(feature = "trace_guard")]
+pub fn with_probe<R>(
+    _factory: impl Fn(usize) -> Box<dyn SuperstepProbe> + 'static,
+    body: impl FnOnce() -> R,
+) -> R {
+    body()
+}
+
+#[cfg(not(feature = "trace_guard"))]
+pub(crate) fn current_probe(p: usize) -> Option<Box<dyn SuperstepProbe>> {
+    PROBE_HOOK.with(|h| h.borrow().as_ref().map(|f| f(p)))
+}
+
+/// `trace_guard` build: the machine's probe slot is always empty, so the
+/// per-superstep check is a branch on a compile-time constant.
+#[cfg(feature = "trace_guard")]
+#[inline(always)]
+pub(crate) fn current_probe(_p: usize) -> Option<Box<dyn SuperstepProbe>> {
+    None
+}
+
+/// Starts a wall-clock phase span — only when a probe is installed, so
+/// the unprobed hot path never calls `Instant::now()`.
+#[inline]
+pub(crate) fn mark(probing: bool) -> Option<Instant> {
+    probing.then(Instant::now)
+}
+
+/// Ends a phase span begun by [`mark`], in saturating nanoseconds.
+#[inline]
+pub(crate) fn since(t: Option<Instant>) -> u64 {
+    t.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
+}
+
+#[cfg(not(feature = "trace_guard"))]
+struct ProbeGuard {
+    prev: Option<ProbeFactory>,
+}
+
+#[cfg(not(feature = "trace_guard"))]
+impl ProbeGuard {
+    fn install(factory: Option<ProbeFactory>) -> Self {
+        let prev = PROBE_HOOK.with(|h| h.replace(factory));
+        ProbeGuard { prev }
+    }
+}
+
+#[cfg(not(feature = "trace_guard"))]
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        PROBE_HOOK.with(|h| *h.borrow_mut() = self.prev.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::UniformCompute;
+    use crate::network::IdealNetwork;
+    use crate::Machine;
+    use std::sync::Arc;
+
+    /// Records one line per observed superstep.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(usize, f64, usize)>>>,
+    }
+
+    impl SuperstepProbe for Recorder {
+        fn observe(&mut self, obs: &StepObs<'_>) {
+            self.log
+                .borrow_mut()
+                .push((obs.step, obs.clock.as_micros(), obs.records));
+        }
+    }
+
+    fn machine(p: usize) -> Machine<u32> {
+        Machine::new(
+            Box::new(IdealNetwork),
+            Arc::new(UniformCompute::test_model()),
+            vec![0u32; p],
+            9,
+        )
+    }
+
+    #[test]
+    #[cfg(not(feature = "trace_guard"))]
+    fn probe_sees_every_superstep() {
+        let log: Rc<RefCell<Vec<(usize, f64, usize)>>> = Rc::default();
+        let sink = log.clone();
+        with_probe(
+            move |_p| Box::new(Recorder { log: sink.clone() }),
+            || {
+                let mut m = machine(4);
+                m.superstep(|ctx| {
+                    if ctx.pid() == 0 {
+                        ctx.send_word_u32(1, 7);
+                    }
+                });
+                m.sync();
+            },
+        );
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[0].2, 1, "one send record in step 0");
+        assert_eq!(log[1].2, 0, "barrier-only step 1");
+    }
+
+    #[test]
+    #[cfg(not(feature = "trace_guard"))]
+    fn hook_does_not_leak_out_of_scope() {
+        let log: Rc<RefCell<Vec<(usize, f64, usize)>>> = Rc::default();
+        let sink = log.clone();
+        with_probe(
+            move |_p| Box::new(Recorder { log: sink.clone() }),
+            || machine(2).sync(),
+        );
+        let after = log.borrow().len();
+        machine(2).sync(); // outside the scope: not observed
+        assert_eq!(log.borrow().len(), after);
+    }
+
+    #[test]
+    fn probe_does_not_change_simulated_time() {
+        let run = || {
+            let mut m = machine(8);
+            m.superstep(|ctx| {
+                ctx.charge(2.0);
+                let dst = (ctx.pid() + 1) % ctx.nprocs();
+                ctx.send_word_u32(dst, 1);
+            });
+            m.superstep(|ctx| {
+                let _ = ctx.msgs();
+            });
+            m.time()
+        };
+        let bare = run();
+        let probed = with_probe(|_p| Box::new(Recorder { log: Rc::default() }), run);
+        assert_eq!(bare, probed, "probe must not perturb the clock");
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace events and the preallocated ring buffer (`Lane`) they live in.
+//!
+//! A [`TraceEvent`] is a fixed-size POD: recording one is a couple of
+//! stores into a buffer allocated up front, so the simulator's
+//! zero-allocation hot path (`tests/hotpath_alloc.rs`) holds with tracing
+//! enabled. When a lane fills it wraps, overwriting the oldest event and
+//! counting the loss — a bounded trace of the *end* of a long run beats an
+//! unbounded allocation in the middle of one.
+
+/// What a [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Local computation slice of a superstep (`dur_us` = compute time).
+    Compute,
+    /// Communication slice of a superstep (`dur_us` = route + barrier).
+    Comm,
+    /// A bare barrier superstep (no send records).
+    Barrier,
+}
+
+impl EventKind {
+    /// Stable label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::Comm => "comm",
+            EventKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One fixed-size trace record.
+///
+/// Timestamps are *simulated* microseconds (the clock the paper's cost
+/// models advance), not wall time: `ts_us` is the machine clock when the
+/// slice starts, `dur_us` its simulated duration. The two payload words
+/// carry kind-specific detail (record count, wall nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence stamp (total order across lanes).
+    pub seq: u64,
+    /// Superstep index.
+    pub step: u32,
+    /// Producer lane that recorded the event.
+    pub lane: u32,
+    pub kind: EventKind,
+    /// Simulated start time, µs.
+    pub ts_us: f64,
+    /// Simulated duration, µs.
+    pub dur_us: f64,
+    /// Kind-specific payload (send records for `Compute`/`Comm`).
+    pub a: u64,
+    /// Kind-specific payload (wall nanoseconds of the engine phase).
+    pub b: u64,
+}
+
+/// A single-writer ring buffer of [`TraceEvent`]s.
+///
+/// All storage is allocated by [`Lane::with_capacity`]; `push` never
+/// allocates. Once full, the oldest event is overwritten and `dropped`
+/// incremented.
+#[derive(Debug)]
+pub struct Lane {
+    buf: Vec<TraceEvent>,
+    /// Ring size. Stored explicitly: `Vec::with_capacity` may round the
+    /// allocation up, and the ring must wrap at exactly this many slots.
+    cap: usize,
+    /// Next write position.
+    head: usize,
+    dropped: u64,
+}
+
+impl Lane {
+    /// Preallocates a lane holding up to `cap` events (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Lane {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event; overwrites the oldest (and counts it dropped)
+    /// when the lane is full. Never allocates after construction.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            self.head = self.buf.len() % self.cap;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Live event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the surviving events oldest-first (wraparound respected).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        // When full, `head` points at the oldest event; before the first
+        // wrap the buffer is already in order from index 0.
+        let start = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.head
+        };
+        let n = self.buf.len();
+        (0..n).map(move |i| &self.buf[(start + i) % n.max(1)])
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // events carry exact simulated values
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            step: u32::try_from(seq).expect("test seq fits"),
+            lane: 0,
+            kind: EventKind::Compute,
+            ts_us: seq as f64,
+            dur_us: 1.0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut lane = Lane::with_capacity(4);
+        for s in 0..4 {
+            lane.push(ev(s));
+        }
+        assert_eq!(lane.len(), 4);
+        assert_eq!(lane.dropped(), 0);
+        let seqs: Vec<u64> = lane.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3]);
+
+        lane.push(ev(4));
+        lane.push(ev(5));
+        assert_eq!(lane.len(), 4, "capacity is fixed");
+        assert_eq!(lane.dropped(), 2);
+        let seqs: Vec<u64> = lane.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4, 5], "oldest events were overwritten");
+    }
+
+    #[test]
+    fn wraps_many_times_and_stays_ordered() {
+        let mut lane = Lane::with_capacity(3);
+        for s in 0..100 {
+            lane.push(ev(s));
+        }
+        assert_eq!(lane.dropped(), 97);
+        let seqs: Vec<u64> = lane.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [97, 98, 99]);
+    }
+
+    #[test]
+    fn pushes_never_allocate_after_construction() {
+        let mut lane = Lane::with_capacity(8);
+        let cap = lane.capacity();
+        for s in 0..50 {
+            lane.push(ev(s));
+            assert_eq!(lane.capacity(), cap, "ring must never reallocate");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut lane = Lane::with_capacity(0);
+        lane.push(ev(0));
+        lane.push(ev(1));
+        assert_eq!(lane.len(), 1);
+        assert_eq!(lane.iter().next().map(|e| e.seq), Some(1));
+    }
+}

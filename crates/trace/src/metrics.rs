@@ -1,0 +1,234 @@
+//! Monotonic counters and fixed-bucket log2 histograms, snapshotable
+//! mid-run.
+//!
+//! Both primitives are fixed-size atomics: recording never allocates and
+//! never blocks, so they can sit on the superstep hot path. Counters
+//! saturate at `u64::MAX` instead of wrapping — a saturated counter reads
+//! as "at least this many", a wrapped one reads as a lie.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonic, saturating counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `v`, saturating at `u64::MAX`.
+    pub fn add(&self, v: u64) {
+        if v == 0 {
+            return;
+        }
+        // fetch_update loops only under contention; saturation makes the
+        // counter sticky at MAX rather than wrapping to a small number.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(v))
+            });
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values: bucket 0 counts zeros,
+/// bucket `k ≥ 1` counts values with `floor(log2(v)) == k - 1`, i.e.
+/// `v ∈ [2^(k-1), 2^k)`.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index `v` falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation of `v` (saturating per-bucket count).
+    pub fn record(&self, v: u64) {
+        let b = &self.buckets[Self::bucket_of(v)];
+        let _ = b.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_add(1))
+        });
+    }
+
+    /// Copies the current bucket counts.
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total observations recorded (sum over buckets, saturating).
+    pub fn total(&self) -> u64 {
+        self.snapshot()
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Highest non-empty bucket, if any (an upper-bound estimate of the
+    /// largest observed value: `2^(idx) - 1`-ish granularity).
+    pub fn max_bucket(&self) -> Option<usize> {
+        let snap = self.snapshot();
+        (0..HIST_BUCKETS).rev().find(|&i| snap[i] > 0)
+    }
+}
+
+/// The named metric set the tracing layer maintains for one run. All
+/// slots are preregistered — recording is field access, not a map lookup,
+/// which keeps the hot path allocation- and hash-free.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Supersteps observed.
+    pub supersteps: Counter,
+    /// Supersteps that priced a bare barrier (no send records).
+    pub barrier_steps: Counter,
+    /// Total send records across supersteps.
+    pub records: Counter,
+    /// Route-memo hits/misses/evictions/bypasses (cumulative deltas).
+    pub memo_hits: Counter,
+    /// See `memo_hits`.
+    pub memo_misses: Counter,
+    /// See `memo_hits`.
+    pub memo_evictions: Counter,
+    /// See `memo_hits`.
+    pub memo_bypasses: Counter,
+    /// Per-superstep send-record counts.
+    pub step_records: Log2Histogram,
+    /// Per-superstep max-shard record counts (sharded path only).
+    pub shard_max_records: Log2Histogram,
+}
+
+/// A plain-data copy of [`Metrics`] taken mid-run or at the end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub supersteps: u64,
+    pub barrier_steps: u64,
+    pub records: u64,
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    pub memo_evictions: u64,
+    pub memo_bypasses: u64,
+    pub step_records: [u64; HIST_BUCKETS],
+    pub shard_max_records: [u64; HIST_BUCKETS],
+}
+
+impl Metrics {
+    /// Fresh metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies every counter and histogram at this instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            supersteps: self.supersteps.get(),
+            barrier_steps: self.barrier_steps.get(),
+            records: self.records.get(),
+            memo_hits: self.memo_hits.get(),
+            memo_misses: self.memo_misses.get(),
+            memo_evictions: self.memo_evictions.get(),
+            memo_bypasses: self.memo_bypasses.get(),
+            step_records: self.step_records.snapshot(),
+            shard_max_records: self.shard_max_records.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX, "must saturate");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "must stay saturated");
+    }
+
+    #[test]
+    fn counter_ignores_zero_adds() {
+        let c = Counter::new();
+        c.add(0);
+        assert_eq!(c.get(), 0);
+        c.add(3);
+        c.add(0);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_floor_log2() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Log2Histogram::new();
+        for v in [0, 1, 1, 2, 3, 700, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[1], 2);
+        assert_eq!(snap[2], 2);
+        assert_eq!(snap[10], 1); // 700 ∈ [512, 1024)
+        assert_eq!(snap[64], 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max_bucket(), Some(64));
+    }
+
+    #[test]
+    fn snapshot_is_stable_mid_run() {
+        let m = Metrics::new();
+        m.supersteps.add(2);
+        m.records.add(100);
+        let mid = m.snapshot();
+        m.supersteps.add(1);
+        m.records.add(50);
+        assert_eq!(mid.supersteps, 2, "snapshot must not see later updates");
+        assert_eq!(mid.records, 100);
+        assert_eq!(m.snapshot().supersteps, 3);
+    }
+}

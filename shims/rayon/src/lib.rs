@@ -142,6 +142,7 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    stats::count_scoped_join();
     if tasks.len() <= 1 || pool::thread_count() <= 1 || pool::is_worker() {
         for (i, t) in tasks.iter_mut().enumerate() {
             f(i, t);
@@ -149,6 +150,112 @@ where
         return;
     }
     pool::fan_out(tasks, &f);
+}
+
+pub mod stats {
+    //! Gated pool counters for the tracing layer (`pcm-trace`).
+    //!
+    //! All counters are process-global relaxed atomics, so recording is
+    //! lock-free and allocation-free on every path (worker loop, help
+    //! drain, latch waits). When disabled — the default — every
+    //! instrumentation site is a single relaxed bool load, which is the
+    //! shim's zero-cost-when-off contract. Counts are inherently
+    //! non-deterministic (they depend on scheduling), so they belong in
+    //! diagnostics output only, never in committed reports.
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static JOBS: AtomicU64 = AtomicU64::new(0);
+    static HELPED: AtomicU64 = AtomicU64::new(0);
+    static PARKS: AtomicU64 = AtomicU64::new(0);
+    static SCOPED_JOINS: AtomicU64 = AtomicU64::new(0);
+    static FAN_OUTS: AtomicU64 = AtomicU64::new(0);
+    static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+    /// Snapshot of the pool counters since the last [`reset`].
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// Jobs executed by dedicated pool workers.
+        pub jobs: u64,
+        /// Jobs a blocked caller executed while help-draining the queue.
+        pub helped_jobs: u64,
+        /// Idle waits: worker condvar waits plus latch/help-drain parks.
+        pub parks: u64,
+        /// `scoped_join` calls (inline or fanned).
+        pub scoped_joins: u64,
+        /// `scoped_join` calls that actually dispatched to the pool.
+        pub fan_outs: u64,
+        /// Wall nanoseconds workers (and helpers) spent inside jobs.
+        pub busy_ns: u64,
+    }
+
+    /// Turns counting on or off (off by default).
+    pub fn enable(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether counting is currently enabled.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Current counter values.
+    pub fn snapshot() -> PoolStats {
+        PoolStats {
+            jobs: JOBS.load(Ordering::Relaxed),
+            helped_jobs: HELPED.load(Ordering::Relaxed),
+            parks: PARKS.load(Ordering::Relaxed),
+            scoped_joins: SCOPED_JOINS.load(Ordering::Relaxed),
+            fan_outs: FAN_OUTS.load(Ordering::Relaxed),
+            busy_ns: BUSY_NS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset() {
+        for c in [&JOBS, &HELPED, &PARKS, &SCOPED_JOINS, &FAN_OUTS, &BUSY_NS] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Begins a job span — `None` (and no clock read) when disabled.
+    #[inline]
+    pub(crate) fn job_start() -> Option<Instant> {
+        enabled().then(Instant::now)
+    }
+
+    /// Ends a job span begun by [`job_start`].
+    #[inline]
+    pub(crate) fn job_end(t: Option<Instant>, helped: bool) {
+        let Some(t) = t else { return };
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        BUSY_NS.fetch_add(ns, Ordering::Relaxed);
+        let counter = if helped { &HELPED } else { &JOBS };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_park() {
+        if enabled() {
+            PARKS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_scoped_join() {
+        if enabled() {
+            SCOPED_JOINS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_fan_out() {
+        if enabled() {
+            FAN_OUTS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 mod pool {
@@ -256,13 +363,16 @@ mod pool {
                     if let Some(job) = q.pop_front() {
                         break job;
                     }
+                    crate::stats::count_park();
                     q = pool.available.wait(q).expect("pool queue poisoned");
                 }
             };
+            let span = crate::stats::job_start();
             // SAFETY: `job` came from `parallel_collect`, whose caller is
             // blocked on the latch until we signal; the pointed-to data
             // is alive and exclusively ours.
             unsafe { (job.run)(job.data) };
+            crate::stats::job_end(span, false);
         }
     }
 
@@ -299,6 +409,7 @@ mod pool {
         /// Blocks until all pieces signalled; returns whether any panicked.
         fn wait(&self) -> bool {
             while self.remaining.load(Ordering::Acquire) > 0 {
+                crate::stats::count_park();
                 std::thread::park();
             }
             self.panicked.load(Ordering::Relaxed)
@@ -450,12 +561,19 @@ mod pool {
             }
             let job = pool.queue.lock().expect("pool queue poisoned").pop_front();
             match job {
-                // SAFETY: same contract as `worker_loop` — the job's
-                // issuer is blocked until its latch signals.
-                Some(job) => unsafe { (job.run)(job.data) },
+                Some(job) => {
+                    let span = crate::stats::job_start();
+                    // SAFETY: same contract as `worker_loop` — the job's
+                    // issuer is blocked until its latch signals.
+                    unsafe { (job.run)(job.data) };
+                    crate::stats::job_end(span, true);
+                }
                 // The final latch signal unparks us; a stale unpark token
                 // only causes one extra loop turn.
-                None => std::thread::park(),
+                None => {
+                    crate::stats::count_park();
+                    std::thread::park();
+                }
             }
         }
     }
@@ -471,6 +589,7 @@ mod pool {
     {
         let total = tasks.len();
         debug_assert!(total >= 2, "fan_out called with a trivial task list");
+        crate::stats::count_fan_out();
         let pool = pool();
         let n = total.min(MAX_PIECES);
 
@@ -856,6 +975,43 @@ mod tests {
             let expected: Vec<u64> = (0..len as u64).map(|i| i * 10 + 1).collect();
             assert_eq!(tasks, expected);
         }
+    }
+
+    #[test]
+    fn stats_count_only_when_enabled() {
+        force_pool();
+        // Counters are process-global and frozen while disabled (no other
+        // test enables them), so the disabled leg can assert equality.
+        let before = crate::stats::snapshot();
+        let mut tasks: Vec<u64> = vec![0; 64];
+        crate::scoped_join(&mut tasks, |i, t| *t = i as u64);
+        assert_eq!(
+            crate::stats::snapshot(),
+            before,
+            "disabled leg must not count"
+        );
+
+        crate::stats::enable(true);
+        assert!(crate::stats::enabled());
+        crate::scoped_join(&mut tasks, |i, t| *t = (i as u64) + 1);
+        crate::stats::enable(false);
+
+        // Other tests may run pool work concurrently while enabled, so the
+        // enabled leg asserts monotone deltas only.
+        let after = crate::stats::snapshot();
+        assert!(
+            after.scoped_joins > before.scoped_joins,
+            "scoped_join entry counted"
+        );
+        assert!(
+            after.fan_outs > before.fan_outs,
+            "4-wide pool must dispatch"
+        );
+        assert!(
+            after.jobs + after.helped_jobs > before.jobs + before.helped_jobs,
+            "dispatched pieces ran as jobs or were help-drained"
+        );
+        assert!(tasks.iter().enumerate().all(|(i, &t)| t == i as u64 + 1));
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //!   re-expressed as a typed expression and certified for units, domains,
 //!   dominance lemmas, ≤ 1 ulp differential agreement, leading terms and
 //!   word/block crossovers (see the "Symbolic model verification" section
-//!   of DESIGN.md).
+//!   of DESIGN.md),
+//! * [`trace`] — zero-overhead superstep tracing: ring-buffer event
+//!   sink, cost-attribution metrics and Chrome-trace/Perfetto export
+//!   (see the "Observability" section of DESIGN.md).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use pcm_machines as machines;
 pub use pcm_models as models;
 pub use pcm_sim as sim;
 pub use pcm_sym as sym;
+pub use pcm_trace as trace;
 
 // Convenient re-exports of the most commonly used types.
 pub use pcm_core::{Figure, Series, SimTime, Table};

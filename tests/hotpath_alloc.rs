@@ -13,8 +13,11 @@
 //! arrays, and heap payloads circulate sender-affine through the
 //! recycle lanes back into the per-processor pools.
 //!
-//! The binary installs a counting global allocator, so it holds exactly
-//! one test: other tests in the same process would pollute the counter.
+//! The binary installs a counting global allocator and runs without the
+//! libtest harness (`harness = false` in Cargo.toml): other tests in the
+//! same process — and libtest's own channel machinery, which allocates
+//! nondeterministically while the harness thread parks — would pollute
+//! the counter.
 
 // Tests cast small pids freely.
 #![allow(clippy::cast_possible_truncation)]
@@ -138,8 +141,7 @@ fn priced_delta(plat: &Platform) -> u64 {
     alloc_counter::allocations() - before
 }
 
-#[test]
-fn steady_state_supersteps_do_not_allocate() {
+fn main() {
     force_pool();
     let sequential = steady_state_delta(false, None, false);
     assert_eq!(
@@ -174,4 +176,32 @@ fn steady_state_supersteps_do_not_allocate() {
             plat.name()
         );
     }
+    // Tracing ON must preserve the property: the probe's rows, event
+    // lanes and counters are all preallocated when the machine is
+    // constructed, so observed supersteps stay allocation-free too.
+    let (traced_seq, cap) = pcm::trace::capture(|| steady_state_delta(false, None, false));
+    assert_eq!(
+        traced_seq, 0,
+        "traced sequential hot path allocated {traced_seq} times in 100 supersteps"
+    );
+    assert!(
+        cap.runs.iter().all(|r| r.attribution_exact()),
+        "traced steady state must also attribute exactly"
+    );
+    let (traced_sharded, _) = pcm::trace::capture(|| steady_state_delta(true, Some(4), true));
+    assert_eq!(
+        traced_sharded, 0,
+        "traced sharded heap-payload path allocated {traced_sharded} times in 100 supersteps"
+    );
+    for plat in [Platform::maspar_with(64), Platform::gcel(), Platform::cm5()] {
+        let (traced_priced, cap) = pcm::trace::capture(|| priced_delta(&plat));
+        assert_eq!(
+            traced_priced,
+            0,
+            "{} traced priced hot path allocated {traced_priced} times in 100 supersteps",
+            plat.name()
+        );
+        assert!(cap.runs.iter().all(|r| r.attribution_exact()));
+    }
+    println!("hotpath_alloc: all legs allocation-free (tracing off and on)");
 }

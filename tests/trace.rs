@@ -1,0 +1,189 @@
+//! Tracing-layer gates: exact cost attribution and zero perturbation.
+//!
+//! The tracing contract has two sides, both checked here end-to-end on
+//! real algorithm runs:
+//!
+//! * **exact attribution** — folding each observed superstep's
+//!   `(compute, comm)` pair in program order reproduces the machine's
+//!   total priced cost *bit-identically* (the probe sees the very values
+//!   the simulator added to its clock, and the fold repeats the same f64
+//!   additions in the same order);
+//! * **zero perturbation** — running under a trace scope changes nothing
+//!   observable: simulated times and run digests are bit-identical with
+//!   and without the probe, on every machine and on both exchange
+//!   engines.
+
+use pcm::algos::matmul::{self, MatmulVariant};
+use pcm::algos::sort::bitonic::{self, ExchangeMode};
+use pcm::algos::RunResult;
+use pcm::trace::{capture, capture_sized, ChromeRun};
+use pcm::Platform;
+use pcm_sim::with_exchange_shards;
+
+const SEED: u64 = 2026;
+
+fn machines(p: usize) -> Vec<Platform> {
+    vec![
+        Platform::maspar_with(p),
+        Platform::gcel_with(p),
+        Platform::cm5_with(p),
+    ]
+}
+
+fn bits(t: pcm::SimTime) -> u64 {
+    t.as_micros().to_bits()
+}
+
+#[test]
+fn attribution_reproduces_total_cost_bit_identically() {
+    for plat in machines(16) {
+        for (name, run) in [
+            (
+                "matmul",
+                Box::new(|| matmul::run(&plat, 8, MatmulVariant::BspStaggered, SEED))
+                    as Box<dyn Fn() -> RunResult>,
+            ),
+            (
+                "bitonic",
+                Box::new(|| bitonic::run(&plat, 16, ExchangeMode::Words, SEED)),
+            ),
+        ] {
+            let (result, cap) = with_exchange_shards(1, || capture(run));
+            assert!(result.verified, "{name} on {} must verify", plat.name());
+            let mrun = cap
+                .run_matching(result.time)
+                .unwrap_or_else(|| panic!("{name} on {}: no machine matches", plat.name()));
+            assert!(
+                mrun.attribution_exact(),
+                "{name} on {}: fold {:?} != clock {:?}",
+                plat.name(),
+                mrun.folded_clock(),
+                mrun.final_clock()
+            );
+            assert_eq!(
+                bits(mrun.folded_clock()),
+                bits(result.time),
+                "{name} on {}: per-step attribution must sum to the priced total exactly",
+                plat.name()
+            );
+            assert!(!mrun.rows.is_empty());
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_time_or_digest() {
+    for plat in machines(16) {
+        let bare = matmul::run(&plat, 8, MatmulVariant::BspStaggered, SEED);
+        let (traced, _cap) = capture(|| matmul::run(&plat, 8, MatmulVariant::BspStaggered, SEED));
+        assert_eq!(
+            bits(bare.time),
+            bits(traced.time),
+            "{}: probe must not change the simulated clock",
+            plat.name()
+        );
+        assert_eq!(bare.verified, traced.verified);
+        assert_eq!(
+            bare.breakdown.messages,
+            traced.breakdown.messages,
+            "{}: probe must not change message accounting",
+            plat.name()
+        );
+        assert_eq!(bare.breakdown.bytes, traced.breakdown.bytes);
+    }
+}
+
+#[test]
+fn sharded_exchange_attributes_exactly_and_identically() {
+    let plat = Platform::cm5_with(16);
+    let run = || bitonic::run(&plat, 16, ExchangeMode::Words, SEED);
+    let (r1, c1) = with_exchange_shards(1, || capture(run));
+    let (r4, c4) = with_exchange_shards(4, || capture(run));
+    assert_eq!(
+        bits(r1.time),
+        bits(r4.time),
+        "shard count is an execution strategy, not a cost"
+    );
+    let m1 = c1.run_matching(r1.time).expect("shards=1 run");
+    let m4 = c4.run_matching(r4.time).expect("shards=4 run");
+    assert!(m1.attribution_exact());
+    assert!(m4.attribution_exact());
+    assert_eq!(m1.rows.len(), m4.rows.len());
+    for (a, b) in m1.rows.iter().zip(&m4.rows) {
+        assert_eq!(
+            bits(a.clock),
+            bits(b.clock),
+            "step {}: per-step clocks must match across shard counts",
+            a.step
+        );
+        assert_eq!(a.records, b.records);
+    }
+}
+
+#[test]
+fn trace_metrics_and_terms_accumulate() {
+    let plat = Platform::maspar_with(16);
+    let (result, cap) = with_exchange_shards(1, || {
+        capture(|| matmul::run(&plat, 8, MatmulVariant::BspStaggered, SEED))
+    });
+    assert!(result.verified);
+    let snap = cap.metrics.snapshot();
+    let mrun = cap.run_matching(result.time).expect("traced run");
+    assert_eq!(snap.supersteps, mrun.rows.len() as u64);
+    assert_eq!(
+        snap.records,
+        mrun.rows.iter().map(|r| r.records).sum::<u64>()
+    );
+    let terms = mrun
+        .rows
+        .last()
+        .and_then(|r| r.terms)
+        .expect("MasPar reports cost terms");
+    assert!(terms.routes > 0, "matmul routes at least one pattern");
+    assert!(terms.barrier_us > 0.0, "barrier term accumulates");
+    assert!(
+        terms.router_passes >= terms.router_min_passes,
+        "greedy passes are bounded below by the congestion lower bound"
+    );
+    // Sink events mirror the rows: two per superstep, globally ordered.
+    assert_eq!(cap.sink.len(), 2 * mrun.rows.len());
+    let merged = cap.sink.merged();
+    assert!(merged.windows(2).all(|w| w[0].seq < w[1].seq));
+}
+
+#[test]
+fn chrome_export_tiles_the_simulated_timeline() {
+    let plat = Platform::cm5_with(16);
+    let (result, cap) = with_exchange_shards(1, || {
+        capture(|| matmul::run(&plat, 8, MatmulVariant::BspStaggered, SEED))
+    });
+    let mrun = cap.run_matching(result.time).expect("traced run");
+    let doc = pcm::trace::chrome::render(&[ChromeRun {
+        name: String::from("matmul/BspStaggered @ CM-5"),
+        run: mrun,
+    }]);
+    assert_eq!(
+        doc.matches("\"ph\":\"X\"").count(),
+        2 * mrun.rows.len(),
+        "one compute and one comm slice per superstep"
+    );
+    assert_eq!(doc.matches("\"ph\":\"C\"").count(), mrun.rows.len());
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.ends_with("]\n}\n"), "document must close cleanly");
+}
+
+#[test]
+fn tiny_capture_rings_drop_rows_and_void_exactness() {
+    let plat = Platform::cm5_with(16);
+    let (result, cap) = with_exchange_shards(1, || {
+        capture_sized(2, 4, || bitonic::run(&plat, 16, ExchangeMode::Words, SEED))
+    });
+    assert!(result.verified, "tracing overflow must not affect the run");
+    let mrun = cap.runs.last().expect("a machine ran");
+    assert!(mrun.dropped > 0, "bitonic runs more than 2 supersteps");
+    assert!(
+        !mrun.attribution_exact(),
+        "dropped rows must void the exactness claim"
+    );
+    assert!(cap.sink.dropped() > 0, "event rings wrapped");
+}
